@@ -1,0 +1,121 @@
+// Experiment E1 (DESIGN.md): end-to-end service latency (Fig. 1
+// architecture), on the demo's Hong Kong hotel dataset.
+//
+// Measures the full query -> why-not workflow at three depths:
+//   * engine-only (the query processor of Fig. 1),
+//   * HTTP round trip for /query (client -> server -> engines -> JSON),
+//   * HTTP round trip for /whynot against the cached initial query.
+//
+// Expected shape: the transport+JSON overhead is a small constant on top of
+// the engine time; /whynot dominates /query (it runs both refinement
+// models).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/server/yask_service.h"
+#include "src/storage/hotel_generator.h"
+#include "src/whynot/why_not_engine.h"
+
+namespace yask {
+namespace bench {
+namespace {
+
+struct ServiceFixture {
+  ObjectStore store;
+  SetRTree setr;
+  KcRTree kcr;
+  YaskService service;
+
+  ServiceFixture()
+      : store(GenerateHotelDataset()),
+        setr(&store),
+        kcr(&store),
+        service(store, setr, kcr) {
+    setr.BulkLoad();
+    kcr.BulkLoad();
+    // Trees must be loaded before the service answers queries; the service
+    // only borrows them.
+    Status s = service.Start();
+    if (!s.ok()) std::abort();
+  }
+};
+
+ServiceFixture& Fixture() {
+  static ServiceFixture* fixture = new ServiceFixture();
+  return *fixture;
+}
+
+void BM_EndToEnd_EngineTopK(benchmark::State& state) {
+  ServiceFixture& f = Fixture();
+  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  Rng rng(3);
+  const Query q = MakeQuery(f.store, &rng, 2, 3);
+  for (auto _ : state) {
+    TopKResult r = engine.TopK(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EndToEnd_EngineTopK);
+
+void BM_EndToEnd_EngineWhyNot(benchmark::State& state) {
+  ServiceFixture& f = Fixture();
+  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  Rng rng(3);
+  const Query q = MakeQuery(f.store, &rng, 2, 3);
+  const std::vector<ObjectId> missing = PickMissing(f.store, q, 1, 7);
+  for (auto _ : state) {
+    auto answer = engine.Answer(q, missing);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_EndToEnd_EngineWhyNot);
+
+void BM_EndToEnd_HttpQuery(benchmark::State& state) {
+  ServiceFixture& f = Fixture();
+  const std::string body =
+      R"({"x":114.158,"y":22.281,"keywords":"clean comfortable","k":3})";
+  for (auto _ : state) {
+    auto resp = HttpFetch(f.service.port(), "POST", "/query", body);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_EndToEnd_HttpQuery);
+
+void BM_EndToEnd_HttpWhyNot(benchmark::State& state) {
+  ServiceFixture& f = Fixture();
+  // Issue one initial query to obtain a cached query id and a missing hotel.
+  const std::string qbody =
+      R"({"x":114.158,"y":22.281,"keywords":"clean comfortable","k":3})";
+  auto qresp = HttpFetch(f.service.port(), "POST", "/query", qbody);
+  auto parsed = JsonValue::Parse(*qresp);
+  const size_t query_id =
+      static_cast<size_t>(parsed->Get("query_id").as_number());
+
+  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  Rng rng(5);
+  Query q;
+  q.loc = Point{114.158, 22.281};
+  const Vocabulary& v = f.store.vocab();
+  q.doc = KeywordSet({v.Find("clean"), v.Find("comfortable")});
+  q.k = 3;
+  const ObjectId missing = PickMissing(f.store, q, 1, 7)[0];
+
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", JsonValue(query_id));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(static_cast<size_t>(missing)));
+  wn.Set("missing", std::move(arr));
+  const std::string body = wn.Dump();
+  for (auto _ : state) {
+    auto resp = HttpFetch(f.service.port(), "POST", "/whynot", body);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_EndToEnd_HttpWhyNot);
+
+}  // namespace
+}  // namespace bench
+}  // namespace yask
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Experiment E3 (DESIGN.md): index construction cost and footprint.
+//
+// Regenerates the index substrate comparison: STR bulk load versus repeated
+// insertion, for the plain R-tree, the SetR-tree and the KcR-tree, with the
+// per-index memory footprint as counters.
+//
+// Expected shape: bulk load is several times faster than insertion; the
+// KcR-tree costs the most memory (keyword->count maps at every node), the
+// plain R-tree the least.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace yask {
+namespace bench {
+namespace {
+
+template <typename Tree>
+void BuildBulk(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ObjectStore& store = SharedDataset(n);
+  size_t mem = 0;
+  for (auto _ : state) {
+    Tree tree(&store);
+    tree.BulkLoad();
+    benchmark::DoNotOptimize(tree.root());
+    mem = tree.MemoryUsageBytes();
+  }
+  state.counters["bytes"] = benchmark::Counter(static_cast<double>(mem));
+  state.counters["bytes/object"] =
+      benchmark::Counter(static_cast<double>(mem) / n);
+}
+
+template <typename Tree>
+void BuildInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ObjectStore& store = SharedDataset(n);
+  for (auto _ : state) {
+    Tree tree(&store);
+    for (ObjectId id = 0; id < n; ++id) tree.Insert(id);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+
+void BM_Build_RTree_Bulk(benchmark::State& state) { BuildBulk<RTree>(state); }
+void BM_Build_SetR_Bulk(benchmark::State& state) { BuildBulk<SetRTree>(state); }
+void BM_Build_KcR_Bulk(benchmark::State& state) { BuildBulk<KcRTree>(state); }
+void BM_Build_RTree_Insert(benchmark::State& state) {
+  BuildInsert<RTree>(state);
+}
+void BM_Build_SetR_Insert(benchmark::State& state) {
+  BuildInsert<SetRTree>(state);
+}
+
+BENCHMARK(BM_Build_RTree_Bulk)->ArgName("N")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Build_SetR_Bulk)->ArgName("N")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Build_KcR_Bulk)->ArgName("N")->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Build_RTree_Insert)->ArgName("N")->Arg(10000)->Arg(50000);
+BENCHMARK(BM_Build_SetR_Insert)->ArgName("N")->Arg(10000);
+
+void BM_Build_InvertedIndex(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ObjectStore& store = SharedDataset(n);
+  size_t mem = 0;
+  for (auto _ : state) {
+    InvertedIndex index(store);
+    benchmark::DoNotOptimize(index.Postings(0).data());
+    mem = index.MemoryUsageBytes();
+  }
+  state.counters["bytes"] = benchmark::Counter(static_cast<double>(mem));
+}
+BENCHMARK(BM_Build_InvertedIndex)->ArgName("N")->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace yask
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Shared fixtures for the benchmark harness: datasets and indexes are built
+// once per size and cached for the lifetime of the binary, so google-benchmark
+// timings measure the operation under test, not repeated setup.
+//
+// All workloads are seeded: every run of a bench binary replays the identical
+// experiment (EXPERIMENTS.md reports these numbers).
+
+#ifndef YASK_BENCH_BENCH_UTIL_H_
+#define YASK_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/index/inverted_index.h"
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/query/topk_engine.h"
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace bench {
+
+inline constexpr uint64_t kDatasetSeed = 20160901;  // VLDB'16 proceedings.
+
+/// The benchmark dataset family: clustered spatial placement, Zipf keywords,
+/// |vocab| = 2000 — the synthetic stand-in for the POI crawls of refs [5,6].
+inline const ObjectStore& SharedDataset(size_t n) {
+  static std::map<size_t, std::unique_ptr<ObjectStore>>* cache =
+      new std::map<size_t, std::unique_ptr<ObjectStore>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    DatasetSpec spec;
+    spec.num_objects = n;
+    spec.vocabulary_size = 2000;
+    spec.keyword_zipf = 1.0;
+    spec.min_keywords = 3;
+    spec.max_keywords = 10;
+    spec.seed = kDatasetSeed;
+    it = cache->emplace(n, std::make_unique<ObjectStore>(GenerateDataset(spec)))
+             .first;
+  }
+  return *it->second;
+}
+
+inline const SetRTree& SharedSetR(size_t n) {
+  static std::map<size_t, std::unique_ptr<SetRTree>>* cache =
+      new std::map<size_t, std::unique_ptr<SetRTree>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto tree = std::make_unique<SetRTree>(&SharedDataset(n));
+    tree->BulkLoad();
+    it = cache->emplace(n, std::move(tree)).first;
+  }
+  return *it->second;
+}
+
+inline const KcRTree& SharedKcR(size_t n) {
+  static std::map<size_t, std::unique_ptr<KcRTree>>* cache =
+      new std::map<size_t, std::unique_ptr<KcRTree>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto tree = std::make_unique<KcRTree>(&SharedDataset(n));
+    tree->BulkLoad();
+    it = cache->emplace(n, std::move(tree)).first;
+  }
+  return *it->second;
+}
+
+inline const RTree& SharedRTree(size_t n) {
+  static std::map<size_t, std::unique_ptr<RTree>>* cache =
+      new std::map<size_t, std::unique_ptr<RTree>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto tree = std::make_unique<RTree>(&SharedDataset(n));
+    tree->BulkLoad();
+    it = cache->emplace(n, std::move(tree)).first;
+  }
+  return *it->second;
+}
+
+inline const InvertedIndex& SharedInverted(size_t n) {
+  static std::map<size_t, std::unique_ptr<InvertedIndex>>* cache =
+      new std::map<size_t, std::unique_ptr<InvertedIndex>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<InvertedIndex>(SharedDataset(n)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// A query whose location hugs the data and whose keywords certainly match
+/// something (the way demo users click the map and type known words).
+inline Query MakeQuery(const ObjectStore& store, Rng* rng, size_t num_keywords,
+                       uint32_t k) {
+  Query q;
+  q.loc = SampleQueryLocation(store, rng);
+  q.doc = SampleQueryKeywords(store, num_keywords, rng);
+  q.k = k;
+  q.w = Weights::FromWs(0.5);
+  return q;
+}
+
+/// Missing objects ranked just outside the top-k (offset .. offset+count).
+inline std::vector<ObjectId> PickMissing(const ObjectStore& store,
+                                         const Query& q, size_t count,
+                                         size_t offset = 5) {
+  Query probe = q;
+  probe.k = static_cast<uint32_t>(q.k + offset + count + 5);
+  const TopKResult wide = TopKScan(store, probe);
+  std::vector<ObjectId> missing;
+  for (size_t i = q.k + offset; i < wide.size() && missing.size() < count;
+       ++i) {
+    missing.push_back(wide[i].id);
+  }
+  return missing;
+}
+
+}  // namespace bench
+}  // namespace yask
+
+#endif  // YASK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,159 @@
+// Example 1 from the paper -- Bob's coffee (§1):
+//
+//   "Bob visits New York for the first time, and he wants to find a nearby
+//    cafe for a cup of coffee. He issues a top-3 spatial query with keyword
+//    'coffee.' However, surprisingly, the Starbucks cafe down the street is
+//    not in the result. [...] How can the ranking function be adjusted so
+//    that the Starbucks cafe, and perhaps other relevant cafes, appears in
+//    the result?"
+//
+// This example builds a Manhattan-like grid of cafes and bars, places a
+// "Starbucks" down the street from Bob, shows it missing from the top-3,
+// renders the situation as an ASCII map, and applies preference adjustment
+// (the model suited to "ranked low because of an improper preference") to
+// revive it.
+//
+//   $ ./coffee_tour
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/whynot/why_not_engine.h"
+
+using namespace yask;
+
+namespace {
+
+/// Renders a 21x21 ASCII map: '.' cafes, 'o' other shops, 'B' Bob,
+/// digits = result ranks, 'S' the missing Starbucks.
+void RenderMap(const ObjectStore& store, const Point& bob,
+               const TopKResult& result, ObjectId starbucks) {
+  constexpr int kSize = 21;
+  std::vector<std::string> grid(kSize, std::string(kSize, ' '));
+  auto cell = [&](const Point& p) {
+    const int x = std::min(kSize - 1, std::max(0, static_cast<int>(p.x * kSize)));
+    const int y = std::min(kSize - 1, std::max(0, static_cast<int>(p.y * kSize)));
+    return std::pair<int, int>(kSize - 1 - y, x);  // Row 0 at the top.
+  };
+  const Vocabulary& vocab = store.vocab();
+  const TermId coffee = vocab.Find("coffee");
+  for (const SpatialObject& o : store.objects()) {
+    auto [r, c] = cell(o.loc);
+    grid[r][c] = o.doc.Contains(coffee) ? '.' : 'o';
+  }
+  for (size_t i = 0; i < result.size(); ++i) {
+    auto [r, c] = cell(store.Get(result[i].id).loc);
+    grid[r][c] = static_cast<char>('1' + i);
+  }
+  {
+    auto [r, c] = cell(store.Get(starbucks).loc);
+    grid[r][c] = 'S';
+  }
+  {
+    auto [r, c] = cell(bob);
+    grid[r][c] = 'B';
+  }
+  std::printf("  +%s+\n", std::string(kSize, '-').c_str());
+  for (const std::string& row : grid) {
+    std::printf("  |%s|\n", row.c_str());
+  }
+  std::printf("  +%s+\n", std::string(kSize, '-').c_str());
+  std::printf("  B=Bob  S=Starbucks  1..%zu=result  .=cafe  o=other\n\n",
+              result.size());
+}
+
+}  // namespace
+
+int main() {
+  // --- A city of cafes and bars. ---
+  ObjectStore store;
+  Vocabulary* vocab = store.mutable_vocab();
+  const TermId coffee = vocab->Intern("coffee");
+  const TermId espresso = vocab->Intern("espresso");
+  const TermId bakery = vocab->Intern("bakery");
+  const TermId bar = vocab->Intern("bar");
+  const TermId cocktails = vocab->Intern("cocktails");
+
+  Rng rng(1501);  // First page of the paper.
+  for (int i = 0; i < 400; ++i) {
+    KeywordSet doc;
+    if (rng.NextBernoulli(0.55)) {
+      doc.Insert(coffee);
+      if (rng.NextBernoulli(0.4)) doc.Insert(espresso);
+      if (rng.NextBernoulli(0.3)) doc.Insert(bakery);
+    } else {
+      doc.Insert(bar);
+      if (rng.NextBernoulli(0.5)) doc.Insert(cocktails);
+    }
+    store.Add(Point{rng.NextDouble(), rng.NextDouble()}, doc,
+              "shop-" + std::to_string(i));
+  }
+  // Starbucks down the street: close to Bob, but its doc mentions espresso
+  // and bakery too, diluting the Jaccard similarity to the query {coffee}.
+  const Point bob{0.5, 0.5};
+  const ObjectId starbucks =
+      store.Add(Point{0.55, 0.53}, KeywordSet({coffee, espresso, bakery}),
+                "Starbucks");
+
+  SetRTree setr(&store);
+  setr.BulkLoad();
+  KcRTree kcr(&store);
+  kcr.BulkLoad();
+  WhyNotEngine engine(store, setr, kcr);
+
+  // --- Bob's top-3 "coffee" query. ---
+  Query q;
+  q.loc = bob;
+  q.doc = KeywordSet({coffee});
+  q.k = 3;
+
+  const TopKResult result = engine.TopK(q);
+  std::printf("Bob's query: %s\n\n", q.ToString(store.vocab()).c_str());
+  RenderMap(store, bob, result, starbucks);
+  for (size_t i = 0; i < result.size(); ++i) {
+    const SpatialObject& o = store.Get(result[i].id);
+    std::printf("  %zu. %-10s score %.4f  keywords: %s\n", i + 1,
+                o.name.c_str(), result[i].score,
+                o.doc.ToString(store.vocab()).c_str());
+  }
+
+  bool in_result = false;
+  for (const ScoredObject& so : result) {
+    if (so.id == starbucks) in_result = true;
+  }
+  std::printf("\nStarbucks in the result? %s\n\n", in_result ? "yes" : "no");
+
+  // --- Why not? ---
+  WhyNotOptions options;
+  options.lambda = 0.5;
+  auto answer = engine.Answer(q, {starbucks}, options);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Explanation:\n  %s\n\n", answer->explanations[0].text.c_str());
+
+  const RefinedPreferenceQuery& pref = *answer->preference;
+  std::printf("Preference adjustment (Definition 2):\n");
+  std::printf("  original: w=<%.2f,%.2f>, k=%u   (Starbucks ranked %zu)\n",
+              q.w.ws, q.w.wt, q.k, pref.original_rank);
+  std::printf("  refined : w=<%.4f,%.4f>, k=%u   penalty %.4f "
+              "(delta_k=%zu, delta_w=%.4f)\n",
+              pref.refined.w.ws, pref.refined.w.wt, pref.refined.k,
+              pref.penalty.value, pref.penalty.delta_k, pref.penalty.delta_w);
+
+  const TopKResult refined = engine.TopK(pref.refined);
+  std::printf("\nRefined top-%u:\n", pref.refined.k);
+  for (size_t i = 0; i < refined.size(); ++i) {
+    const SpatialObject& o = store.Get(refined[i].id);
+    std::printf("  %zu. %-10s score %.4f%s\n", i + 1, o.name.c_str(),
+                refined[i].score,
+                refined[i].id == starbucks ? "   <-- revived" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// dataset_tool: generate, inspect and convert YASK datasets from the shell.
+//
+//   dataset_tool generate <n> <out.tsv> [seed]   synthetic clustered dataset
+//   dataset_tool hotels <out.tsv>                the 539-hotel demo dataset
+//   dataset_tool stats <file.tsv>                corpus statistics
+//
+// With no arguments it runs a self-demo into a temporary file, so it can be
+// exercised without any setup.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "src/common/geo.h"
+#include "src/storage/dataset_generator.h"
+#include "src/storage/dataset_io.h"
+#include "src/storage/hotel_generator.h"
+
+using namespace yask;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(size_t n, const std::string& path, uint64_t seed) {
+  DatasetSpec spec;
+  spec.num_objects = n;
+  spec.seed = seed;
+  const ObjectStore store = GenerateDataset(spec);
+  if (Status s = SaveDataset(store, path); !s.ok()) return Fail(s.ToString());
+  std::printf("wrote %zu objects (vocab %zu) to %s\n", store.size(),
+              store.vocab().size(), path.c_str());
+  return 0;
+}
+
+int CmdHotels(const std::string& path) {
+  const ObjectStore store = GenerateHotelDataset();
+  if (Status s = SaveDataset(store, path); !s.ok()) return Fail(s.ToString());
+  std::printf("wrote the %zu-hotel Hong Kong demo dataset to %s\n",
+              store.size(), path.c_str());
+  return 0;
+}
+
+int CmdStats(const std::string& path) {
+  auto loaded = LoadDataset(path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const ObjectStore& store = *loaded;
+  if (store.empty()) return Fail("dataset is empty");
+
+  size_t total_kw = 0;
+  size_t min_kw = static_cast<size_t>(-1);
+  size_t max_kw = 0;
+  std::map<TermId, size_t> df;
+  for (const SpatialObject& o : store.objects()) {
+    total_kw += o.doc.size();
+    min_kw = std::min(min_kw, o.doc.size());
+    max_kw = std::max(max_kw, o.doc.size());
+    for (TermId t : o.doc) ++df[t];
+  }
+  // Top-5 most frequent keywords.
+  std::multimap<size_t, TermId, std::greater<>> by_freq;
+  for (const auto& [t, f] : df) by_freq.emplace(f, t);
+
+  const Rect& b = store.bounds();
+  std::printf("objects      : %zu\n", store.size());
+  std::printf("vocabulary   : %zu distinct keywords\n", store.vocab().size());
+  std::printf("keywords/obj : min %zu, avg %.2f, max %zu\n", min_kw,
+              static_cast<double>(total_kw) / store.size(), max_kw);
+  std::printf("bounds       : x [%.5g, %.5g], y [%.5g, %.5g]\n", b.min_x,
+              b.max_x, b.min_y, b.max_y);
+  // If the frame smells like lon/lat, also report the geographic diagonal.
+  if (b.min_x >= -180 && b.max_x <= 180 && b.min_y >= -90 && b.max_y <= 90) {
+    std::printf("geo diagonal : %.1f km (if coordinates are lon/lat)\n",
+                HaversineKm(Point{b.min_x, b.min_y}, Point{b.max_x, b.max_y}));
+  }
+  std::printf("top keywords :");
+  size_t shown = 0;
+  for (const auto& [f, t] : by_freq) {
+    if (shown++ == 5) break;
+    std::printf(" %s(%zu)", store.vocab().Word(t).c_str(), f);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "generate" && (argc == 4 || argc == 5)) {
+      const size_t n = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+      const uint64_t seed =
+          argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 42;
+      if (n == 0) return Fail("n must be a positive integer");
+      return CmdGenerate(n, argv[3], seed);
+    }
+    if (cmd == "hotels" && argc == 3) return CmdHotels(argv[2]);
+    if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
+    std::fprintf(stderr,
+                 "usage: %s generate <n> <out.tsv> [seed]\n"
+                 "       %s hotels <out.tsv>\n"
+                 "       %s stats <file.tsv>\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+
+  // Self-demo: generate the hotel dataset into a temp file and print stats.
+  const std::string path = "/tmp/yask_dataset_tool_demo.tsv";
+  std::printf("self-demo: %s hotels %s\n", argv[0], path.c_str());
+  if (int rc = CmdHotels(path); rc != 0) return rc;
+  std::printf("\nself-demo: %s stats %s\n", argv[0], path.c_str());
+  return CmdStats(path);
+}

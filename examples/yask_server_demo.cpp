@@ -1,0 +1,134 @@
+// The browser-server demo workflow (§3.1-§3.2, Figs. 3-5), scripted.
+//
+// Starts the YASK HTTP service on an ephemeral port, then plays the role of
+// the client browser: issues Carol's initial query (query mode, Fig. 3),
+// poses a follow-up why-not question against the cached initial query
+// (why-not mode, Fig. 4), fetches the query log with the response times and
+// penalties shown in Panel 5, and finally releases the cached query.
+//
+//   $ ./yask_server_demo
+
+#include <cstdio>
+
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/server/yask_service.h"
+#include "src/storage/hotel_generator.h"
+
+using namespace yask;
+
+namespace {
+
+JsonValue MustParse(const Result<std::string>& body) {
+  if (!body.ok()) {
+    std::fprintf(stderr, "http error: %s\n", body.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto parsed = JsonValue::Parse(*body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad json: %s\n", parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+int main() {
+  // --- Server side (Fig. 1): store + indexes + service. ---
+  const ObjectStore store = GenerateHotelDataset();
+  SetRTree setr(&store);
+  setr.BulkLoad();
+  KcRTree kcr(&store);
+  kcr.BulkLoad();
+
+  YaskService service(store, setr, kcr);
+  if (Status s = service.Start(); !s.ok()) {
+    std::fprintf(stderr, "cannot start service: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("YASK service listening on 127.0.0.1:%u\n\n", service.port());
+
+  // --- Client: initial spatial keyword top-k query (Panel 2). ---
+  JsonValue query = JsonValue::MakeObject();
+  query.Set("x", JsonValue(114.158));   // Clicked on the map near Central.
+  query.Set("y", JsonValue(22.281));
+  query.Set("keywords", JsonValue("clean comfortable"));
+  query.Set("k", JsonValue(3));
+  std::printf("POST /query  %s\n", query.Dump().c_str());
+  const JsonValue qresp =
+      MustParse(HttpFetch(service.port(), "POST", "/query", query.Dump()));
+  std::printf("  -> query_id=%zu, w=<%.2f,%.2f> (server-side parameter)\n",
+              static_cast<size_t>(qresp.Get("query_id").as_number()),
+              qresp.Get("ws").as_number(), qresp.Get("wt").as_number());
+  for (const JsonValue& row : qresp.Get("results").array_items()) {
+    std::printf("  green marker: %-24s score %.4f\n",
+                row.Get("name").as_string().c_str(),
+                row.Get("score").as_number());
+  }
+
+  // --- Client: select a missing hotel and ask why-not (Panel 3). ---
+  // Browse a wider result to find a hotel the user knows but did not see.
+  JsonValue wide = query;
+  wide.Set("k", JsonValue(25));
+  const JsonValue wresp =
+      MustParse(HttpFetch(service.port(), "POST", "/query", wide.Dump()));
+  const std::string expected_name =
+      wresp.Get("results").At(18).Get("name").as_string();
+
+  JsonValue whynot = JsonValue::MakeObject();
+  whynot.Set("query_id", qresp.Get("query_id"));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(expected_name));
+  whynot.Set("missing", std::move(missing));
+  whynot.Set("model", JsonValue("both"));
+  whynot.Set("lambda", JsonValue(0.5));
+  std::printf("\nPOST /whynot  (black marker: \"%s\")\n",
+              expected_name.c_str());
+  const JsonValue aresp =
+      MustParse(HttpFetch(service.port(), "POST", "/whynot", whynot.Dump()));
+
+  // Explanation panel (Fig. 5).
+  const JsonValue& expl = aresp.Get("explanations").At(0);
+  std::printf("  explanation: %s\n", expl.Get("text").as_string().c_str());
+  std::printf("  refined (preference):  ws'=%.3f k'=%zu penalty=%.4f\n",
+              aresp.Get("preference").Get("ws").as_number(),
+              static_cast<size_t>(aresp.Get("preference").Get("k").as_number()),
+              aresp.Get("preference").Get("penalty").Get("value").as_number());
+  std::printf("  refined (keyword):     doc'={%s} k'=%zu penalty=%.4f\n",
+              aresp.Get("keyword").Get("keywords").as_string().c_str(),
+              static_cast<size_t>(aresp.Get("keyword").Get("k").as_number()),
+              aresp.Get("keyword").Get("penalty").Get("value").as_number());
+  std::printf("  recommended model:     %s\n",
+              aresp.Get("recommended").as_string().c_str());
+  std::printf("  refined result markers:\n");
+  for (const JsonValue& row : aresp.Get("refined_results").array_items()) {
+    const bool is_expected = row.Get("name").as_string() == expected_name;
+    std::printf("    %-24s%s\n", row.Get("name").as_string().c_str(),
+                is_expected ? "  <-- revived" : "");
+  }
+
+  // --- Client: the query log (Panel 5: parameters, penalty, time). ---
+  std::printf("\nGET /log\n");
+  const JsonValue log =
+      MustParse(HttpFetch(service.port(), "GET", "/log"));
+  for (const JsonValue& e : log.Get("entries").array_items()) {
+    std::printf("  [%s] %.2f ms  %s%s\n", e.Get("kind").as_string().c_str(),
+                e.Get("response_millis").as_number(),
+                e.Get("description").as_string().c_str(),
+                e.Has("penalty")
+                    ? ("  penalty=" + std::to_string(
+                                          e.Get("penalty").as_number()))
+                          .c_str()
+                    : "");
+  }
+
+  // --- Client gives up asking why-not questions: drop the cached query. ---
+  JsonValue forget = JsonValue::MakeObject();
+  forget.Set("query_id", qresp.Get("query_id"));
+  MustParse(HttpFetch(service.port(), "POST", "/forget", forget.Dump()));
+  std::printf("\nPOST /forget -> initial query released from the cache\n");
+
+  service.Stop();
+  return 0;
+}

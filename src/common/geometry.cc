@@ -1,0 +1,101 @@
+#include "src/common/geometry.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace yask {
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Rect Rect::FromBounds(double min_x, double min_y, double max_x, double max_y) {
+  assert(min_x <= max_x && min_y <= max_y);
+  return Rect{min_x, min_y, max_x, max_y};
+}
+
+void Rect::Extend(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::Extend(const Rect& other) {
+  if (other.empty()) return;
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+}
+
+double Rect::Area() const {
+  if (empty()) return 0.0;
+  return (max_x - min_x) * (max_y - min_y);
+}
+
+double Rect::Margin() const {
+  if (empty()) return 0.0;
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+bool Rect::Contains(const Point& p) const {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  if (other.empty()) return true;
+  return other.min_x >= min_x && other.max_x <= max_x && other.min_y >= min_y &&
+         other.max_y <= max_y;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  if (empty() || other.empty()) return false;
+  return !(other.min_x > max_x || other.max_x < min_x || other.min_y > max_y ||
+           other.max_y < min_y);
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect out = a;
+  out.Extend(b);
+  return out;
+}
+
+Rect Rect::Intersection(const Rect& a, const Rect& b) {
+  if (!a.Intersects(b)) return Rect::Empty();
+  return Rect{std::max(a.min_x, b.min_x), std::max(a.min_y, b.min_y),
+              std::min(a.max_x, b.max_x), std::min(a.max_y, b.max_y)};
+}
+
+double Rect::Enlargement(const Rect& r) const {
+  return Union(*this, r).Area() - Area();
+}
+
+double Rect::MinDistance(const Point& p) const {
+  assert(!empty());
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDistance(const Point& p) const {
+  assert(!empty());
+  const double dx = std::max(std::abs(p.x - min_x), std::abs(p.x - max_x));
+  const double dy = std::max(std::abs(p.y - min_y), std::abs(p.y - max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+}  // namespace yask

@@ -1,0 +1,130 @@
+#include "src/common/keyword_set.h"
+
+#include <algorithm>
+
+namespace yask {
+
+KeywordSet::KeywordSet(std::vector<TermId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+KeywordSet::KeywordSet(std::initializer_list<TermId> ids)
+    : KeywordSet(std::vector<TermId>(ids)) {}
+
+void KeywordSet::Insert(TermId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+bool KeywordSet::Erase(TermId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+bool KeywordSet::Contains(TermId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+size_t KeywordSet::IntersectionSize(const KeywordSet& other) const {
+  const std::vector<TermId>* small = &ids_;
+  const std::vector<TermId>* large = &other.ids_;
+  if (small->size() > large->size()) std::swap(small, large);
+  // Asymmetric sets (a 3-keyword query against a node union of hundreds):
+  // probing the small set into the large one beats the linear merge.
+  if (small->size() * 8 < large->size()) {
+    size_t count = 0;
+    for (TermId t : *small) {
+      count += std::binary_search(large->begin(), large->end(), t) ? 1 : 0;
+    }
+    return count;
+  }
+  size_t count = 0;
+  auto a = small->begin();
+  auto b = large->begin();
+  while (a != small->end() && b != large->end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+size_t KeywordSet::UnionSize(const KeywordSet& other) const {
+  return size() + other.size() - IntersectionSize(other);
+}
+
+double KeywordSet::Jaccard(const KeywordSet& other) const {
+  const size_t inter = IntersectionSize(other);
+  const size_t uni = size() + other.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+KeywordSet KeywordSet::Union(const KeywordSet& a, const KeywordSet& b) {
+  std::vector<TermId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.ids_.begin(), a.ids_.end(), b.ids_.begin(), b.ids_.end(),
+                 std::back_inserter(out));
+  KeywordSet result;
+  result.ids_ = std::move(out);  // Already sorted and unique.
+  return result;
+}
+
+KeywordSet KeywordSet::Intersection(const KeywordSet& a, const KeywordSet& b) {
+  std::vector<TermId> out;
+  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                        b.ids_.end(), std::back_inserter(out));
+  KeywordSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+KeywordSet KeywordSet::Difference(const KeywordSet& a, const KeywordSet& b) {
+  std::vector<TermId> out;
+  std::set_difference(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                      b.ids_.end(), std::back_inserter(out));
+  KeywordSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+size_t KeywordSet::EditDistance(const KeywordSet& a, const KeywordSet& b) {
+  const size_t inter = a.IntersectionSize(b);
+  return (a.size() - inter) + (b.size() - inter);
+}
+
+bool KeywordSet::IsSubsetOf(const KeywordSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+std::string KeywordSet::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i) out += ' ';
+    out += vocab.Word(ids_[i]);
+  }
+  return out;
+}
+
+size_t KeywordSetHash::operator()(const KeywordSet& s) const {
+  // FNV-1a over the id stream.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (TermId id : s.ids()) {
+    h ^= id;
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace yask

@@ -1,0 +1,84 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Deterministic pseudo-random generation for dataset synthesis and tests.
+//
+// All randomness in the library flows through Rng (splitmix64-seeded
+// xoshiro256**). Benchmarks and tests pass fixed seeds so every run of an
+// experiment reproduces the same workload byte-for-byte.
+
+#ifndef YASK_COMMON_RANDOM_H_
+#define YASK_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace yask {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, seeded via splitmix64).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on all platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Normal with given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples from a Zipf distribution over {0, ..., n-1} with exponent `s`.
+///
+/// Keyword popularity in real POI datasets is heavily skewed; the generators
+/// draw keywords Zipf-distributed to match (DESIGN.md S3). Sampling is O(log n)
+/// by binary search over the precomputed CDF; construction is O(n).
+class ZipfSampler {
+ public:
+  /// n >= 1; s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_RANDOM_H_

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Small string helpers shared by the text pipeline, dataset IO and the
+// HTTP/JSON layer. Kept dependency-free.
+
+#ifndef YASK_COMMON_STRING_UTIL_H_
+#define YASK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace yask {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (the text pipeline only deals with ASCII keywords).
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer; returns false on overflow or garbage.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,67 @@
+#include "src/common/text.h"
+
+#include <array>
+#include <cctype>
+
+namespace yask {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsStopword(std::string_view token) {
+  static constexpr std::array<std::string_view, 32> kStopwords = {
+      "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "he",  "in",   "is",   "it",   "its",
+      "of",   "on",   "or",   "that", "the", "to",   "was",  "we",
+      "were", "will", "with", "this", "but",  "not",  "you",  "your"};
+  for (auto sw : kStopwords) {
+    if (sw == token) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool KeepToken(const std::string& token, const TextOptions& options) {
+  if (token.size() < options.min_token_length) return false;
+  if (options.remove_stopwords && IsStopword(token)) return false;
+  return true;
+}
+
+}  // namespace
+
+KeywordSet ParseKeywords(std::string_view text, Vocabulary* vocab,
+                         const TextOptions& options) {
+  KeywordSet set;
+  for (const std::string& token : Tokenize(text)) {
+    if (!KeepToken(token, options)) continue;
+    set.Insert(vocab->Intern(token));
+  }
+  return set;
+}
+
+KeywordSet LookupKeywords(std::string_view text, const Vocabulary& vocab,
+                          const TextOptions& options) {
+  KeywordSet set;
+  for (const std::string& token : Tokenize(text)) {
+    if (!KeepToken(token, options)) continue;
+    const TermId id = vocab.Find(token);
+    if (id != kInvalidTerm) set.Insert(id);
+  }
+  return set;
+}
+
+}  // namespace yask

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Text pipeline: turning raw keyword strings ("clean, Comfortable WiFi")
+// into KeywordSets against a Vocabulary.
+//
+// The demo extracts hotel keywords from facility lists and user comments;
+// this pipeline performs the equivalent normalisation: ASCII lower-casing,
+// punctuation splitting, and optional stopword removal.
+
+#ifndef YASK_COMMON_TEXT_H_
+#define YASK_COMMON_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/keyword_set.h"
+#include "src/common/vocabulary.h"
+
+namespace yask {
+
+/// Tokenizes into lower-case alphanumeric tokens; splits on anything else.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for a small built-in English stopword list ("the", "and", ...).
+bool IsStopword(std::string_view token);
+
+/// Options controlling ParseKeywords.
+struct TextOptions {
+  bool remove_stopwords = true;
+  /// Tokens shorter than this are dropped (single letters are noise).
+  size_t min_token_length = 2;
+};
+
+/// Tokenizes `text` and interns every surviving token, returning the set.
+KeywordSet ParseKeywords(std::string_view text, Vocabulary* vocab,
+                         const TextOptions& options = {});
+
+/// Tokenizes `text` and looks tokens up without interning; unknown tokens are
+/// dropped. Used for queries against a frozen vocabulary.
+KeywordSet LookupKeywords(std::string_view text, const Vocabulary& vocab,
+                          const TextOptions& options = {});
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_TEXT_H_

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Wall-clock timing for the query log (Panel 5 reports per-query response
+// times) and for benchmark table output.
+
+#ifndef YASK_COMMON_TIMER_H_
+#define YASK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace yask {
+
+/// Monotonic stopwatch. Starts on construction; `Restart()` resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_TIMER_H_

@@ -1,0 +1,23 @@
+#include "src/common/vocabulary.h"
+
+#include <cassert>
+
+namespace yask {
+
+TermId Vocabulary::Intern(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(words_.size());
+  assert(id != kInvalidTerm);
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return kInvalidTerm;
+  return it->second;
+}
+
+}  // namespace yask

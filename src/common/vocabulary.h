@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Keyword vocabulary: interning between keyword strings and dense ids.
+//
+// Object documents (`o.doc`) and query keyword sets (`q.doc`) are stored as
+// sets of dense 32-bit term ids (KeywordSet). The Vocabulary owns the mapping
+// in both directions and is shared by an ObjectStore and every index built
+// over it.
+
+#ifndef YASK_COMMON_VOCABULARY_H_
+#define YASK_COMMON_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace yask {
+
+/// Dense id of an interned keyword.
+using TermId = uint32_t;
+
+/// Sentinel returned by Find() for unknown keywords.
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// Bidirectional keyword <-> TermId mapping.
+///
+/// Not thread-safe for writes; after loading a dataset the vocabulary is
+/// read-only and may be shared freely across threads.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `word` (idempotent) and returns its id.
+  TermId Intern(std::string_view word);
+
+  /// Looks up a word; returns kInvalidTerm if absent.
+  TermId Find(std::string_view word) const;
+
+  /// True if the word is interned.
+  bool Contains(std::string_view word) const { return Find(word) != kInvalidTerm; }
+
+  /// The word for an id; id must be valid.
+  const std::string& Word(TermId id) const { return words_[id]; }
+
+  /// Number of distinct keywords.
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_VOCABULARY_H_

@@ -1,0 +1,170 @@
+#include "src/index/kcr_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yask {
+
+uint32_t CountMap::Get(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const std::pair<TermId, uint32_t>& e, TermId t) { return e.first < t; });
+  if (it == entries_.end() || it->first != term) return 0;
+  return it->second;
+}
+
+void CountMap::AddDoc(const KeywordSet& doc) {
+  // Linear merge of the sorted doc into the sorted map.
+  std::vector<std::pair<TermId, uint32_t>> merged;
+  merged.reserve(entries_.size() + doc.size());
+  auto a = entries_.begin();
+  auto b = doc.begin();
+  while (a != entries_.end() && b != doc.end()) {
+    if (a->first < *b) {
+      merged.push_back(*a++);
+    } else if (*b < a->first) {
+      merged.emplace_back(*b++, 1);
+    } else {
+      merged.emplace_back(a->first, a->second + 1);
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, entries_.end());
+  for (; b != doc.end(); ++b) merged.emplace_back(*b, 1);
+  entries_ = std::move(merged);
+}
+
+void CountMap::MergeFrom(const CountMap& other) {
+  std::vector<std::pair<TermId, uint32_t>> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(*a++);
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, entries_.end());
+  merged.insert(merged.end(), b, other.entries_.end());
+  entries_ = std::move(merged);
+}
+
+uint64_t CountMap::TotalMatches(const KeywordSet& query_doc) const {
+  // Query keyword sets are tiny compared to upper-node maps; probe each
+  // query term by binary search instead of merging the full map.
+  uint64_t total = 0;
+  for (TermId t : query_doc) total += Get(t);
+  return total;
+}
+
+uint32_t CountMap::MaxSingleMatch(const KeywordSet& query_doc) const {
+  uint32_t best = 0;
+  for (TermId t : query_doc) best = std::max(best, Get(t));
+  return best;
+}
+
+namespace {
+
+/// Upper bound on TSim for an object under the node matching exactly `c`
+/// query keywords: |o.doc| >= max(c, min_len) minimises the union.
+double UbTSim(uint32_t c, uint32_t min_len, size_t query_len) {
+  if (c == 0) return 0.0;
+  const double doc_len = static_cast<double>(std::max<uint32_t>(c, min_len));
+  return static_cast<double>(c) /
+         (doc_len + static_cast<double>(query_len) - static_cast<double>(c));
+}
+
+/// Lower bound on TSim for an object matching at least `c` query keywords:
+/// |o.doc| <= max_len maximises the union. (TSim is increasing in c for
+/// fixed doc length, so using exactly c is conservative.)
+double LbTSim(uint32_t c, uint32_t max_len, size_t query_len) {
+  if (c == 0) return 0.0;
+  const double doc_len = static_cast<double>(std::max<uint32_t>(max_len, c));
+  return static_cast<double>(c) /
+         (doc_len + static_cast<double>(query_len) - static_cast<double>(c));
+}
+
+}  // namespace
+
+CountBounds BoundOutscoringCount(const Scorer& scorer, const Rect& mbr,
+                                 const KcSummary& s, double threshold) {
+  CountBounds out;
+  if (s.cnt == 0) return out;
+
+  const Query& q = scorer.query();
+  const size_t qlen = q.doc.size();
+  const double sp_max = q.w.ws * scorer.MaxSpatialComponent(mbr);
+  const double sp_min = q.w.ws * scorer.MinSpatialComponent(mbr);
+
+  // Smallest match count j_ub such that an object *could* reach the
+  // threshold: sp_max + wt * UbTSim(j) >= threshold. UbTSim is increasing in
+  // j, so scan j = 0..qlen. 2^32-1 encodes "impossible".
+  uint32_t j_ub = static_cast<uint32_t>(-1);
+  for (uint32_t j = 0; j <= qlen; ++j) {
+    if (sp_max + q.w.wt * UbTSim(j, s.min_doc_len, qlen) >= threshold) {
+      j_ub = j;
+      break;
+    }
+  }
+  // Smallest match count j_lb such that an object *must* exceed the
+  // threshold: sp_min + wt * LbTSim(j) > threshold.
+  uint32_t j_lb = static_cast<uint32_t>(-1);
+  for (uint32_t j = 0; j <= qlen; ++j) {
+    if (sp_min + q.w.wt * LbTSim(j, s.max_doc_len, qlen) > threshold) {
+      j_lb = j;
+      break;
+    }
+  }
+
+  const uint64_t total = s.counts.TotalMatches(q.doc);
+
+  // Upper bound.
+  if (j_ub == static_cast<uint32_t>(-1)) {
+    out.upper = 0;
+  } else if (j_ub == 0) {
+    out.upper = s.cnt;
+  } else {
+    const uint64_t by_incidence = total / j_ub;  // #{c >= j} <= floor(T / j).
+    out.upper = static_cast<uint32_t>(
+        std::min<uint64_t>(s.cnt, by_incidence));
+  }
+
+  // Lower bound.
+  if (j_lb == static_cast<uint32_t>(-1)) {
+    out.lower = 0;
+  } else if (j_lb == 0) {
+    out.lower = s.cnt;
+  } else {
+    // Pigeonhole: T <= #{c>=j} * qlen + (cnt - #{c>=j}) * (j-1).
+    const int64_t numerator =
+        static_cast<int64_t>(total) -
+        static_cast<int64_t>(j_lb - 1) * static_cast<int64_t>(s.cnt);
+    const int64_t denominator =
+        static_cast<int64_t>(qlen) - static_cast<int64_t>(j_lb) + 1;
+    if (numerator > 0 && denominator > 0) {
+      out.lower = static_cast<uint32_t>(
+          (numerator + denominator - 1) / denominator);
+    } else {
+      out.lower = 0;
+    }
+    // A single keyword matched by many objects can beat the pigeonhole bound
+    // when j_lb == 1.
+    if (j_lb == 1) {
+      out.lower = std::max(out.lower, s.counts.MaxSingleMatch(q.doc));
+    }
+  }
+
+  out.lower = std::min(out.lower, out.upper);
+  return out;
+}
+
+template class RTreeT<KcSummary>;
+
+}  // namespace yask

@@ -1,0 +1,9 @@
+#include "src/index/rtree.h"
+
+namespace yask {
+
+// The plain spatial R-tree instantiation. SetR-tree and KcR-tree variants are
+// instantiated in their own translation units.
+template class RTreeT<EmptySummary>;
+
+}  // namespace yask

@@ -1,0 +1,167 @@
+#include "src/index/score_plane_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace yask {
+
+ScorePlaneIndex::ScorePlaneIndex(std::vector<PlanePoint> points, size_t fanout)
+    : points_(std::move(points)), fanout_(fanout) {
+  assert(fanout_ >= 2);
+  if (points_.empty()) {
+    nodes_.push_back(Node{0, 0, 0, 0, 0, 0, true, 0});
+    root_ = 0;
+    return;
+  }
+
+  // STR: sort by x, slice, sort slices by y, pack leaves.
+  std::sort(points_.begin(), points_.end(),
+            [](const PlanePoint& a, const PlanePoint& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.id < b.id;
+            });
+  const size_t n = points_.size();
+  const size_t pages = (n + fanout_ - 1) / fanout_;
+  const size_t slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(pages))));
+  const size_t slice_len = (n + slices - 1) / slices;
+  for (size_t s = 0; s * slice_len < n; ++s) {
+    const size_t b = s * slice_len;
+    const size_t e = std::min(b + slice_len, n);
+    std::sort(points_.begin() + b, points_.begin() + e,
+              [](const PlanePoint& a, const PlanePoint& pb) {
+                if (a.y != pb.y) return a.y < pb.y;
+                return a.id < pb.id;
+              });
+  }
+
+  // Leaf level.
+  std::vector<uint32_t> level;
+  for (size_t i = 0; i < n; i += fanout_) {
+    const size_t e = std::min(i + fanout_, n);
+    Node node;
+    node.is_leaf = true;
+    node.begin = static_cast<uint32_t>(i);
+    node.end = static_cast<uint32_t>(e);
+    node.count = static_cast<uint32_t>(e - i);
+    node.min_x = node.min_y = std::numeric_limits<double>::infinity();
+    node.max_x = node.max_y = -std::numeric_limits<double>::infinity();
+    for (size_t j = i; j < e; ++j) {
+      node.min_x = std::min(node.min_x, points_[j].x);
+      node.max_x = std::max(node.max_x, points_[j].x);
+      node.min_y = std::min(node.min_y, points_[j].y);
+      node.max_y = std::max(node.max_y, points_[j].y);
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+
+  // Internal levels: children of one parent are contiguous in nodes_, so we
+  // append parents after reordering children by x-centre STR style.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(), [&](uint32_t a, uint32_t b) {
+      const double ca = nodes_[a].min_x + nodes_[a].max_x;
+      const double cb = nodes_[b].min_x + nodes_[b].max_x;
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < level.size(); i += fanout_) {
+      const size_t e = std::min(i + fanout_, level.size());
+      // Children must be contiguous: copy them to the end of nodes_.
+      const uint32_t child_begin = static_cast<uint32_t>(nodes_.size());
+      for (size_t j = i; j < e; ++j) nodes_.push_back(nodes_[level[j]]);
+      Node parent;
+      parent.is_leaf = false;
+      parent.begin = child_begin;
+      parent.end = static_cast<uint32_t>(nodes_.size());
+      parent.count = 0;
+      parent.min_x = parent.min_y = std::numeric_limits<double>::infinity();
+      parent.max_x = parent.max_y = -std::numeric_limits<double>::infinity();
+      for (uint32_t j = parent.begin; j < parent.end; ++j) {
+        parent.min_x = std::min(parent.min_x, nodes_[j].min_x);
+        parent.max_x = std::max(parent.max_x, nodes_[j].max_x);
+        parent.min_y = std::min(parent.min_y, nodes_[j].min_y);
+        parent.max_y = std::max(parent.max_y, nodes_[j].max_y);
+        parent.count += nodes_[j].count;
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+void ScorePlaneIndex::ForEachCrossing(
+    const PlanePoint& anchor, double wlo, double whi,
+    const std::function<void(const PlanePoint&)>& fn) const {
+  assert(wlo <= whi);
+  last_nodes_visited_ = 0;
+  if (points_.empty()) return;
+  const double a_lo = anchor.ScoreAt(wlo);
+  const double a_hi = anchor.ScoreAt(whi);
+  // Slack absorbs floating-point disagreement between the endpoint sign test
+  // and the crossing weight computed from the line coefficients, so callers
+  // never lose a borderline crossing (they re-filter by the computed weight).
+  constexpr double kEps = 1e-9;
+
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    ++last_nodes_visited_;
+    // Prune iff every point in the MBR keeps one strict sign (with margin)
+    // at both interval ends.
+    const bool all_above = MinScoreAt(n, wlo) > a_lo + kEps &&
+                           MinScoreAt(n, whi) > a_hi + kEps;
+    const bool all_below = MaxScoreAt(n, wlo) < a_lo - kEps &&
+                           MaxScoreAt(n, whi) < a_hi - kEps;
+    if (all_above || all_below) continue;
+    if (n.is_leaf) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        const PlanePoint& p = points_[i];
+        const double d_lo = p.ScoreAt(wlo) - a_lo;
+        const double d_hi = p.ScoreAt(whi) - a_hi;
+        if ((d_lo <= kEps && d_hi >= -kEps) ||
+            (d_lo >= -kEps && d_hi <= kEps)) {
+          fn(p);
+        }
+      }
+    } else {
+      for (uint32_t i = n.begin; i < n.end; ++i) stack.push_back(i);
+    }
+  }
+}
+
+size_t ScorePlaneIndex::CountAbove(double w, double threshold,
+                                   ObjectId tie_id) const {
+  last_nodes_visited_ = 0;
+  if (points_.empty()) return 0;
+  size_t count = 0;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    ++last_nodes_visited_;
+    if (MaxScoreAt(n, w) < threshold) continue;
+    if (MinScoreAt(n, w) > threshold) {
+      count += n.count;
+      continue;
+    }
+    if (n.is_leaf) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        const double s = points_[i].ScoreAt(w);
+        if (s > threshold || (s == threshold && points_[i].id < tie_id)) {
+          ++count;
+        }
+      }
+    } else {
+      for (uint32_t i = n.begin; i < n.end; ++i) stack.push_back(i);
+    }
+  }
+  return count;
+}
+
+}  // namespace yask

@@ -1,0 +1,77 @@
+#include "src/query/ranking.h"
+
+#include <algorithm>
+
+namespace yask {
+
+namespace {
+
+/// Tie-aware "ranks above target" predicate for a scored object.
+bool OutranksTarget(double score, ObjectId id, double target_score,
+                    ObjectId target_id) {
+  return score > target_score || (score == target_score && id < target_id);
+}
+
+}  // namespace
+
+size_t ComputeRankScan(const ObjectStore& store, const Query& query,
+                       ObjectId target) {
+  Scorer scorer(store, query);
+  const double target_score = scorer.Score(target);
+  size_t above = 0;
+  for (const SpatialObject& o : store.objects()) {
+    if (o.id == target) continue;
+    if (OutranksTarget(scorer.Score(o), o.id, target_score, target)) ++above;
+  }
+  return above + 1;
+}
+
+size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
+                   const Query& query, ObjectId target, RankStats* stats) {
+  Scorer scorer(store, query);
+  const double target_score = scorer.Score(target);
+  size_t above = 0;
+
+  std::vector<SetRTree::NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    const auto& node = tree.node(stack.back());
+    stack.pop_back();
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    const double ub = UpperBoundScore(scorer, node.rect, node.summary);
+    if (node.summary.count == 0) continue;
+    if (ub < target_score) continue;  // Nothing below can outrank.
+    const double lb = LowerBoundScore(scorer, node.rect, node.summary);
+    if (lb > target_score) {
+      // Every object below strictly outranks the target. The target itself
+      // cannot be below this node (its score equals target_score < lb).
+      above += node.summary.count;
+      if (stats != nullptr) ++stats->nodes_counted_wholesale;
+      continue;
+    }
+    if (node.is_leaf) {
+      for (const auto& e : node.entries) {
+        if (e.id == target) continue;
+        if (stats != nullptr) ++stats->objects_scored;
+        if (OutranksTarget(scorer.Score(e.id), e.id, target_score, target)) {
+          ++above;
+        }
+      }
+    } else {
+      for (const auto& e : node.entries) stack.push_back(e.id);
+    }
+  }
+  return above + 1;
+}
+
+size_t LowestRank(const ObjectStore& store, const SetRTree& tree,
+                  const Query& query, const std::vector<ObjectId>& missing,
+                  RankStats* stats) {
+  size_t lowest = 0;
+  for (ObjectId m : missing) {
+    lowest = std::max(lowest, ComputeRank(store, tree, query, m, stats));
+  }
+  return lowest;
+}
+
+}  // namespace yask

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Rank computation: the position a given object would take in the full
+// ranking of D under a query. The why-not machinery is built on ranks:
+// R(M, q) — "the lowest rank of the missing objects under q" — normalises
+// both penalty functions (Eqns. (3) and (4)), and explanations report the
+// rank of each missing object (§3.3).
+//
+// Rank convention (DESIGN.md D6), consistent with the top-k engines' result
+// order: rank(o, q) = 1 + #{o' : ST(o',q) > ST(o,q) or
+//                                (ST(o',q) == ST(o,q) and o'.id < o.id)} ,
+// which guarantees o ∈ top-k(q) iff rank(o, q) <= k.
+
+#ifndef YASK_QUERY_RANKING_H_
+#define YASK_QUERY_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/index/setr_tree.h"
+#include "src/query/query.h"
+#include "src/query/scoring.h"
+#include "src/storage/object_store.h"
+
+namespace yask {
+
+/// Work counters for the pruned rank computation.
+struct RankStats {
+  size_t nodes_visited = 0;
+  size_t objects_scored = 0;
+  size_t nodes_counted_wholesale = 0;  // Subtrees resolved by bounds alone.
+};
+
+/// Exact rank by full scan; the reference implementation.
+size_t ComputeRankScan(const ObjectStore& store, const Query& query,
+                       ObjectId target);
+
+/// Exact rank using SetR-tree score bounds: subtrees whose upper bound falls
+/// below the target score are skipped, subtrees whose lower bound exceeds it
+/// are counted wholesale, only straddling paths are opened.
+size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
+                   const Query& query, ObjectId target,
+                   RankStats* stats = nullptr);
+
+/// R(M, q): the lowest (i.e. numerically largest) rank among the missing
+/// objects — the rank the refined k' must reach to cover all of M.
+size_t LowestRank(const ObjectStore& store, const SetRTree& tree,
+                  const Query& query, const std::vector<ObjectId>& missing,
+                  RankStats* stats = nullptr);
+
+}  // namespace yask
+
+#endif  // YASK_QUERY_RANKING_H_

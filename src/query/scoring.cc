@@ -1,0 +1,16 @@
+#include "src/query/scoring.h"
+
+namespace yask {
+
+double NormalizedSpatialDistance(const Point& a, const Point& b, double norm) {
+  if (norm <= 0.0) return 0.0;
+  return std::min(1.0, Distance(a, b) / norm);
+}
+
+Scorer::Scorer(const ObjectStore& store, const Query& query)
+    : Scorer(store, query, store.BoundsDiagonal()) {}
+
+Scorer::Scorer(const ObjectStore& store, const Query& query, double dist_norm)
+    : store_(&store), query_(&query), dist_norm_(dist_norm) {}
+
+}  // namespace yask

@@ -1,0 +1,316 @@
+#include "src/server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/server/json.h"
+
+namespace yask {
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  return HttpResponse{status, "application/json",
+                      "{\"error\":" + JsonEscape(message) + "}"};
+}
+
+HttpServer::HttpServer(uint16_t port, size_t num_workers)
+    : port_(port), num_workers_(num_workers == 0 ? 1 : num_workers) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen() failed");
+  }
+
+  running_.store(true);
+  accept_thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back(&HttpServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Drain any still-queued connections.
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pending_.empty()) {
+    ::close(pending_.front());
+    pending_.pop();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push(fd);
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !pending_.empty() || !running_.load(); });
+      if (pending_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      fd = pending_.front();
+      pending_.pop();
+    }
+    HandleConnection(fd);
+  }
+}
+
+namespace {
+
+/// Reads until the full header block plus Content-Length body is available.
+bool ReadRequest(int fd, std::string* raw, size_t* header_end_out) {
+  raw->clear();
+  char buf[4096];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  bool have_length = false;
+  while (true) {
+    if (header_end == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      raw->append(buf, static_cast<size_t>(n));
+      header_end = raw->find("\r\n\r\n");
+      if (header_end == std::string::npos) {
+        if (raw->size() > 1 << 20) return false;  // Header too large.
+        continue;
+      }
+      // Parse Content-Length from the header block.
+      std::string headers = raw->substr(0, header_end);
+      std::istringstream hs(headers);
+      std::string line;
+      while (std::getline(hs, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const std::string lower = ToLowerAscii(line);
+        if (StartsWith(lower, "content-length:")) {
+          uint64_t v = 0;
+          if (ParseUint64(Trim(line.substr(15)), &v)) {
+            content_length = static_cast<size_t>(v);
+            have_length = true;
+          }
+        }
+      }
+      if (content_length > (32u << 20)) return false;  // Body too large.
+    }
+    const size_t body_have = raw->size() - (header_end + 4);
+    if (!have_length || body_have >= content_length) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    raw->append(buf, static_cast<size_t>(n));
+  }
+  *header_end_out = header_end;
+  return true;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "OK";
+  }
+}
+
+}  // namespace
+
+void HttpServer::HandleConnection(int fd) {
+  std::string raw;
+  size_t header_end = 0;
+  HttpResponse resp;
+  HttpRequest req;
+  bool parsed = false;
+
+  if (ReadRequest(fd, &raw, &header_end)) {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const size_t line_end = raw.find("\r\n");
+    const std::string request_line = raw.substr(0, line_end);
+    std::vector<std::string> parts = SplitWhitespace(request_line);
+    if (parts.size() >= 2) {
+      req.method = parts[0];
+      std::string target = parts[1];
+      const size_t qpos = target.find('?');
+      if (qpos != std::string::npos) {
+        const std::string qs = target.substr(qpos + 1);
+        target = target.substr(0, qpos);
+        for (const std::string& kv : Split(qs, '&')) {
+          const size_t eq = kv.find('=');
+          if (eq == std::string::npos) {
+            req.query_params[UrlDecode(kv)] = "";
+          } else {
+            req.query_params[UrlDecode(kv.substr(0, eq))] =
+                UrlDecode(kv.substr(eq + 1));
+          }
+        }
+      }
+      req.path = UrlDecode(target);
+      req.body = raw.substr(header_end + 4);
+      parsed = true;
+    }
+  }
+
+  if (!parsed) {
+    resp = HttpResponse{400, "application/json", "{\"error\":\"bad request\"}"};
+  } else {
+    auto it = routes_.find({req.method, req.path});
+    if (it == routes_.end()) {
+      resp = HttpResponse{404, "application/json",
+                          "{\"error\":\"no such endpoint\"}"};
+    } else {
+      resp = it->second(req);
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << ' ' << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << resp.body;
+  SendAll(fd, out.str());
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i] == '+' ? ' ' : s[i];
+  }
+  return out;
+}
+
+Result<std::string> HttpFetch(uint16_t port, const std::string& method,
+                              const std::string& path_and_query,
+                              const std::string& body, int* status_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect() failed");
+  }
+  std::ostringstream req;
+  req << method << ' ' << path_and_query
+      << " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " << body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << body;
+  SendAll(fd, req.str());
+
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Unavailable("malformed HTTP response");
+  }
+  if (status_out != nullptr) {
+    *status_out = 0;
+    const size_t sp = raw.find(' ');
+    if (sp != std::string::npos) {
+      uint64_t code = 0;
+      if (ParseUint64(raw.substr(sp + 1, 3), &code)) {
+        *status_out = static_cast<int>(code);
+      }
+    }
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace yask

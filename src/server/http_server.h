@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// A minimal embedded HTTP/1.1 server replacing the demo's Apache Tomcat
+// (§3.3: "YASK's server side is built on Apache Tomcat"). Queries are sent
+// "using the standard HTTP post method" (§3.2); this server accepts GET and
+// POST, routes by exact path, and answers with Content-Length framed bodies.
+//
+// Design: one accept thread plus a fixed worker pool consuming a connection
+// queue; each connection handles one request (Connection: close). This is
+// deliberately simple — the YASK engines, not the transport, are the point —
+// but it is a real TCP server the examples and integration tests exercise
+// end-to-end over loopback. A tiny blocking client (HttpRequest) is included
+// for those tests.
+
+#ifndef YASK_SERVER_HTTP_SERVER_H_
+#define YASK_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace yask {
+
+/// A parsed HTTP request.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // Path without the query string.
+  std::map<std::string, std::string> query_params;
+  std::string body;
+};
+
+/// An HTTP response to be serialised.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(std::string body) {
+    return HttpResponse{200, "application/json", std::move(body)};
+  }
+  static HttpResponse Error(int status, const std::string& message);
+};
+
+/// The embedded server.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `port` 0 picks an ephemeral port (see bound_port() after Start()).
+  explicit HttpServer(uint16_t port = 0, size_t num_workers = 4);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact (method, path) pair.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds, listens and spawns the accept/worker threads.
+  Status Start();
+
+  /// Stops accepting, drains workers, closes the socket. Idempotent.
+  void Stop();
+
+  /// The actual port after Start() (useful with port 0).
+  uint16_t bound_port() const { return bound_port_; }
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  uint16_t port_;
+  size_t num_workers_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<int> pending_;  // Accepted connection fds.
+};
+
+/// Percent-decodes a URL component.
+std::string UrlDecode(std::string_view s);
+
+/// Blocking loopback HTTP client for tests and examples: sends one request,
+/// returns the response body; the HTTP status is written to `status_out` if
+/// non-null.
+Result<std::string> HttpFetch(uint16_t port, const std::string& method,
+                              const std::string& path_and_query,
+                              const std::string& body = "",
+                              int* status_out = nullptr);
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,348 @@
+#include "src/server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace yask {
+
+namespace {
+const JsonValue& NullValue() {
+  static const JsonValue* kNull = new JsonValue();
+  return *kNull;
+}
+}  // namespace
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  auto it = object_.find(key);
+  if (it == object_.end()) return NullValue();
+  return it->second;
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return object_.find(key) != object_.end();
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  object_[std::move(key)] = std::move(value);
+  return *this;
+}
+
+const JsonValue& JsonValue::At(size_t i) const {
+  if (i >= array_.size()) return NullValue();
+  return array_[i];
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::abs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", number_);
+        *out += buf;
+      } else if (std::isfinite(number_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", number_);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no NaN/Inf.
+      }
+      break;
+    }
+    case Type::kString:
+      *out += JsonEscape(string_);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) *out += ',';
+        first = false;
+        v.DumpTo(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += JsonEscape(k);
+        *out += ':';
+        v.DumpTo(out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser with a depth guard.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipWs();
+    JsonValue v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing garbage at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument(what + " at offset " + std::to_string(pos_));
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    *out = JsonValue::MakeObject();
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      JsonValue key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->Set(key.as_string(), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    *out = JsonValue::MakeArray();
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->Append(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(JsonValue* out) {
+    ++pos_;  // '"'
+    std::string s;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad hex digit in \\u escape");
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are passed through as
+            // two separate escapes, adequate for this protocol).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      s += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *out = JsonValue(true);
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *out = JsonValue(false);
+      return Status::OK();
+    }
+    return Fail("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      *out = JsonValue();
+      return Status::OK();
+    }
+    return Fail("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("bad number");
+    *out = JsonValue(v);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace yask

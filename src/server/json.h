@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// A small self-contained JSON DOM (writer + recursive-descent parser) for the
+// YASK service protocol. The demo client/server exchange queries and results
+// over HTTP; this module replaces the Java/Tomcat serialisation stack.
+//
+// Supported: null, bool, finite doubles, strings (with \uXXXX escapes for
+// input; output escapes control characters), arrays, objects. Numbers are
+// stored as double (adequate: the protocol carries coordinates, scores, ids).
+
+#ifndef YASK_SERVER_JSON_H_
+#define YASK_SERVER_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace yask {
+
+/// A JSON value. Value-semantic; copies are deep.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}      // NOLINT
+  JsonValue(int i) : type_(Type::kNumber), number_(i) {}         // NOLINT
+  JsonValue(size_t u)                                            // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {} // NOLINT
+  JsonValue(std::string s)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Object field access; returns a shared null for absent keys.
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+  /// Sets/overwrites an object field (this must be an object).
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Array element access.
+  const JsonValue& At(size_t i) const;
+  /// Appends to an array (this must be an array).
+  JsonValue& Append(JsonValue value);
+
+  size_t size() const;
+
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// Serialises to a compact JSON string.
+  std::string Dump() const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Escapes a string into a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_JSON_H_

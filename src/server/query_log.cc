@@ -1,0 +1,29 @@
+#include "src/server/query_log.h"
+
+namespace yask {
+
+uint64_t QueryLog::Append(std::string kind, std::string description,
+                          double response_millis, double penalty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryLogEntry e;
+  e.id = next_id_++;
+  e.kind = std::move(kind);
+  e.description = std::move(description);
+  e.response_millis = response_millis;
+  e.penalty = penalty;
+  entries_.push_back(std::move(e));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return next_id_ - 1;
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryLogEntry>(entries_.begin(), entries_.end());
+}
+
+size_t QueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace yask

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The server-side query log behind the demo's Panel 5: "users can find the
+// detailed parameter settings for the refined query, its penalty against
+// users' initial queries, as well as the query response time."
+
+#ifndef YASK_SERVER_QUERY_LOG_H_
+#define YASK_SERVER_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace yask {
+
+/// One logged request.
+struct QueryLogEntry {
+  uint64_t id = 0;            // Monotonic sequence number.
+  std::string kind;           // "topk", "whynot", ...
+  std::string description;    // Parameter settings (human readable).
+  double response_millis = 0; // Measured server-side.
+  double penalty = -1.0;      // Refined-query penalty; -1 when N/A.
+};
+
+/// Thread-safe bounded query log (oldest entries evicted).
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends an entry and returns its assigned id.
+  uint64_t Append(std::string kind, std::string description,
+                  double response_millis, double penalty = -1.0);
+
+  /// Snapshot of the log, oldest first.
+  std::vector<QueryLogEntry> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<QueryLogEntry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_QUERY_LOG_H_

@@ -1,0 +1,342 @@
+#include "src/server/yask_service.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/common/text.h"
+#include "src/common/timer.h"
+
+namespace yask {
+
+YaskService::YaskService(const ObjectStore& store, const SetRTree& setr,
+                         const KcRTree& kcr, YaskServiceOptions options)
+    : store_(&store),
+      engine_(store, setr, kcr),
+      options_(options),
+      server_(options.port, options.num_workers) {
+  server_.Route("POST", "/query",
+                [this](const HttpRequest& r) { return HandleQuery(r); });
+  server_.Route("POST", "/whynot",
+                [this](const HttpRequest& r) { return HandleWhyNot(r); });
+  server_.Route("GET", "/objects",
+                [this](const HttpRequest& r) { return HandleObjects(r); });
+  server_.Route("GET", "/log",
+                [this](const HttpRequest& r) { return HandleLog(r); });
+  server_.Route("POST", "/forget",
+                [this](const HttpRequest& r) { return HandleForget(r); });
+  server_.Route("GET", "/health",
+                [this](const HttpRequest& r) { return HandleHealth(r); });
+  // A minimal index page standing in for the demo's map GUI (Figs. 3-5).
+  server_.Route("GET", "/", [](const HttpRequest&) {
+    return HttpResponse{
+        200, "text/html",
+        "<!doctype html><title>YASK</title><h1>YASK</h1>"
+        "<p>A why-not question answering engine for spatial keyword query "
+        "services (VLDB'16 demo, C++ reproduction).</p><ul>"
+        "<li>POST /query {x, y, keywords, k}</li>"
+        "<li>POST /whynot {query_id, missing[], model, lambda}</li>"
+        "<li>GET /objects?limit=N &middot; GET /log &middot; GET /health"
+        "</li><li>POST /forget {query_id}</li></ul>"};
+  });
+}
+
+Status YaskService::Start() { return server_.Start(); }
+
+void YaskService::Stop() { server_.Stop(); }
+
+size_t YaskService::cached_queries() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return query_cache_.size();
+}
+
+JsonValue YaskService::ResultToJson(const TopKResult& result) const {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const ScoredObject& so : result) {
+    const SpatialObject& o = store_->Get(so.id);
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("id", JsonValue(static_cast<size_t>(so.id)));
+    row.Set("name", JsonValue(o.name));
+    row.Set("x", JsonValue(o.loc.x));
+    row.Set("y", JsonValue(o.loc.y));
+    row.Set("score", JsonValue(so.score));
+    row.Set("keywords", JsonValue(o.doc.ToString(store_->vocab())));
+    arr.Append(std::move(row));
+  }
+  return arr;
+}
+
+HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
+  auto parsed = JsonValue::Parse(req.body);
+  if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
+  const JsonValue& in = parsed.value();
+  if (!in.Get("x").is_number() || !in.Get("y").is_number() ||
+      !in.Get("keywords").is_string()) {
+    return HttpResponse::Error(400, "expected x, y, keywords[, k]");
+  }
+
+  Query q;
+  q.loc = Point{in.Get("x").as_number(), in.Get("y").as_number()};
+  q.doc = LookupKeywords(in.Get("keywords").as_string(), store_->vocab());
+  q.k = in.Get("k").is_number()
+            ? static_cast<uint32_t>(in.Get("k").as_number())
+            : 10;
+  q.w = options_.system_weights;  // §3.2: w is a server-side parameter.
+  if (Status s = q.Validate(); !s.ok()) {
+    return HttpResponse::Error(400, s.message());
+  }
+
+  Timer timer;
+  const TopKResult result = engine_.TopK(q);
+  const double millis = timer.ElapsedMillis();
+
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    id = next_query_id_++;
+    query_cache_[id] = q;
+  }
+  log_.Append("topk", q.ToString(store_->vocab()), millis);
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("query_id", JsonValue(static_cast<size_t>(id)));
+  out.Set("k", JsonValue(static_cast<size_t>(q.k)));
+  out.Set("ws", JsonValue(q.w.ws));
+  out.Set("wt", JsonValue(q.w.wt));
+  out.Set("keywords", JsonValue(q.doc.ToString(store_->vocab())));
+  out.Set("results", ResultToJson(result));
+  out.Set("response_millis", JsonValue(millis));
+  return HttpResponse::Json(out.Dump());
+}
+
+namespace {
+
+JsonValue PenaltyToJson(const PenaltyBreakdown& p) {
+  JsonValue v = JsonValue::MakeObject();
+  v.Set("value", JsonValue(p.value));
+  v.Set("k_term", JsonValue(p.k_term));
+  v.Set("mod_term", JsonValue(p.mod_term));
+  v.Set("delta_k", JsonValue(p.delta_k));
+  v.Set("delta_w", JsonValue(p.delta_w));
+  v.Set("delta_doc", JsonValue(p.delta_doc));
+  return v;
+}
+
+}  // namespace
+
+HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
+  auto parsed = JsonValue::Parse(req.body);
+  if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
+  const JsonValue& in = parsed.value();
+  if (!in.Get("query_id").is_number() || !in.Get("missing").is_array()) {
+    return HttpResponse::Error(400, "expected query_id, missing[, model]");
+  }
+
+  Query q;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = query_cache_.find(
+        static_cast<uint64_t>(in.Get("query_id").as_number()));
+    if (it == query_cache_.end()) {
+      return HttpResponse::Error(404, "unknown or expired query_id");
+    }
+    q = it->second;
+  }
+
+  std::vector<ObjectId> missing;
+  for (const JsonValue& v : in.Get("missing").array_items()) {
+    if (v.is_number()) {
+      missing.push_back(static_cast<ObjectId>(v.as_number()));
+    } else if (v.is_string()) {
+      const ObjectId id = store_->FindByName(v.as_string());
+      if (id == kInvalidObject) {
+        return HttpResponse::Error(404, "no object named " + v.as_string());
+      }
+      missing.push_back(id);
+    }
+  }
+
+  WhyNotOptions options;
+  options.lambda = in.Get("lambda").is_number() ? in.Get("lambda").as_number()
+                                                : options_.default_lambda;
+  const std::string model =
+      in.Get("model").is_string() ? in.Get("model").as_string() : "both";
+
+  if (model == "combined") {
+    // §3.2: apply the two refinement functions simultaneously.
+    Timer timer;
+    auto combined = engine_.CombineRefinements(q, missing, options);
+    const double millis = timer.ElapsedMillis();
+    if (!combined.ok()) {
+      return HttpResponse::Error(400, combined.status().ToString());
+    }
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ws", JsonValue(combined->refined.w.ws));
+    out.Set("wt", JsonValue(combined->refined.w.wt));
+    out.Set("keywords",
+            JsonValue(combined->refined.doc.ToString(store_->vocab())));
+    out.Set("k", JsonValue(static_cast<size_t>(combined->refined.k)));
+    out.Set("preference_penalty", PenaltyToJson(combined->preference_penalty));
+    out.Set("keyword_penalty", PenaltyToJson(combined->keyword_penalty));
+    out.Set("total_penalty", JsonValue(combined->total_penalty));
+    out.Set("preference_first", JsonValue(combined->preference_first));
+    out.Set("original_rank", JsonValue(combined->original_rank));
+    out.Set("refined_rank", JsonValue(combined->refined_rank));
+    out.Set("refined_results",
+            ResultToJson(engine_.TopK(combined->refined)));
+    out.Set("response_millis", JsonValue(millis));
+    log_.Append("whynot-combined", q.ToString(store_->vocab()), millis,
+                combined->total_penalty);
+    return HttpResponse::Json(out.Dump());
+  }
+
+  options.run_preference_adjustment = model == "both" || model == "preference";
+  options.run_keyword_adaption = model == "both" || model == "keyword";
+  if (!options.run_preference_adjustment && !options.run_keyword_adaption) {
+    return HttpResponse::Error(
+        400, "model must be preference|keyword|both|combined");
+  }
+
+  Timer timer;
+  auto answer = engine_.Answer(q, missing, options);
+  const double millis = timer.ElapsedMillis();
+  if (!answer.ok()) {
+    return HttpResponse::Error(400, answer.status().ToString());
+  }
+  const WhyNotAnswer& a = answer.value();
+
+  double logged_penalty = -1.0;
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue expl = JsonValue::MakeArray();
+  for (const MissingObjectExplanation& e : a.explanations) {
+    JsonValue v = JsonValue::MakeObject();
+    v.Set("id", JsonValue(static_cast<size_t>(e.id)));
+    v.Set("name", JsonValue(store_->Get(e.id).name));
+    v.Set("rank", JsonValue(e.rank));
+    v.Set("score", JsonValue(e.score));
+    v.Set("sdist", JsonValue(e.sdist));
+    v.Set("tsim", JsonValue(e.tsim));
+    v.Set("reason", JsonValue(MissingReasonToString(e.reason)));
+    v.Set("recommendation",
+          JsonValue(RefinementRecommendationToString(e.recommendation)));
+    v.Set("text", JsonValue(e.text));
+    expl.Append(std::move(v));
+  }
+  out.Set("explanations", std::move(expl));
+
+  if (a.preference.has_value()) {
+    const RefinedPreferenceQuery& r = *a.preference;
+    JsonValue v = JsonValue::MakeObject();
+    v.Set("ws", JsonValue(r.refined.w.ws));
+    v.Set("wt", JsonValue(r.refined.w.wt));
+    v.Set("k", JsonValue(static_cast<size_t>(r.refined.k)));
+    v.Set("penalty", PenaltyToJson(r.penalty));
+    v.Set("original_rank", JsonValue(r.original_rank));
+    v.Set("refined_rank", JsonValue(r.refined_rank));
+    v.Set("already_in_result", JsonValue(r.already_in_result));
+    out.Set("preference", std::move(v));
+    logged_penalty = r.penalty.value;
+  }
+  if (a.keyword.has_value()) {
+    const RefinedKeywordQuery& r = *a.keyword;
+    JsonValue v = JsonValue::MakeObject();
+    v.Set("keywords", JsonValue(r.refined.doc.ToString(store_->vocab())));
+    v.Set("k", JsonValue(static_cast<size_t>(r.refined.k)));
+    v.Set("penalty", PenaltyToJson(r.penalty));
+    v.Set("original_rank", JsonValue(r.original_rank));
+    v.Set("refined_rank", JsonValue(r.refined_rank));
+    v.Set("already_in_result", JsonValue(r.already_in_result));
+    out.Set("keyword", std::move(v));
+    if (a.recommended == RefinementModel::kKeyword) {
+      logged_penalty = r.penalty.value;
+    }
+  }
+
+  switch (a.recommended) {
+    case RefinementModel::kPreference:
+      out.Set("recommended", JsonValue("preference"));
+      break;
+    case RefinementModel::kKeyword:
+      out.Set("recommended", JsonValue("keyword"));
+      break;
+    case RefinementModel::kNone:
+      out.Set("recommended", JsonValue("none"));
+      break;
+  }
+  out.Set("refined_results", ResultToJson(a.refined_result));
+  out.Set("response_millis", JsonValue(millis));
+
+  log_.Append("whynot",
+              q.ToString(store_->vocab()) + " missing=" +
+                  std::to_string(missing.size()),
+              millis, logged_penalty);
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
+  size_t limit = 100;
+  auto it = req.query_params.find("limit");
+  if (it != req.query_params.end()) {
+    uint64_t v = 0;
+    if (ParseUint64(it->second, &v)) limit = static_cast<size_t>(v);
+  }
+  JsonValue arr = JsonValue::MakeArray();
+  const size_t n = std::min(limit, store_->size());
+  for (size_t i = 0; i < n; ++i) {
+    const SpatialObject& o = store_->Get(static_cast<ObjectId>(i));
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("id", JsonValue(i));
+    row.Set("name", JsonValue(o.name));
+    row.Set("x", JsonValue(o.loc.x));
+    row.Set("y", JsonValue(o.loc.y));
+    row.Set("keywords", JsonValue(o.doc.ToString(store_->vocab())));
+    arr.Append(std::move(row));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("total", JsonValue(store_->size()));
+  out.Set("objects", std::move(arr));
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleLog(const HttpRequest&) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const QueryLogEntry& e : log_.Snapshot()) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("id", JsonValue(static_cast<size_t>(e.id)));
+    row.Set("kind", JsonValue(e.kind));
+    row.Set("description", JsonValue(e.description));
+    row.Set("response_millis", JsonValue(e.response_millis));
+    if (e.penalty >= 0.0) row.Set("penalty", JsonValue(e.penalty));
+    arr.Append(std::move(row));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("entries", std::move(arr));
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleForget(const HttpRequest& req) {
+  auto parsed = JsonValue::Parse(req.body);
+  if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
+  if (!parsed.value().Get("query_id").is_number()) {
+    return HttpResponse::Error(400, "expected query_id");
+  }
+  const uint64_t id =
+      static_cast<uint64_t>(parsed.value().Get("query_id").as_number());
+  size_t erased;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    erased = query_cache_.erase(id);
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("forgotten", JsonValue(erased > 0));
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleHealth(const HttpRequest&) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("status", JsonValue("ok"));
+  out.Set("objects", JsonValue(store_->size()));
+  out.Set("vocabulary", JsonValue(store_->vocab().size()));
+  return HttpResponse::Json(out.Dump());
+}
+
+}  // namespace yask

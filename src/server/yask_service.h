@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The YASK web service (§3.1-§3.3): binds the query processor (top-k engine +
+// why-not engine) to HTTP endpoints, caches users' initial queries so that
+// follow-up why-not questions can reference them ("The server caches users'
+// initial spatial keyword queries until users give up asking follow-up
+// 'why-not' questions"), and keeps the query log of Panel 5.
+//
+// Per §3.2, the client never supplies the weight vector: "the system ...
+// leaves the weighting vector w as a system parameter on the server. In the
+// default setting, the spatial distance and textual similarity are weighed
+// equally, i.e., w = <0.5, 0.5>."
+//
+// Endpoints (all JSON):
+//   POST /query    {"x":..,"y":..,"keywords":"coffee wifi","k":3}
+//            ->    {"query_id":..,"results":[{"id","name","score",...}],..}
+//   POST /whynot   {"query_id":..,"missing":[ids],"model":"preference"|
+//                   "keyword"|"both"|"combined","lambda":0.5}
+//            ->    explanations + refined queries + refined results
+//                  ("combined" applies both models in sequence, §3.2)
+//   GET  /objects?limit=N      -> dataset sample (the demo's grey markers)
+//   GET  /log                  -> query log snapshot
+//   POST /forget   {"query_id":..}   -> drops a cached initial query
+//   GET  /health               -> {"status":"ok","objects":N}
+
+#ifndef YASK_SERVER_YASK_SERVICE_H_
+#define YASK_SERVER_YASK_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/server/http_server.h"
+#include "src/server/json.h"
+#include "src/server/query_log.h"
+#include "src/storage/object_store.h"
+#include "src/whynot/why_not_engine.h"
+
+namespace yask {
+
+/// Server-side system configuration (§3.2).
+struct YaskServiceOptions {
+  /// The system weight parameter (clients cannot set it).
+  Weights system_weights;  // Defaults to <0.5, 0.5>.
+  /// Default λ when a /whynot request does not specify one.
+  double default_lambda = 0.5;
+  uint16_t port = 0;  // 0 = ephemeral.
+  size_t num_workers = 4;
+};
+
+/// The YASK service: owns the HTTP server and the query cache; borrows the
+/// store and indexes (which must outlive it).
+class YaskService {
+ public:
+  YaskService(const ObjectStore& store, const SetRTree& setr,
+              const KcRTree& kcr, YaskServiceOptions options = {});
+
+  /// Starts serving; returns the bound port via port().
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_.bound_port(); }
+  const QueryLog& log() const { return log_; }
+
+  /// Number of cached initial queries (for tests).
+  size_t cached_queries() const;
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& req);
+  HttpResponse HandleWhyNot(const HttpRequest& req);
+  HttpResponse HandleObjects(const HttpRequest& req);
+  HttpResponse HandleLog(const HttpRequest& req);
+  HttpResponse HandleForget(const HttpRequest& req);
+  HttpResponse HandleHealth(const HttpRequest& req);
+
+  JsonValue ResultToJson(const TopKResult& result) const;
+
+  const ObjectStore* store_;
+  WhyNotEngine engine_;
+  YaskServiceOptions options_;
+  HttpServer server_;
+  QueryLog log_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<uint64_t, Query> query_cache_;
+  uint64_t next_query_id_ = 1;
+};
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_YASK_SERVICE_H_

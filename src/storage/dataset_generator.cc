@@ -1,0 +1,86 @@
+#include "src/storage/dataset_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace yask {
+
+ObjectStore GenerateDataset(const DatasetSpec& spec) {
+  assert(spec.num_objects > 0);
+  assert(spec.vocabulary_size > 0);
+  assert(spec.min_keywords >= 1 && spec.min_keywords <= spec.max_keywords);
+
+  ObjectStore store;
+  Rng rng(spec.seed);
+
+  // Intern the whole vocabulary up front so TermId == popularity rank.
+  Vocabulary* vocab = store.mutable_vocab();
+  for (size_t i = 0; i < spec.vocabulary_size; ++i) {
+    vocab->Intern("kw" + std::to_string(i));
+  }
+  ZipfSampler zipf(spec.vocabulary_size, spec.keyword_zipf);
+
+  // Cluster centres for kClustered placement.
+  std::vector<Point> centres;
+  for (size_t i = 0; i < spec.num_clusters; ++i) {
+    centres.push_back(Point{rng.NextDouble(), rng.NextDouble()});
+  }
+
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    Point loc;
+    if (spec.spatial == SpatialDistribution::kUniform || centres.empty()) {
+      loc = Point{rng.NextDouble(), rng.NextDouble()};
+    } else {
+      const Point& c = centres[rng.NextBounded(centres.size())];
+      loc.x = std::clamp(rng.NextGaussian(c.x, spec.cluster_stddev), 0.0, 1.0);
+      loc.y = std::clamp(rng.NextGaussian(c.y, spec.cluster_stddev), 0.0, 1.0);
+    }
+
+    const size_t want = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(spec.min_keywords),
+                    static_cast<int64_t>(spec.max_keywords)));
+    KeywordSet doc;
+    // Rejection sampling for distinct keywords; cap attempts to stay O(1)
+    // even with tiny vocabularies.
+    size_t attempts = 0;
+    while (doc.size() < want && attempts < want * 20) {
+      doc.Insert(static_cast<TermId>(zipf.Sample(&rng)));
+      ++attempts;
+    }
+    if (doc.empty()) doc.Insert(0);
+    store.Add(loc, std::move(doc));
+  }
+  return store;
+}
+
+Point SampleQueryLocation(const ObjectStore& store, Rng* rng,
+                          double perturbation) {
+  assert(!store.empty());
+  const SpatialObject& o = store.Get(
+      static_cast<ObjectId>(rng->NextBounded(store.size())));
+  return Point{o.loc.x + rng->NextGaussian(0.0, perturbation),
+               o.loc.y + rng->NextGaussian(0.0, perturbation)};
+}
+
+KeywordSet SampleQueryKeywords(const ObjectStore& store, size_t count,
+                               Rng* rng) {
+  assert(!store.empty());
+  // Draw from a random object's document: guarantees non-empty matches, the
+  // way real users type words they expect to exist.
+  KeywordSet result;
+  size_t guard = 0;
+  while (result.size() < count && guard < count * 50) {
+    const SpatialObject& o =
+        store.Get(static_cast<ObjectId>(rng->NextBounded(store.size())));
+    if (!o.doc.empty()) {
+      const auto& ids = o.doc.ids();
+      result.Insert(ids[rng->NextBounded(ids.size())]);
+    }
+    ++guard;
+  }
+  if (result.empty() && store.vocab().size() > 0) result.Insert(0);
+  return result;
+}
+
+}  // namespace yask

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Synthetic dataset generation (DESIGN.md S3).
+//
+// The paper's engines were evaluated on datasets "with millions of objects";
+// those POI crawls are not redistributable, so benchmarks and tests use
+// deterministic synthetic datasets with matched characteristics: clustered or
+// uniform spatial distributions and Zipf-skewed keyword popularity.
+
+#ifndef YASK_STORAGE_DATASET_GENERATOR_H_
+#define YASK_STORAGE_DATASET_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/storage/object_store.h"
+
+namespace yask {
+
+/// Spatial placement of generated objects.
+enum class SpatialDistribution {
+  kUniform,    // i.i.d. uniform over the unit square.
+  kClustered,  // Gaussian clusters (city-like hot spots).
+};
+
+/// Parameters for GenerateDataset.
+struct DatasetSpec {
+  size_t num_objects = 10000;
+  /// Distinct keywords in the vocabulary.
+  size_t vocabulary_size = 1000;
+  /// Zipf exponent for keyword popularity (0 = uniform).
+  double keyword_zipf = 1.0;
+  /// Keywords per object drawn uniformly in [min, max].
+  size_t min_keywords = 3;
+  size_t max_keywords = 10;
+  SpatialDistribution spatial = SpatialDistribution::kClustered;
+  /// Number of Gaussian clusters when spatial == kClustered.
+  size_t num_clusters = 16;
+  /// Cluster standard deviation (fraction of the unit square).
+  double cluster_stddev = 0.05;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset into a fresh ObjectStore.
+///
+/// Keywords are named "kw<rank>" (rank 0 the most popular). Locations are
+/// clamped to the unit square. Every object has >= 1 keyword and distinct
+/// keyword draws (rejection on duplicates), so |o.doc| is exactly the drawn
+/// size whenever the vocabulary allows it.
+ObjectStore GenerateDataset(const DatasetSpec& spec);
+
+/// Draws a query location by picking a random object and perturbing it;
+/// mimics the demo, where queries are clicks near hotels.
+Point SampleQueryLocation(const ObjectStore& store, Rng* rng,
+                          double perturbation = 0.02);
+
+/// Draws `count` query keywords biased to popular keywords (the terms a user
+/// would actually type); returns at least one keyword.
+KeywordSet SampleQueryKeywords(const ObjectStore& store, size_t count,
+                               Rng* rng);
+
+}  // namespace yask
+
+#endif  // YASK_STORAGE_DATASET_GENERATOR_H_

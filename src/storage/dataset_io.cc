@@ -1,0 +1,55 @@
+#include "src/storage/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/common/text.h"
+
+namespace yask {
+
+Status SaveDataset(const ObjectStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Unavailable("cannot open for writing: " + path);
+  out << "# x\ty\tkeywords\tname\n";
+  const Vocabulary& vocab = store.vocab();
+  out.precision(12);
+  for (const SpatialObject& o : store.objects()) {
+    out << o.loc.x << '\t' << o.loc.y << '\t' << o.doc.ToString(vocab) << '\t'
+        << o.name << '\n';
+  }
+  if (!out) return Status::Unavailable("write failure: " + path);
+  return Status::OK();
+}
+
+Result<ObjectStore> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  ObjectStore store;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected >=3 tab-separated fields");
+    }
+    Point loc;
+    if (!ParseDouble(fields[0], &loc.x) || !ParseDouble(fields[1], &loc.y)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad coordinates");
+    }
+    KeywordSet doc;
+    for (const std::string& word : SplitWhitespace(fields[2])) {
+      doc.Insert(store.mutable_vocab()->Intern(word));
+    }
+    std::string name = fields.size() >= 4 ? fields[3] : "";
+    store.Add(loc, std::move(doc), std::move(name));
+  }
+  return store;
+}
+
+}  // namespace yask

@@ -1,0 +1,27 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// TSV persistence for datasets, so generated workloads can be inspected,
+// versioned and reloaded. Format, one object per line:
+//
+//   <x> \t <y> \t <space-separated keywords> \t <optional name>
+
+#ifndef YASK_STORAGE_DATASET_IO_H_
+#define YASK_STORAGE_DATASET_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/storage/object_store.h"
+
+namespace yask {
+
+/// Writes the store to `path`; overwrites. Keyword ids are expanded to words.
+Status SaveDataset(const ObjectStore& store, const std::string& path);
+
+/// Loads a dataset written by SaveDataset (or hand-authored). Lines that are
+/// empty or start with '#' are skipped. Returns InvalidArgument with a line
+/// number on malformed input.
+Result<ObjectStore> LoadDataset(const std::string& path);
+
+}  // namespace yask
+
+#endif  // YASK_STORAGE_DATASET_IO_H_

@@ -1,0 +1,116 @@
+#include "src/storage/hotel_generator.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "src/common/random.h"
+
+namespace yask {
+
+namespace {
+
+// Keyword pools. Order matters: earlier entries are more popular.
+constexpr std::array<std::string_view, 12> kCategories = {
+    "hotel", "hostel", "guesthouse", "resort", "apartment", "inn",
+    "motel", "boutique", "serviced", "lodge", "capsule", "villa"};
+
+constexpr std::array<std::string_view, 30> kFacilities = {
+    "wifi",      "breakfast", "parking",  "pool",       "gym",
+    "restaurant", "bar",      "spa",      "laundry",    "aircon",
+    "elevator",  "reception", "luggage",  "concierge",  "minibar",
+    "balcony",   "kitchen",   "terrace",  "sauna",      "jacuzzi",
+    "shuttle",   "business",  "meeting",  "babysitting", "rooftop",
+    "garden",    "karaoke",   "valet",    "butler",     "helipad"};
+
+constexpr std::array<std::string_view, 24> kComments = {
+    "clean",    "comfortable", "friendly", "quiet",    "spacious",
+    "modern",   "cozy",        "central",  "cheap",    "luxury",
+    "romantic", "family",      "stylish",  "charming", "elegant",
+    "seaview",  "harbourview", "historic", "trendy",   "budget",
+    "upscale",  "convenient",  "scenic",   "exclusive"};
+
+constexpr std::array<std::string_view, 16> kNameStems = {
+    "Harbour Grand", "Victoria Peak", "Golden Dragon", "Kowloon Star",
+    "Pearl River",   "Jade Garden",   "Lucky Plaza",   "Royal Orchid",
+    "Silver Bay",    "Emerald Court", "Sunrise Tower", "Bauhinia",
+    "Ocean Gate",    "Lion Rock",     "Temple Street", "Dragon Boat"};
+
+struct District {
+  const char* name;
+  double lon, lat;   // Centre.
+  double stddev;     // Spread in degrees.
+  double weight;     // Relative hotel density.
+};
+
+// Five hotel districts; Central/TST dominate, as in the real crawl.
+constexpr std::array<District, 5> kDistricts = {{
+    {"central", 114.158, 22.281, 0.012, 0.30},
+    {"tsimshatsui", 114.172, 22.298, 0.010, 0.30},
+    {"causewaybay", 114.185, 22.280, 0.008, 0.18},
+    {"mongkok", 114.169, 22.319, 0.010, 0.14},
+    {"airport", 113.936, 22.316, 0.015, 0.08},
+}};
+
+}  // namespace
+
+Rect HongKongBounds() {
+  return Rect::FromBounds(113.83, 22.15, 114.41, 22.56);
+}
+
+ObjectStore GenerateHotelDataset(const HotelDatasetSpec& spec) {
+  ObjectStore store;
+  Rng rng(spec.seed);
+  Vocabulary* vocab = store.mutable_vocab();
+
+  // Intern pools up-front so ids are stable regardless of draw order.
+  for (auto w : kCategories) vocab->Intern(w);
+  for (auto w : kFacilities) vocab->Intern(w);
+  for (auto w : kComments) vocab->Intern(w);
+
+  // Zipf samplers: categories are near-deterministic ("hotel"), facilities
+  // and comments moderately skewed.
+  ZipfSampler cat_sampler(kCategories.size(), 1.6);
+  ZipfSampler fac_sampler(kFacilities.size(), 0.9);
+  ZipfSampler com_sampler(kComments.size(), 0.8);
+
+  const Rect frame = HongKongBounds();
+
+  for (size_t i = 0; i < spec.num_hotels; ++i) {
+    // District by weighted draw.
+    double u = rng.NextDouble();
+    const District* d = &kDistricts.back();
+    for (const District& cand : kDistricts) {
+      if (u < cand.weight) {
+        d = &cand;
+        break;
+      }
+      u -= cand.weight;
+    }
+    Point loc;
+    loc.x = std::clamp(rng.NextGaussian(d->lon, d->stddev), frame.min_x,
+                       frame.max_x);
+    loc.y = std::clamp(rng.NextGaussian(d->lat, d->stddev), frame.min_y,
+                       frame.max_y);
+
+    KeywordSet doc;
+    doc.Insert(vocab->Intern(kCategories[cat_sampler.Sample(&rng)]));
+    doc.Insert(vocab->Intern(d->name));  // District keyword ("central", ...).
+    const size_t n_fac = static_cast<size_t>(rng.NextInt(2, 6));
+    for (size_t j = 0; j < n_fac; ++j) {
+      doc.Insert(vocab->Intern(kFacilities[fac_sampler.Sample(&rng)]));
+    }
+    const size_t n_com = static_cast<size_t>(rng.NextInt(1, 4));
+    for (size_t j = 0; j < n_com; ++j) {
+      doc.Insert(vocab->Intern(kComments[com_sampler.Sample(&rng)]));
+    }
+
+    std::string name(kNameStems[rng.NextBounded(kNameStems.size())]);
+    name += " Hotel ";
+    name += std::to_string(i);
+    store.Add(loc, std::move(doc), std::move(name));
+  }
+  return store;
+}
+
+}  // namespace yask

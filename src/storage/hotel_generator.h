@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Hong-Kong-hotels demo dataset (DESIGN.md substitution table).
+//
+// The VLDB'16 demo uses ~539 hotels crawled from booking.com with keywords
+// from facility lists and user comments. The crawl is not redistributable, so
+// this module deterministically synthesises an equivalent dataset: 539 hotels
+// placed over the Hong Kong bounding box (clustered around Central, Tsim Sha
+// Tsui, Causeway Bay, Mong Kok and the airport), each described by facility
+// and comment keywords with realistic skew ("wifi" common, "butler" rare).
+
+#ifndef YASK_STORAGE_HOTEL_GENERATOR_H_
+#define YASK_STORAGE_HOTEL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/storage/object_store.h"
+
+namespace yask {
+
+/// Parameters for the hotel demo dataset.
+struct HotelDatasetSpec {
+  /// The demo crawl contained "some 539 hotels".
+  size_t num_hotels = 539;
+  uint64_t seed = 2016;
+};
+
+/// Generates the demo dataset. Hotels get names like "Harbour Grand Hotel 17"
+/// and documents mixing category, facility and comment keywords.
+ObjectStore GenerateHotelDataset(const HotelDatasetSpec& spec = {});
+
+/// Geographic frame used by the generator (approximate Hong Kong lon/lat box:
+/// lon 113.83..114.41, lat 22.15..22.56). Exposed for map rendering in the
+/// examples.
+Rect HongKongBounds();
+
+}  // namespace yask
+
+#endif  // YASK_STORAGE_HOTEL_GENERATOR_H_

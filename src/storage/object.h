@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The spatial object type: o = (o.loc, o.doc) per §2.1 of the paper, plus an
+// id and an optional display name for the demo layer.
+
+#ifndef YASK_STORAGE_OBJECT_H_
+#define YASK_STORAGE_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/geometry.h"
+#include "src/common/keyword_set.h"
+
+namespace yask {
+
+/// Dense object identifier; equal to the object's index in its ObjectStore.
+using ObjectId = uint32_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObject = static_cast<ObjectId>(-1);
+
+/// A spatial web object: a point location plus a set of descriptive keywords.
+struct SpatialObject {
+  ObjectId id = kInvalidObject;
+  Point loc;
+  KeywordSet doc;
+  /// Human-readable label ("Starbucks Central"); empty for synthetic data.
+  std::string name;
+};
+
+}  // namespace yask
+
+#endif  // YASK_STORAGE_OBJECT_H_

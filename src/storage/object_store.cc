@@ -1,0 +1,37 @@
+#include "src/storage/object_store.h"
+
+#include <cassert>
+
+namespace yask {
+
+ObjectId ObjectStore::Add(SpatialObject object) {
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  assert(id != kInvalidObject);
+  object.id = id;
+  bounds_.Extend(object.loc);
+  objects_.push_back(std::move(object));
+  return id;
+}
+
+ObjectId ObjectStore::Add(Point loc, KeywordSet doc, std::string name) {
+  SpatialObject o;
+  o.loc = loc;
+  o.doc = std::move(doc);
+  o.name = std::move(name);
+  return Add(std::move(o));
+}
+
+ObjectId ObjectStore::FindByName(const std::string& name) const {
+  for (const SpatialObject& o : objects_) {
+    if (o.name == name) return o.id;
+  }
+  return kInvalidObject;
+}
+
+double ObjectStore::BoundsDiagonal() const {
+  if (bounds_.empty()) return 0.0;
+  return Distance(Point{bounds_.min_x, bounds_.min_y},
+                  Point{bounds_.max_x, bounds_.max_y});
+}
+
+}  // namespace yask

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// ObjectStore: the in-memory object table D that every index and engine is
+// built over. Owns the objects and the shared Vocabulary.
+
+#ifndef YASK_STORAGE_OBJECT_STORE_H_
+#define YASK_STORAGE_OBJECT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/geometry.h"
+#include "src/common/status.h"
+#include "src/common/vocabulary.h"
+#include "src/storage/object.h"
+
+namespace yask {
+
+/// The database of spatial objects D (§2.1). Append-only.
+///
+/// Ids are dense: `store.Get(i).id == i`. After loading, the store is
+/// read-only and safe to share across threads.
+class ObjectStore {
+ public:
+  ObjectStore() : vocab_(std::make_shared<Vocabulary>()) {}
+
+  /// Creates a store sharing an existing vocabulary.
+  explicit ObjectStore(std::shared_ptr<Vocabulary> vocab)
+      : vocab_(std::move(vocab)) {}
+
+  /// Appends an object; assigns and returns its id. The id field of `object`
+  /// is overwritten.
+  ObjectId Add(SpatialObject object);
+
+  /// Convenience: appends from parts.
+  ObjectId Add(Point loc, KeywordSet doc, std::string name = "");
+
+  const SpatialObject& Get(ObjectId id) const { return objects_[id]; }
+
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  const std::vector<SpatialObject>& objects() const { return objects_; }
+
+  Vocabulary* mutable_vocab() { return vocab_.get(); }
+  const Vocabulary& vocab() const { return *vocab_; }
+  std::shared_ptr<Vocabulary> shared_vocab() const { return vocab_; }
+
+  /// The MBR of all object locations; empty rect when the store is empty.
+  /// Used to normalise SDist (Eqn. (1) requires SDist ∈ [0,1]).
+  const Rect& bounds() const { return bounds_; }
+
+  /// Finds the first object whose name equals `name` (demo lookups);
+  /// kInvalidObject when absent.
+  ObjectId FindByName(const std::string& name) const;
+
+  /// Diameter of the bounding box; the default SDist normalisation constant.
+  double BoundsDiagonal() const;
+
+ private:
+  std::shared_ptr<Vocabulary> vocab_;
+  std::vector<SpatialObject> objects_;
+  Rect bounds_ = Rect::Empty();
+};
+
+}  // namespace yask
+
+#endif  // YASK_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,355 @@
+#include "src/whynot/keyword_adaption.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/query/scoring.h"
+
+namespace yask {
+
+namespace {
+
+/// Iterates all size-`r` index combinations of {0..n-1} in lexicographic
+/// order, invoking `fn(indices)`.
+template <typename Fn>
+void ForEachCombination(size_t n, size_t r, Fn fn) {
+  if (r > n) return;
+  if (r == 0) {
+    const std::vector<size_t> empty;
+    fn(empty);
+    return;
+  }
+  std::vector<size_t> idx(r);
+  for (size_t i = 0; i < r; ++i) idx[i] = i;
+  while (true) {
+    fn(idx);
+    // Advance to the next combination.
+    size_t i = r;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - r) break;
+      if (i == 0) return;
+    }
+    if (idx[i] == i + n - r) return;
+    ++idx[i];
+    for (size_t k = i + 1; k < r; ++k) idx[k] = idx[k - 1] + 1;
+  }
+}
+
+/// Tie-aware exact count of objects outscoring `target_score` (the rank-1
+/// count of the target object) by full scan.
+size_t CountAboveScanExact(const ObjectStore& store, const Scorer& scorer,
+                           ObjectId target, double target_score,
+                           KeywordAdaptStats* stats) {
+  size_t above = 0;
+  for (const SpatialObject& o : store.objects()) {
+    if (o.id == target) continue;
+    const double s = scorer.Score(o);
+    if (s > target_score || (s == target_score && o.id < target)) ++above;
+  }
+  stats->objects_scored += store.size();
+  return above;
+}
+
+/// Per-(candidate, missing-object) progressive rank interval over the
+/// KcR-tree: exact counts from resolved leaves plus per-frontier-node
+/// CountBounds.
+class RankRefiner {
+ public:
+  RankRefiner(const ObjectStore& store, const KcRTree& tree,
+              const Scorer& scorer, ObjectId target,
+              KeywordAdaptStats* stats)
+      : store_(&store),
+        tree_(&tree),
+        scorer_(&scorer),
+        target_(target),
+        target_score_(scorer.Score(target)),
+        stats_(stats) {
+    const auto& root = tree.node(tree.root());
+    PushNode(tree.root(), root);
+  }
+
+  size_t lower() const { return exact_ + sum_lower_ + 1; }  // Rank bounds.
+  size_t upper() const { return exact_ + sum_upper_ + 1; }
+  bool resolved() const { return frontier_.empty() || sum_lower_ == sum_upper_; }
+
+  /// Descends the whole frontier one tree level ("when traversing the
+  /// KcR-tree downwards, we get tighter bounds", §3.3): every frontier node
+  /// is replaced by its children's bounds, leaves by exact tie-aware counts.
+  /// No-op when resolved.
+  void RefineLevel() {
+    if (frontier_.empty()) return;
+    std::vector<Frontier> previous;
+    previous.swap(frontier_);
+    sum_lower_ = 0;
+    sum_upper_ = 0;
+    for (const Frontier& f : previous) {
+      const auto& node = tree_->node(f.node);
+      ++stats_->kcr_nodes_expanded;
+      if (node.is_leaf) {
+        for (const auto& e : node.entries) {
+          if (e.id == target_) continue;
+          const double s = scorer_->Score(e.id);
+          ++stats_->objects_scored;
+          if (s > target_score_ ||
+              (s == target_score_ && e.id < target_)) {
+            ++exact_;
+          }
+        }
+      } else {
+        for (const auto& e : node.entries) {
+          PushNode(e.id, tree_->node(e.id));
+        }
+      }
+    }
+  }
+
+ private:
+  struct Frontier {
+    KcRTree::NodeId node;
+    CountBounds bounds;
+  };
+
+  void PushNode(KcRTree::NodeId id, const KcRTree::Node& node) {
+    if (node.summary.cnt == 0) return;
+    const CountBounds b =
+        BoundOutscoringCount(*scorer_, node.rect, node.summary, target_score_);
+    if (b.upper == 0) return;  // Nothing below can outrank: drop.
+    if (b.lower == b.upper) {
+      exact_ += b.lower;  // Pinned without descending.
+      // Note: the target itself is never counted by the lower bound (its own
+      // score cannot strictly exceed itself), so this is tie-safe.
+      return;
+    }
+    frontier_.push_back(Frontier{id, b});
+    sum_lower_ += b.lower;
+    sum_upper_ += b.upper;
+  }
+
+  const ObjectStore* store_;
+  const KcRTree* tree_;
+  const Scorer* scorer_;
+  ObjectId target_;
+  double target_score_;
+  KeywordAdaptStats* stats_;
+  std::vector<Frontier> frontier_;
+  size_t exact_ = 0;
+  size_t sum_lower_ = 0;
+  size_t sum_upper_ = 0;
+  uint32_t max_gap_ = 0;
+};
+
+}  // namespace
+
+std::vector<KeywordSet> GenerateCandidatesAtDistance(
+    const KeywordSet& query_doc, const KeywordSet& insertable,
+    size_t distance) {
+  std::vector<KeywordSet> out;
+  const std::vector<TermId>& del_pool = query_doc.ids();
+  const std::vector<TermId>& ins_pool = insertable.ids();
+  for (size_t d = 0; d <= std::min(distance, del_pool.size()); ++d) {
+    const size_t ins = distance - d;
+    if (ins > ins_pool.size()) continue;
+    ForEachCombination(del_pool.size(), d, [&](const std::vector<size_t>& di) {
+      KeywordSet base = query_doc;
+      for (size_t i : di) base.Erase(del_pool[i]);
+      ForEachCombination(
+          ins_pool.size(), ins, [&](const std::vector<size_t>& ii) {
+            KeywordSet cand = base;
+            for (size_t i : ii) cand.Insert(ins_pool[i]);
+            if (!cand.empty()) out.push_back(std::move(cand));
+          });
+    });
+  }
+  return out;
+}
+
+Result<RefinedKeywordQuery> AdaptKeywords(
+    const ObjectStore& store, const KcRTree& tree, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const KeywordAdaptOptions& options) {
+  if (Status s = query.Validate(); !s.ok()) return s;
+  if (missing.empty()) {
+    return Status::InvalidArgument("missing object set must be non-empty");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  std::vector<ObjectId> m_ids = missing;
+  std::sort(m_ids.begin(), m_ids.end());
+  m_ids.erase(std::unique(m_ids.begin(), m_ids.end()), m_ids.end());
+  for (ObjectId id : m_ids) {
+    if (id >= store.size()) {
+      return Status::NotFound("missing object id " + std::to_string(id) +
+                              " is not in the database");
+    }
+  }
+
+  RefinedKeywordQuery out;
+  out.refined = query;
+  KeywordAdaptStats& stats = out.stats;
+  const double lambda = options.lambda;
+  const bool use_tree = options.mode == KwAdaptMode::kBoundAndPrune;
+
+  // M.doc = union of the missing objects' documents; the normaliser of ∆doc.
+  KeywordSet m_doc;
+  for (ObjectId id : m_ids) {
+    m_doc = KeywordSet::Union(m_doc, store.Get(id).doc);
+  }
+  const KeywordSet universe = KeywordSet::Union(query.doc, m_doc);
+  const KeywordSet insertable = KeywordSet::Difference(m_doc, query.doc);
+  const size_t doc_norm = universe.size();
+
+  // --- R(M, q) under the original query (tie-aware exact ranks). A scan is
+  // used in both modes: exact ranking of one object is cache-friendly O(n),
+  // and measurement shows the KcR bounds prune too weakly for popular query
+  // keywords to beat it (the bounds earn their keep pruning *candidates*,
+  // where no exact rank is needed at all — see EXPERIMENTS.md E8/E10). ---
+  Scorer base_scorer(store, query);
+  size_t r0 = 0;
+  for (ObjectId id : m_ids) {
+    const double s = base_scorer.Score(id);
+    r0 = std::max(r0,
+                  CountAboveScanExact(store, base_scorer, id, s, &stats) + 1);
+  }
+  out.original_rank = r0;
+  if (r0 <= query.k) {
+    out.refined_rank = r0;
+    out.already_in_result = true;
+    return out;
+  }
+
+  // --- Seed: the pure-k refinement (doc unchanged, k' = r0, cost λ). ---
+  struct Best {
+    KeywordSet doc;
+    size_t rank;
+    PenaltyBreakdown penalty;
+    size_t delta_doc;
+  };
+  Best best{query.doc, r0, KeywordPenalty(lambda, query, 0, doc_norm, r0, r0),
+            0};
+
+  const double norm_k = static_cast<double>(r0) - query.k;  // > 0 here.
+  auto penalty_from_rank = [&](size_t delta_doc, size_t rank) {
+    return KeywordPenalty(lambda, query, delta_doc, doc_norm, r0, rank);
+  };
+  auto floor_of = [&](size_t delta_doc) {
+    return doc_norm == 0
+               ? 0.0
+               : (1.0 - lambda) * static_cast<double>(delta_doc) / doc_norm;
+  };
+  auto k_term_of_rank_lb = [&](size_t rank_lb) {
+    const size_t dk = rank_lb > query.k ? rank_lb - query.k : 0;
+    return lambda * static_cast<double>(dk) / norm_k;
+  };
+  // Deterministic preference among equal penalties: smaller ∆doc, then
+  // lexicographically smaller keyword id vector.
+  auto offer_best = [&](const KeywordSet& doc, size_t rank, size_t delta_doc,
+                        const PenaltyBreakdown& pen) {
+    const bool better =
+        pen.value < best.penalty.value ||
+        (pen.value == best.penalty.value &&
+         (delta_doc < best.delta_doc ||
+          (delta_doc == best.delta_doc && doc.ids() < best.doc.ids())));
+    if (better) best = Best{doc, rank, pen, delta_doc};
+  };
+
+  // --- Enumerate candidates by increasing ∆doc. ---
+  const size_t max_distance_pool = query.doc.size() + insertable.size();
+  size_t e_cap = options.max_edit_distance == 0
+                     ? max_distance_pool
+                     : std::min(options.max_edit_distance, max_distance_pool);
+
+  bool done = false;
+  for (size_t e = 1; e <= e_cap && !done; ++e) {
+    if (floor_of(e) >= best.penalty.value) break;  // Whole level cut.
+    for (KeywordSet& cand : GenerateCandidatesAtDistance(query.doc,
+                                                         insertable, e)) {
+      if (options.max_candidates != 0 &&
+          stats.candidates_generated >= options.max_candidates) {
+        stats.truncated = true;
+        done = true;
+        break;
+      }
+      ++stats.candidates_generated;
+      const double floor = floor_of(e);
+      if (floor >= best.penalty.value) {
+        ++stats.candidates_pruned_floor;
+        continue;
+      }
+
+      Query cand_query = query;
+      cand_query.doc = cand;
+      Scorer scorer(store, cand_query);
+
+      if (!use_tree) {
+        // Basic: exact ranks by full scans.
+        size_t rank = 0;
+        for (ObjectId id : m_ids) {
+          const double s = scorer.Score(id);
+          rank = std::max(
+              rank, CountAboveScanExact(store, scorer, id, s, &stats) + 1);
+        }
+        ++stats.candidates_resolved;
+        offer_best(cand, rank, e, penalty_from_rank(e, rank));
+        continue;
+      }
+
+      // Bound-and-prune: per-missing-object progressive rank intervals.
+      std::vector<RankRefiner> refiners;
+      refiners.reserve(m_ids.size());
+      for (ObjectId id : m_ids) {
+        refiners.emplace_back(store, tree, scorer, id, &stats);
+      }
+      bool pruned = false;
+      while (true) {
+        size_t rank_lb = 0;
+        size_t rank_ub = 0;
+        for (const RankRefiner& r : refiners) {
+          rank_lb = std::max(rank_lb, r.lower());
+          rank_ub = std::max(rank_ub, r.upper());
+        }
+        // Penalty interval from the rank interval.
+        const double pen_lb = k_term_of_rank_lb(rank_lb) + floor;
+        if (pen_lb >= best.penalty.value) {
+          ++stats.candidates_pruned_bounds;
+          pruned = true;
+          break;
+        }
+        const size_t dk_lb = rank_lb > query.k ? rank_lb - query.k : 0;
+        const size_t dk_ub = rank_ub > query.k ? rank_ub - query.k : 0;
+        if (dk_lb == dk_ub) {
+          // Penalty pinned exactly (∆k equal at both ends).
+          ++stats.candidates_resolved;
+          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub));
+          break;
+        }
+        // Refine the missing object driving the upper rank the hardest by
+        // one tree level.
+        RankRefiner* widest = nullptr;
+        for (RankRefiner& r : refiners) {
+          if (r.resolved()) continue;
+          if (widest == nullptr || r.upper() > widest->upper()) widest = &r;
+        }
+        if (widest == nullptr) {
+          // All resolved yet ∆k interval not collapsed: ranks are exact now.
+          ++stats.candidates_resolved;
+          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub));
+          break;
+        }
+        widest->RefineLevel();
+      }
+      (void)pruned;
+    }
+  }
+
+  out.refined.doc = best.doc;
+  out.refined.k =
+      static_cast<uint32_t>(std::max<size_t>(query.k, best.rank));
+  out.refined_rank = best.rank;
+  out.penalty = best.penalty;
+  return out;
+}
+
+}  // namespace yask

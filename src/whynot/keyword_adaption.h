@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The keyword-adapted why-not module (§2.2 Definition 3, §3.3, ref [6]).
+//
+// Goal: given the initial query q and missing objects M, find the refined
+// keyword set doc' (and k') minimising penalty Eqn. (4) such that the top-k'
+// result contains all of M.
+//
+// Method (ref [6]): candidate keyword sets are built from q.doc ∪ M.doc —
+// deleting keywords of q.doc and/or inserting keywords that describe the
+// missing objects. Candidates are enumerated in increasing edit distance
+// ∆doc, which yields the admissible penalty floor
+//     penalty(c) >= (1−λ)·∆doc(c) / |q.doc ∪ M.doc|                  (D4)
+// allowing whole levels to be cut once the floor alone exceeds the best
+// penalty found. For each surviving candidate, the rank of every missing
+// object under the candidate query is bracketed with KcR-tree node bounds
+// (BoundOutscoringCount, D5) and progressively refined — descending the
+// frontier node with the widest count gap — until either the candidate's
+// penalty lower bound exceeds the current best (pruned without exact ranks)
+// or the penalty is pinned exactly. The pure-k refinement (doc unchanged,
+// k' = R(M,q), penalty λ) seeds the search.
+//
+// The basic baseline computes every candidate's ranks by a full database
+// scan, as in the paper's evaluation of ref [6].
+
+#ifndef YASK_WHYNOT_KEYWORD_ADAPTION_H_
+#define YASK_WHYNOT_KEYWORD_ADAPTION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/kcr_tree.h"
+#include "src/query/query.h"
+#include "src/storage/object_store.h"
+#include "src/whynot/penalty.h"
+
+namespace yask {
+
+/// Algorithm selector for AdaptKeywords.
+enum class KwAdaptMode {
+  kBasic,         // Exact rank by full scan per candidate.
+  kBoundAndPrune, // KcR-tree rank bounds with progressive refinement.
+};
+
+struct KeywordAdaptOptions {
+  /// The λ of Eqn. (4): weight of the ∆k term versus the ∆doc term.
+  double lambda = 0.5;
+  KwAdaptMode mode = KwAdaptMode::kBoundAndPrune;
+  /// Hard cap on ∆doc (0 = only the λ-derived bound).
+  size_t max_edit_distance = 0;
+  /// Safety valve on generated candidates (0 = unlimited). When hit, the
+  /// result is the best among the generated candidates and
+  /// `stats.truncated` is set.
+  size_t max_candidates = 500000;
+};
+
+/// Work counters (benchmarks E8/E9/E10).
+struct KeywordAdaptStats {
+  size_t candidates_generated = 0;
+  size_t candidates_pruned_floor = 0;   // Cut by the ∆doc floor alone.
+  size_t candidates_pruned_bounds = 0;  // Cut by KcR-tree penalty bounds.
+  size_t candidates_resolved = 0;       // Evaluated to an exact penalty.
+  size_t kcr_nodes_expanded = 0;
+  size_t objects_scored = 0;            // Exact score evaluations.
+  bool truncated = false;               // max_candidates hit.
+};
+
+/// The outcome: a refined query plus its cost and diagnostics.
+struct RefinedKeywordQuery {
+  Query refined;             // Same loc/w; adapted doc and k.
+  PenaltyBreakdown penalty;  // Eqn. (4) breakdown.
+  size_t original_rank = 0;  // R(M, q).
+  size_t refined_rank = 0;   // R(M, q').
+  bool already_in_result = false;  // M ⊆ top-k(q): nothing to refine.
+  KeywordAdaptStats stats;
+};
+
+/// Solves Definition 3 over a KcR-tree built on `store`.
+Result<RefinedKeywordQuery> AdaptKeywords(
+    const ObjectStore& store, const KcRTree& tree, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const KeywordAdaptOptions& options = {});
+
+/// Enumerates all candidate keyword sets at edit distance exactly `distance`
+/// from `query_doc`, deleting only query keywords and inserting only keywords
+/// of `insertable` (= M.doc \ q.doc). Exposed for tests and benchmarks.
+std::vector<KeywordSet> GenerateCandidatesAtDistance(
+    const KeywordSet& query_doc, const KeywordSet& insertable,
+    size_t distance);
+
+}  // namespace yask
+
+#endif  // YASK_WHYNOT_KEYWORD_ADAPTION_H_

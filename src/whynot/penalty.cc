@@ -1,0 +1,48 @@
+#include "src/whynot/penalty.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yask {
+
+double DeltaKTerm(double lambda, uint32_t k, size_t original_rank,
+                  size_t refined_rank) {
+  const size_t delta_k =
+      refined_rank > k ? refined_rank - k : 0;
+  if (delta_k == 0) return 0.0;
+  const double norm = static_cast<double>(original_rank) - k;
+  if (norm <= 0.0) return 0.0;  // Degenerate: M already inside the top-k.
+  return lambda * static_cast<double>(delta_k) / norm;
+}
+
+PenaltyBreakdown PreferencePenalty(double lambda, const Query& original,
+                                   const Weights& refined_w,
+                                   size_t original_rank, size_t refined_rank) {
+  PenaltyBreakdown out;
+  out.delta_k =
+      refined_rank > original.k ? refined_rank - original.k : 0;
+  out.delta_w = original.w.DistanceTo(refined_w);
+  out.k_term = DeltaKTerm(lambda, original.k, original_rank, refined_rank);
+  out.mod_term =
+      (1.0 - lambda) * out.delta_w / original.w.PenaltyNormalizer();
+  out.value = out.k_term + out.mod_term;
+  return out;
+}
+
+PenaltyBreakdown KeywordPenalty(double lambda, const Query& original,
+                                size_t delta_doc, size_t doc_norm,
+                                size_t original_rank, size_t refined_rank) {
+  PenaltyBreakdown out;
+  out.delta_k =
+      refined_rank > original.k ? refined_rank - original.k : 0;
+  out.delta_doc = delta_doc;
+  out.k_term = DeltaKTerm(lambda, original.k, original_rank, refined_rank);
+  out.mod_term =
+      doc_norm == 0
+          ? 0.0
+          : (1.0 - lambda) * static_cast<double>(delta_doc) / doc_norm;
+  out.value = out.k_term + out.mod_term;
+  return out;
+}
+
+}  // namespace yask

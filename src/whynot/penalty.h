@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The penalty functions of §2.2 quantifying how far a refined query strays
+// from the user's initial query.
+//
+// Preference adjustment (Eqn. (3)):
+//   Penalty(q,q')_w = λ · ∆k / (R(M,q) − q.k)
+//                   + (1−λ) · ∆w / sqrt(1 + q.ws² + q.wt²)
+//   with ∆k = max(0, R(M,q') − q.k) and ∆w = ||q.w − q'.w||₂ .
+//
+// Keyword adaption (Eqn. (4)):
+//   Penalty(q,q')_doc = λ · ∆k / (R(M,q) − q.k)
+//                     + (1−λ) · ∆doc / |q.doc ∪ M.doc|
+//   with ∆doc the set edit distance (keyword insertions + deletions).
+//
+// Both normalisers are the paper's worst-case values, so each term lies in
+// [0, 1]. The degenerate case R(M,q) == q.k (the "missing" objects are not
+// actually missing) makes the ∆k term 0 by convention — no refinement needed.
+
+#ifndef YASK_WHYNOT_PENALTY_H_
+#define YASK_WHYNOT_PENALTY_H_
+
+#include <cstddef>
+
+#include "src/query/query.h"
+
+namespace yask {
+
+/// A computed penalty with its ingredients, for logs, the demo UI (Panel 5
+/// shows "its penalty against users' initial queries") and benchmarks.
+struct PenaltyBreakdown {
+  double value = 0.0;     // Total penalty in [0, 1].
+  double k_term = 0.0;    // λ-weighted ∆k component.
+  double mod_term = 0.0;  // (1-λ)-weighted ∆w or ∆doc component.
+  size_t delta_k = 0;
+  double delta_w = 0.0;   // Preference model only.
+  size_t delta_doc = 0;   // Keyword model only.
+};
+
+/// Eqn. (3). `original_rank` is R(M, q); `refined_rank` is R(M, q').
+PenaltyBreakdown PreferencePenalty(double lambda, const Query& original,
+                                   const Weights& refined_w,
+                                   size_t original_rank, size_t refined_rank);
+
+/// Eqn. (4). `delta_doc` = edit distance q.doc -> q'.doc; `doc_norm` =
+/// |q.doc ∪ M.doc|.
+PenaltyBreakdown KeywordPenalty(double lambda, const Query& original,
+                                size_t delta_doc, size_t doc_norm,
+                                size_t original_rank, size_t refined_rank);
+
+/// The ∆k term shared by both models: λ · max(0, R' − k) / (R − k).
+double DeltaKTerm(double lambda, uint32_t k, size_t original_rank,
+                  size_t refined_rank);
+
+}  // namespace yask
+
+#endif  // YASK_WHYNOT_PENALTY_H_

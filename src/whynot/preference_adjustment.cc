@@ -1,0 +1,233 @@
+#include "src/whynot/preference_adjustment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "src/query/scoring.h"
+
+namespace yask {
+
+namespace {
+
+// Weights must stay strictly inside (0, 1) (§2.1).
+constexpr double kMinW = 1e-9;
+constexpr double kMaxW = 1.0 - 1e-9;
+
+// Offset used to sample just past a crossing, on its far side from w0. The
+// rank change tied to a crossing materialises (in evaluated floating-point
+// scores) within a small jitter zone around the algebraic crossing weight —
+// displaced by roughly eval-error / |slope difference| — so a fixed offset
+// beyond that zone is used rather than one ulp. The returned refinement is
+// therefore optimal up to this ∆w resolution (penalty slack < 2e-7).
+constexpr double kStepPastCrossing = 1e-7;
+
+/// Tie-aware count of points outscoring `anchor` at weight `w`, by scan.
+size_t CountAboveScan(const std::vector<PlanePoint>& pts,
+                      const PlanePoint& anchor, double w) {
+  const double threshold = anchor.ScoreAt(w);
+  size_t above = 0;
+  for (const PlanePoint& p : pts) {
+    if (p.id == anchor.id) continue;
+    const double s = p.ScoreAt(w);
+    if (s > threshold || (s == threshold && p.id < anchor.id)) ++above;
+  }
+  return above;
+}
+
+/// Running best candidate with deterministic tie-breaking: lower penalty,
+/// then smaller |w - w0|, then smaller w.
+class BestCandidate {
+ public:
+  BestCandidate(double w0, double w, size_t rank, PenaltyBreakdown penalty)
+      : w0_(w0), w_(w), rank_(rank), penalty_(penalty) {}
+
+  void Offer(double w, size_t rank, const PenaltyBreakdown& penalty) {
+    const bool better =
+        penalty.value < penalty_.value ||
+        (penalty.value == penalty_.value &&
+         (std::abs(w - w0_) < std::abs(w_ - w0_) ||
+          (std::abs(w - w0_) == std::abs(w_ - w0_) && w < w_)));
+    if (better) {
+      w_ = w;
+      rank_ = rank;
+      penalty_ = penalty;
+    }
+  }
+
+  double w() const { return w_; }
+  size_t rank() const { return rank_; }
+  const PenaltyBreakdown& penalty() const { return penalty_; }
+
+ private:
+  double w0_;
+  double w_;
+  size_t rank_;
+  PenaltyBreakdown penalty_;
+};
+
+}  // namespace
+
+std::vector<PlanePoint> BuildPlanePoints(const ObjectStore& store,
+                                         const Query& query) {
+  Scorer scorer(store, query);
+  std::vector<PlanePoint> pts;
+  pts.reserve(store.size());
+  for (const SpatialObject& o : store.objects()) {
+    pts.push_back(PlanePoint{1.0 - scorer.SDist(o.loc),
+                             scorer.TSim(o.doc), o.id});
+  }
+  return pts;
+}
+
+Result<RefinedPreferenceQuery> AdjustPreference(
+    const ObjectStore& store, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const PreferenceAdjustOptions& options) {
+  if (Status s = query.Validate(); !s.ok()) return s;
+  if (missing.empty()) {
+    return Status::InvalidArgument("missing object set must be non-empty");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return Status::InvalidArgument("lambda must lie in [0, 1]");
+  }
+  std::vector<ObjectId> m_ids = missing;
+  std::sort(m_ids.begin(), m_ids.end());
+  m_ids.erase(std::unique(m_ids.begin(), m_ids.end()), m_ids.end());
+  for (ObjectId id : m_ids) {
+    if (id >= store.size()) {
+      return Status::NotFound("missing object id " + std::to_string(id) +
+                              " is not in the database");
+    }
+  }
+
+  RefinedPreferenceQuery out;
+  out.refined = query;
+  PreferenceAdjustStats& stats = out.stats;
+
+  const double lambda = options.lambda;
+  const double w0 = query.w.ws;
+  const bool optimized = options.mode == PrefAdjustMode::kOptimized;
+
+  // Step 0: map every object to its score-plane point (O(n), shared by both
+  // modes; the initial top-k processing already computed these quantities in
+  // the live system).
+  const std::vector<PlanePoint> pts = BuildPlanePoints(store, query);
+  std::vector<PlanePoint> anchors;
+  anchors.reserve(m_ids.size());
+  for (ObjectId id : m_ids) anchors.push_back(pts[id]);
+
+  std::optional<ScorePlaneIndex> index;
+  if (optimized) index.emplace(pts);
+
+  // Tie-aware rank-minus-one of anchor at weight w, mode-appropriate.
+  auto count_above = [&](double w, const PlanePoint& anchor) -> size_t {
+    if (optimized) {
+      const size_t c = index->CountAbove(w, anchor.ScoreAt(w), anchor.id);
+      stats.index_nodes_visited += index->last_nodes_visited();
+      return c;
+    }
+    ++stats.full_rescans;
+    return CountAboveScan(pts, anchor, w);
+  };
+
+  // --- Step 1: R(M, q) under the original weights. ---
+  size_t r0 = 0;
+  for (const PlanePoint& a : anchors) {
+    r0 = std::max(r0, count_above(w0, a) + 1);
+  }
+  out.original_rank = r0;
+  if (r0 <= query.k) {
+    out.refined_rank = r0;
+    out.already_in_result = true;
+    return out;  // Nothing is missing; penalty 0, query unchanged.
+  }
+
+  // --- Step 2: seed with the pure-k refinement (cost exactly λ when
+  // r0 > k) and derive the static feasible weight interval. ---
+  BestCandidate best(w0, w0, r0,
+                     PreferencePenalty(lambda, query, query.w, r0, r0));
+
+  // ∆w floor of a candidate at weight w: an admissible penalty lower bound.
+  const double norm_w = query.w.PenaltyNormalizer();
+  auto floor_of = [&](double w) {
+    return (1.0 - lambda) * std::sqrt(2.0) * std::abs(w - w0) / norm_w;
+  };
+
+  double delta_max;  // Static bound on |w - w0| from the λ seed.
+  if (lambda >= 1.0) {
+    delta_max = 1.0;  // The ∆w term has weight 0: no interval pruning.
+  } else {
+    delta_max = best.penalty().value * norm_w / ((1.0 - lambda) * std::sqrt(2.0));
+  }
+  const double wlo = std::max(kMinW, w0 - delta_max);
+  const double whi = std::min(kMaxW, w0 + delta_max);
+
+  // --- Step 3: collect crossing weights of missing objects' lines with all
+  // other lines inside [wlo, whi] ("the two range queries" of ref [5]). ---
+  std::vector<double> events;
+  auto consider = [&](uint32_t mi, const PlanePoint& p) {
+    const PlanePoint& m = anchors[mi];
+    if (p.id == m.id) return;
+    const double slope = (p.x - m.x) - (p.y - m.y);
+    if (slope == 0.0) return;  // Parallel (or identical) lines: no crossing.
+    const double wx = (m.y - p.y) / slope;
+    if (!(wx >= wlo && wx <= whi)) return;
+    events.push_back(wx);
+  };
+  for (uint32_t mi = 0; mi < anchors.size(); ++mi) {
+    if (optimized) {
+      index->ForEachCrossing(anchors[mi], wlo, whi,
+                             [&](const PlanePoint& p) { consider(mi, p); });
+      stats.index_nodes_visited += index->last_nodes_visited();
+    } else {
+      for (const PlanePoint& p : pts) consider(mi, p);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  stats.crossings_found = events.size();
+
+  // --- Step 4: evaluate candidates nearest-to-w0 first; stop when the ∆w
+  // floor alone exceeds the best penalty (DESIGN.md D2/D3). Ranks are
+  // computed exactly (index-accelerated in optimized mode), so both modes
+  // return identical refinements. Each crossing also spawns a candidate just
+  // past it on the far side from w0 (see kStepPastCrossing), where rank
+  // drops whose tie resolves against a missing object materialise.
+  std::sort(events.begin(), events.end(), [&](double a, double b) {
+    const double da = std::abs(a - w0);
+    const double db = std::abs(b - w0);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  auto evaluate = [&](double w) {
+    if (w < kMinW || w > kMaxW) return;
+    size_t rank = 0;
+    for (const PlanePoint& a : anchors) {
+      rank = std::max(rank, count_above(w, a) + 1);
+    }
+    ++stats.candidates_evaluated;
+    best.Offer(w, rank,
+               PreferencePenalty(lambda, query, Weights::FromWs(w), r0, rank));
+  };
+
+  for (double we : events) {
+    if (floor_of(we) >= best.penalty().value) break;  // All further are worse.
+    evaluate(we);
+    if (we <= w0) evaluate(we - kStepPastCrossing);
+    if (we >= w0) evaluate(we + kStepPastCrossing);
+  }
+
+  // --- Step 5: materialise the best refinement. ---
+  out.refined.w = Weights::FromWs(best.w());
+  out.refined.k = static_cast<uint32_t>(
+      std::max<size_t>(query.k, best.rank()));
+  out.refined_rank = best.rank();
+  out.penalty = best.penalty();
+  return out;
+}
+
+}  // namespace yask

@@ -1,0 +1,118 @@
+#include "src/whynot/why_not_engine.h"
+
+#include "src/query/ranking.h"
+
+namespace yask {
+
+Result<WhyNotAnswer> WhyNotEngine::Answer(
+    const Query& query, const std::vector<ObjectId>& missing,
+    const WhyNotOptions& options) const {
+  WhyNotAnswer answer;
+
+  auto explanations = ExplainMissing(*store_, *setr_, query, missing);
+  if (!explanations.ok()) return explanations.status();
+  answer.explanations = std::move(explanations).value();
+
+  if (options.run_preference_adjustment) {
+    PreferenceAdjustOptions po;
+    po.lambda = options.lambda;
+    po.mode = options.pref_mode;
+    auto refined = AdjustPreference(*store_, query, missing, po);
+    if (!refined.ok()) return refined.status();
+    answer.preference = std::move(refined).value();
+  }
+  if (options.run_keyword_adaption) {
+    KeywordAdaptOptions ko;
+    ko.lambda = options.lambda;
+    ko.mode = options.kw_mode;
+    auto refined = AdaptKeywords(*store_, *kcr_, query, missing, ko);
+    if (!refined.ok()) return refined.status();
+    answer.keyword = std::move(refined).value();
+  }
+
+  // Recommend the cheaper model; ties prefer preference adjustment (it does
+  // not alter what the user asked for, only how it is weighted).
+  const bool have_pref = answer.preference.has_value();
+  const bool have_kw = answer.keyword.has_value();
+  if (have_pref && answer.preference->already_in_result) {
+    answer.recommended = RefinementModel::kNone;
+  } else if (have_kw && answer.keyword->already_in_result) {
+    answer.recommended = RefinementModel::kNone;
+  } else if (have_pref && have_kw) {
+    answer.recommended =
+        answer.preference->penalty.value <= answer.keyword->penalty.value
+            ? RefinementModel::kPreference
+            : RefinementModel::kKeyword;
+  } else if (have_pref) {
+    answer.recommended = RefinementModel::kPreference;
+  } else if (have_kw) {
+    answer.recommended = RefinementModel::kKeyword;
+  }
+
+  switch (answer.recommended) {
+    case RefinementModel::kPreference:
+      answer.refined_result = topk_.Query(answer.preference->refined);
+      break;
+    case RefinementModel::kKeyword:
+      answer.refined_result = topk_.Query(answer.keyword->refined);
+      break;
+    case RefinementModel::kNone:
+      answer.refined_result = topk_.Query(query);
+      break;
+  }
+  return answer;
+}
+
+Result<CombinedRefinement> WhyNotEngine::CombineRefinements(
+    const Query& query, const std::vector<ObjectId>& missing,
+    const WhyNotOptions& options) const {
+  PreferenceAdjustOptions po;
+  po.lambda = options.lambda;
+  po.mode = options.pref_mode;
+  KeywordAdaptOptions ko;
+  ko.lambda = options.lambda;
+  ko.mode = options.kw_mode;
+
+  // Order A: preference first, keyword adaption on the adjusted query.
+  auto run_pref_first = [&]() -> Result<CombinedRefinement> {
+    auto pref = AdjustPreference(*store_, query, missing, po);
+    if (!pref.ok()) return pref.status();
+    auto kw = AdaptKeywords(*store_, *kcr_, pref->refined, missing, ko);
+    if (!kw.ok()) return kw.status();
+    CombinedRefinement out;
+    out.refined = kw->refined;
+    out.preference_penalty = pref->penalty;
+    out.keyword_penalty = kw->penalty;
+    out.total_penalty = pref->penalty.value + kw->penalty.value;
+    out.preference_first = true;
+    out.original_rank = pref->original_rank;
+    out.refined_rank = kw->refined_rank;
+    return out;
+  };
+  // Order B: keyword adaption first, preference adjustment after.
+  auto run_kw_first = [&]() -> Result<CombinedRefinement> {
+    auto kw = AdaptKeywords(*store_, *kcr_, query, missing, ko);
+    if (!kw.ok()) return kw.status();
+    auto pref = AdjustPreference(*store_, kw->refined, missing, po);
+    if (!pref.ok()) return pref.status();
+    CombinedRefinement out;
+    out.refined = pref->refined;
+    out.preference_penalty = pref->penalty;
+    out.keyword_penalty = kw->penalty;
+    out.total_penalty = pref->penalty.value + kw->penalty.value;
+    out.preference_first = false;
+    out.original_rank = kw->original_rank;
+    out.refined_rank = pref->refined_rank;
+    return out;
+  };
+
+  auto a = run_pref_first();
+  if (!a.ok()) return a.status();
+  auto b = run_kw_first();
+  if (!b.ok()) return b.status();
+  // Lower total penalty wins; ties prefer the preference-first order (it
+  // alters the user's stated keywords later, i.e. only if it pays).
+  return b->total_penalty < a->total_penalty ? std::move(b) : std::move(a);
+}
+
+}  // namespace yask

@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The why-not question answering engine (§3.1, Fig. 1): the facade that the
+// server (and library users) talk to. It owns nothing; it binds the object
+// store with the SetR-tree (top-k + explanations) and the KcR-tree (keyword
+// adaption) and orchestrates the three modules:
+//   * explanation generator,
+//   * preference-adjusted refinement,
+//   * keyword-adapted refinement,
+// returning the explanations, both refined queries, and — as the demo lets
+// users "apply the two refinement functions simultaneously to find better
+// solutions" — a recommendation of the cheaper model.
+
+#ifndef YASK_WHYNOT_WHY_NOT_ENGINE_H_
+#define YASK_WHYNOT_WHY_NOT_ENGINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/query/query.h"
+#include "src/query/topk_engine.h"
+#include "src/storage/object_store.h"
+#include "src/whynot/explanation.h"
+#include "src/whynot/keyword_adaption.h"
+#include "src/whynot/preference_adjustment.h"
+
+namespace yask {
+
+/// Which refinement models to run.
+struct WhyNotOptions {
+  double lambda = 0.5;
+  bool run_preference_adjustment = true;
+  bool run_keyword_adaption = true;
+  PrefAdjustMode pref_mode = PrefAdjustMode::kOptimized;
+  KwAdaptMode kw_mode = KwAdaptMode::kBoundAndPrune;
+};
+
+/// Which model the engine recommends after comparing penalties.
+enum class RefinementModel {
+  kNone,        // Objects were not missing.
+  kPreference,  // Eqn. (3) refinement is cheaper.
+  kKeyword,     // Eqn. (4) refinement is cheaper.
+};
+
+/// Everything the why-not engine returns for one question.
+struct WhyNotAnswer {
+  std::vector<MissingObjectExplanation> explanations;
+  std::optional<RefinedPreferenceQuery> preference;
+  std::optional<RefinedKeywordQuery> keyword;
+  RefinementModel recommended = RefinementModel::kNone;
+  /// Result of the recommended refined query (what the demo map displays).
+  TopKResult refined_result;
+};
+
+/// A two-step refinement applying both models in sequence (§3.2: "Users can
+/// apply the two refinement functions simultaneously to find better
+/// solutions"). Each step's penalty is measured against that step's input
+/// query, per the respective Eqn.; `total_penalty` is their sum.
+struct CombinedRefinement {
+  Query refined;  // Final query: possibly new w, doc and k.
+  PenaltyBreakdown preference_penalty;
+  PenaltyBreakdown keyword_penalty;
+  double total_penalty = 0.0;
+  bool preference_first = true;  // Which order won.
+  size_t original_rank = 0;      // R(M, q) under the initial query.
+  size_t refined_rank = 0;       // R(M, final refined query).
+};
+
+/// The engine facade. All referenced structures must outlive it; the trees
+/// must index `store`.
+class WhyNotEngine {
+ public:
+  WhyNotEngine(const ObjectStore& store, const SetRTree& setr,
+               const KcRTree& kcr)
+      : store_(&store), setr_(&setr), kcr_(&kcr), topk_(store, setr) {}
+
+  /// Runs the initial top-k query (the demo's query mode, Fig. 3).
+  TopKResult TopK(const Query& query, TopKStats* stats = nullptr) const {
+    return topk_.Query(query, stats);
+  }
+
+  /// Answers a why-not question for the given missing objects (Fig. 4/5).
+  Result<WhyNotAnswer> Answer(const Query& query,
+                              const std::vector<ObjectId>& missing,
+                              const WhyNotOptions& options = {}) const;
+
+  /// Applies both refinement models in sequence, trying both orders
+  /// (preference→keyword and keyword→preference) and returning the order
+  /// with the lower total penalty. The final query revives all of M (the
+  /// last step guarantees it for its input query, whose result already
+  /// contains what the first step revived or better).
+  Result<CombinedRefinement> CombineRefinements(
+      const Query& query, const std::vector<ObjectId>& missing,
+      const WhyNotOptions& options = {}) const;
+
+  const ObjectStore& store() const { return *store_; }
+
+ private:
+  const ObjectStore* store_;
+  const SetRTree* setr_;
+  const KcRTree* kcr_;
+  SetRTopKEngine topk_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_WHYNOT_WHY_NOT_ENGINE_H_

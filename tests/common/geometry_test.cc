@@ -1,0 +1,141 @@
+#include "src/common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace yask {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(RectTest, EmptyBasics) {
+  Rect r = Rect::Empty();
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 0.0);
+  EXPECT_FALSE(r.Intersects(r));
+}
+
+TEST(RectTest, FromPointIsDegenerate) {
+  Rect r = Rect::FromPoint({2, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{2, 3}));
+  EXPECT_FALSE(r.Contains(Point{2.1, 3}));
+}
+
+TEST(RectTest, ExtendPoint) {
+  Rect r = Rect::Empty();
+  r.Extend(Point{1, 2});
+  r.Extend(Point{-1, 5});
+  EXPECT_EQ(r, Rect::FromBounds(-1, 2, 1, 5));
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+}
+
+TEST(RectTest, ExtendEmptyRectIsNoop) {
+  Rect r = Rect::FromBounds(0, 0, 1, 1);
+  r.Extend(Rect::Empty());
+  EXPECT_EQ(r, Rect::FromBounds(0, 0, 1, 1));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  Rect a = Rect::FromBounds(0, 0, 2, 2);
+  Rect b = Rect::FromBounds(1, 1, 3, 3);
+  EXPECT_EQ(Rect::Union(a, b), Rect::FromBounds(0, 0, 3, 3));
+  EXPECT_EQ(Rect::Intersection(a, b), Rect::FromBounds(1, 1, 2, 2));
+  Rect c = Rect::FromBounds(5, 5, 6, 6);
+  EXPECT_TRUE(Rect::Intersection(a, c).empty());
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer = Rect::FromBounds(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect::FromBounds(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect::FromBounds(1, 1, 11, 9)));
+  EXPECT_TRUE(outer.Contains(Rect::Empty()));  // Vacuous.
+}
+
+TEST(RectTest, IntersectsIsSymmetricOnTouch) {
+  Rect a = Rect::FromBounds(0, 0, 1, 1);
+  Rect b = Rect::FromBounds(1, 1, 2, 2);  // Shares the corner point.
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(RectTest, Enlargement) {
+  Rect a = Rect::FromBounds(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect::FromBounds(1, 1, 1.5, 1.5)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect::FromBounds(0, 0, 4, 2)), 4.0);
+}
+
+TEST(RectTest, MinMaxDistanceHandComputed) {
+  Rect r = Rect::FromBounds(1, 1, 3, 3);
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point{2, 2}), 0.0);     // Inside.
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point{0, 2}), 1.0);     // Left of.
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point{0, 0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance(Point{0, 0}), std::sqrt(18.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance(Point{2, 2}), std::sqrt(2.0));
+}
+
+TEST(RectTest, CenterAndToString) {
+  Rect r = Rect::FromBounds(0, 2, 4, 6);
+  EXPECT_EQ(r.Center(), (Point{2, 4}));
+  EXPECT_FALSE(r.ToString().empty());
+}
+
+// Property sweep: MINDIST <= distance-to-any-contained-point <= MAXDIST.
+class RectDistanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectDistanceProperty, MinMaxDistanceBracketContainedPoints) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const double x1 = rng.NextDouble(-10, 10);
+    const double y1 = rng.NextDouble(-10, 10);
+    Rect r = Rect::FromBounds(x1, y1, x1 + rng.NextDouble(0, 5),
+                              y1 + rng.NextDouble(0, 5));
+    const Point q{rng.NextDouble(-20, 20), rng.NextDouble(-20, 20)};
+    // A random point inside the rect.
+    const Point inside{rng.NextDouble(r.min_x, r.max_x),
+                       rng.NextDouble(r.min_y, r.max_y)};
+    ASSERT_TRUE(r.Contains(inside));
+    const double d = Distance(q, inside);
+    EXPECT_LE(r.MinDistance(q), d + 1e-12);
+    EXPECT_GE(r.MaxDistance(q), d - 1e-12);
+  }
+}
+
+TEST_P(RectDistanceProperty, UnionContainsBothAndIntersectionContained) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto random_rect = [&] {
+      const double x1 = rng.NextDouble(-10, 10);
+      const double y1 = rng.NextDouble(-10, 10);
+      return Rect::FromBounds(x1, y1, x1 + rng.NextDouble(0, 5),
+                              y1 + rng.NextDouble(0, 5));
+    };
+    const Rect a = random_rect();
+    const Rect b = random_rect();
+    const Rect u = Rect::Union(a, b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    const Rect i = Rect::Intersection(a, b);
+    if (!i.empty()) {
+      EXPECT_TRUE(a.Contains(i));
+      EXPECT_TRUE(b.Contains(i));
+      EXPECT_GE(u.Area() + 1e-12, a.Area());
+      EXPECT_GE(a.Area() + b.Area() - i.Area(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectDistanceProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace yask

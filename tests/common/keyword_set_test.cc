@@ -1,0 +1,132 @@
+#include "src/common/keyword_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace yask {
+namespace {
+
+TEST(KeywordSetTest, ConstructorSortsAndDedupes) {
+  KeywordSet s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.ids(), (std::vector<TermId>{1, 3, 5}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(KeywordSetTest, InsertEraseContains) {
+  KeywordSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(4);
+  s.Insert(2);
+  s.Insert(4);  // Duplicate.
+  EXPECT_EQ(s.ids(), (std::vector<TermId>{2, 4}));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(s.Erase(2));
+  EXPECT_FALSE(s.Erase(2));
+  EXPECT_EQ(s.ids(), (std::vector<TermId>{4}));
+}
+
+TEST(KeywordSetTest, IntersectionUnionSizes) {
+  KeywordSet a({1, 2, 3, 4});
+  KeywordSet b({3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_EQ(a.IntersectionSize(KeywordSet()), 0u);
+  EXPECT_EQ(a.UnionSize(KeywordSet()), 4u);
+}
+
+TEST(KeywordSetTest, JaccardMatchesEqnTwo) {
+  // Eqn. (2): |o.doc ∩ q.doc| / |o.doc ∪ q.doc|.
+  KeywordSet o({1, 2, 3});
+  KeywordSet q({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(o.Jaccard(q), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(o.Jaccard(o), 1.0);
+  EXPECT_DOUBLE_EQ(o.Jaccard(KeywordSet()), 0.0);
+  EXPECT_DOUBLE_EQ(KeywordSet().Jaccard(KeywordSet()), 0.0);
+}
+
+TEST(KeywordSetTest, SetAlgebra) {
+  KeywordSet a({1, 2, 3});
+  KeywordSet b({2, 3, 4});
+  EXPECT_EQ(KeywordSet::Union(a, b).ids(), (std::vector<TermId>{1, 2, 3, 4}));
+  EXPECT_EQ(KeywordSet::Intersection(a, b).ids(),
+            (std::vector<TermId>{2, 3}));
+  EXPECT_EQ(KeywordSet::Difference(a, b).ids(), (std::vector<TermId>{1}));
+  EXPECT_EQ(KeywordSet::Difference(b, a).ids(), (std::vector<TermId>{4}));
+}
+
+TEST(KeywordSetTest, EditDistanceIsInsertPlusDelete) {
+  KeywordSet a({1, 2, 3});
+  KeywordSet b({3, 4});
+  // a -> b: delete 1, delete 2, insert 4 => 3 operations.
+  EXPECT_EQ(KeywordSet::EditDistance(a, b), 3u);
+  EXPECT_EQ(KeywordSet::EditDistance(a, a), 0u);
+  EXPECT_EQ(KeywordSet::EditDistance(a, KeywordSet()), 3u);
+  EXPECT_EQ(KeywordSet::EditDistance(KeywordSet(), b), 2u);
+}
+
+TEST(KeywordSetTest, SubsetChecks) {
+  KeywordSet a({1, 3});
+  KeywordSet b({1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(KeywordSet().IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(KeywordSetTest, ToStringUsesVocabulary) {
+  Vocabulary v;
+  const TermId coffee = v.Intern("coffee");
+  const TermId wifi = v.Intern("wifi");
+  KeywordSet s({wifi, coffee});
+  EXPECT_EQ(s.ToString(v), "coffee wifi");  // Sorted by id.
+}
+
+TEST(KeywordSetHashTest, EqualSetsHashEqual) {
+  KeywordSetHash h;
+  EXPECT_EQ(h(KeywordSet({1, 2, 3})), h(KeywordSet({3, 2, 1})));
+  EXPECT_NE(h(KeywordSet({1, 2, 3})), h(KeywordSet({1, 2, 4})));
+}
+
+// Property sweep against std::set as the reference implementation.
+class KeywordSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeywordSetProperty, AgreesWithStdSet) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    std::set<TermId> ra, rb;
+    const size_t na = rng.NextBounded(20);
+    const size_t nb = rng.NextBounded(20);
+    for (size_t i = 0; i < na; ++i) ra.insert(static_cast<TermId>(rng.NextBounded(30)));
+    for (size_t i = 0; i < nb; ++i) rb.insert(static_cast<TermId>(rng.NextBounded(30)));
+    KeywordSet a(std::vector<TermId>(ra.begin(), ra.end()));
+    KeywordSet b(std::vector<TermId>(rb.begin(), rb.end()));
+
+    std::set<TermId> runion = ra;
+    runion.insert(rb.begin(), rb.end());
+    std::set<TermId> rinter;
+    for (TermId t : ra) {
+      if (rb.count(t)) rinter.insert(t);
+    }
+    EXPECT_EQ(a.UnionSize(b), runion.size());
+    EXPECT_EQ(a.IntersectionSize(b), rinter.size());
+    EXPECT_EQ(KeywordSet::Union(a, b).size(), runion.size());
+    EXPECT_EQ(KeywordSet::Intersection(a, b).size(), rinter.size());
+    EXPECT_EQ(KeywordSet::EditDistance(a, b),
+              (ra.size() - rinter.size()) + (rb.size() - rinter.size()));
+    // Jaccard symmetry and range.
+    EXPECT_DOUBLE_EQ(a.Jaccard(b), b.Jaccard(a));
+    EXPECT_GE(a.Jaccard(b), 0.0);
+    EXPECT_LE(a.Jaccard(b), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeywordSetProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,70 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace yask {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim(" \t\r\n "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerAsciiTest, Lowers) {
+  EXPECT_EQ(ToLowerAscii("HeLLo-123"), "hello-123");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("content-length: 5", "content-length"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_TRUE(EndsWith("file.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", "file.tsv"));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("  -1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("3.25x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(ParseUint64Test, ValidAndInvalid) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64(" 7 ", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &v));  // Overflow.
+}
+
+}  // namespace
+}  // namespace yask

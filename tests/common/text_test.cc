@@ -1,0 +1,76 @@
+#include "src/common/text.h"
+
+#include <gtest/gtest.h>
+
+namespace yask {
+namespace {
+
+TEST(TokenizeTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(Tokenize("Clean, Comfortable WiFi!"),
+            (std::vector<std::string>{"clean", "comfortable", "wifi"}));
+  EXPECT_EQ(Tokenize("top-3 spatial"),
+            (std::vector<std::string>{"top", "3", "spatial"}));
+  EXPECT_TRUE(Tokenize("...").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(IsStopwordTest, CommonWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("coffee"));
+  EXPECT_FALSE(IsStopword("hotel"));
+}
+
+TEST(ParseKeywordsTest, InternsTokens) {
+  Vocabulary vocab;
+  KeywordSet s = ParseKeywords("the clean and comfortable hotel", &vocab);
+  // "the", "and" removed as stopwords.
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(vocab.Contains("clean"));
+  EXPECT_TRUE(vocab.Contains("comfortable"));
+  EXPECT_TRUE(vocab.Contains("hotel"));
+  EXPECT_FALSE(vocab.Contains("the"));
+}
+
+TEST(ParseKeywordsTest, MinTokenLengthDropsShortTokens) {
+  Vocabulary vocab;
+  KeywordSet s = ParseKeywords("a b coffee", &vocab);
+  EXPECT_EQ(s.size(), 1u);  // Only "coffee" survives.
+}
+
+TEST(ParseKeywordsTest, OptionsCanKeepStopwords) {
+  Vocabulary vocab;
+  TextOptions opts;
+  opts.remove_stopwords = false;
+  opts.min_token_length = 1;
+  KeywordSet s = ParseKeywords("the cafe", &vocab, opts);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(ParseKeywordsTest, DuplicateTokensCollapse) {
+  Vocabulary vocab;
+  KeywordSet s = ParseKeywords("coffee coffee COFFEE", &vocab);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LookupKeywordsTest, DropsUnknownTokens) {
+  Vocabulary vocab;
+  vocab.Intern("coffee");
+  vocab.Intern("wifi");
+  KeywordSet s = LookupKeywords("coffee sauna wifi", vocab);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(vocab.Find("coffee")));
+  EXPECT_TRUE(s.Contains(vocab.Find("wifi")));
+  // The vocabulary is not mutated.
+  EXPECT_FALSE(vocab.Contains("sauna"));
+}
+
+TEST(LookupKeywordsTest, EmptyQuery) {
+  Vocabulary vocab;
+  vocab.Intern("coffee");
+  EXPECT_TRUE(LookupKeywords("", vocab).empty());
+  EXPECT_TRUE(LookupKeywords("unknown words only", vocab).empty());
+}
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,50 @@
+#include "src/common/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace yask {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("coffee"), 0u);
+  EXPECT_EQ(v.Intern("wifi"), 1u);
+  EXPECT_EQ(v.Intern("coffee"), 0u);  // Idempotent.
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, FindAndContains) {
+  Vocabulary v;
+  v.Intern("pool");
+  EXPECT_EQ(v.Find("pool"), 0u);
+  EXPECT_EQ(v.Find("sauna"), kInvalidTerm);
+  EXPECT_TRUE(v.Contains("pool"));
+  EXPECT_FALSE(v.Contains("sauna"));
+}
+
+TEST(VocabularyTest, WordRoundTrip) {
+  Vocabulary v;
+  const TermId a = v.Intern("clean");
+  const TermId b = v.Intern("comfortable");
+  EXPECT_EQ(v.Word(a), "clean");
+  EXPECT_EQ(v.Word(b), "comfortable");
+}
+
+TEST(VocabularyTest, ManyWords) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.Intern("kw" + std::to_string(i)), static_cast<TermId>(i));
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v.Find("kw517"), 517u);
+  EXPECT_EQ(v.Word(999), "kw999");
+}
+
+TEST(VocabularyTest, EmptyStringIsAWord) {
+  Vocabulary v;
+  const TermId id = v.Intern("");
+  EXPECT_EQ(v.Find(""), id);
+}
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,69 @@
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+TEST(InvertedIndexTest, PostingsAreSortedAndComplete) {
+  DatasetSpec spec;
+  spec.num_objects = 1000;
+  spec.vocabulary_size = 30;
+  const ObjectStore store = GenerateDataset(spec);
+  InvertedIndex index(store);
+
+  for (TermId t = 0; t < store.vocab().size(); ++t) {
+    const auto& list = index.Postings(t);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    for (ObjectId id : list) {
+      EXPECT_TRUE(store.Get(id).doc.Contains(t));
+    }
+  }
+  // Every (object, term) pair appears.
+  size_t total = 0;
+  for (const SpatialObject& o : store.objects()) total += o.doc.size();
+  size_t posted = 0;
+  for (TermId t = 0; t < store.vocab().size(); ++t) {
+    posted += index.DocumentFrequency(t);
+  }
+  EXPECT_EQ(posted, total);
+}
+
+TEST(InvertedIndexTest, UnknownTermEmpty) {
+  ObjectStore store;
+  store.mutable_vocab()->Intern("a");
+  store.Add(Point{0, 0}, KeywordSet({0}));
+  InvertedIndex index(store);
+  EXPECT_TRUE(index.Postings(999).empty());
+  EXPECT_EQ(index.DocumentFrequency(999), 0u);
+}
+
+TEST(InvertedIndexTest, CandidatesAreUnionOfPostings) {
+  ObjectStore store;
+  Vocabulary* v = store.mutable_vocab();
+  const TermId a = v->Intern("a");
+  const TermId b = v->Intern("b");
+  const TermId c = v->Intern("c");
+  store.Add(Point{0, 0}, KeywordSet({a}));        // 0
+  store.Add(Point{0, 0}, KeywordSet({a, b}));     // 1
+  store.Add(Point{0, 0}, KeywordSet({b}));        // 2
+  store.Add(Point{0, 0}, KeywordSet({c}));        // 3
+  InvertedIndex index(store);
+  EXPECT_EQ(index.Candidates(KeywordSet({a, b})),
+            (std::vector<ObjectId>{0, 1, 2}));
+  EXPECT_EQ(index.Candidates(KeywordSet({c})), (std::vector<ObjectId>{3}));
+  EXPECT_TRUE(index.Candidates(KeywordSet()).empty());
+}
+
+TEST(InvertedIndexTest, MemoryUsagePositive) {
+  DatasetSpec spec;
+  spec.num_objects = 100;
+  const ObjectStore store = GenerateDataset(spec);
+  InvertedIndex index(store);
+  EXPECT_GT(index.MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace yask

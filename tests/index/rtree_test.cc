@@ -1,0 +1,240 @@
+#include "src/index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+ObjectStore MakeStore(size_t n, uint64_t seed = 42,
+                      SpatialDistribution dist = SpatialDistribution::kUniform) {
+  DatasetSpec spec;
+  spec.num_objects = n;
+  spec.seed = seed;
+  spec.spatial = dist;
+  spec.vocabulary_size = 50;
+  return GenerateDataset(spec);
+}
+
+std::set<ObjectId> BruteRange(const ObjectStore& store, const Rect& range) {
+  std::set<ObjectId> out;
+  for (const SpatialObject& o : store.objects()) {
+    if (range.Contains(o.loc)) out.insert(o.id);
+  }
+  return out;
+}
+
+std::set<ObjectId> TreeRange(const RTree& tree, const Rect& range) {
+  std::set<ObjectId> out;
+  tree.RangeQuery(range, [&](ObjectId id) { out.insert(id); });
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  ObjectStore store;
+  RTree tree(&store);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.Validate().ok());
+  size_t hits = 0;
+  tree.RangeQuery(Rect::FromBounds(0, 0, 1, 1), [&](ObjectId) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(RTreeTest, BulkLoadSmall) {
+  const ObjectStore store = MakeStore(10);
+  RTree tree(&store);
+  tree.BulkLoad();
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.height(), 1u);  // Fits one leaf with fanout 32.
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+TEST(RTreeTest, BulkLoadValidatesAcrossSizes) {
+  for (size_t n : {0u, 1u, 31u, 32u, 33u, 100u, 1000u, 5000u}) {
+    const ObjectStore store = MakeStore(n);
+    RTree tree(&store);
+    tree.BulkLoad();
+    EXPECT_EQ(tree.size(), n);
+    Status s = tree.Validate();
+    EXPECT_TRUE(s.ok()) << "n=" << n << ": " << s.ToString();
+  }
+}
+
+TEST(RTreeTest, BulkLoadHeightGrowsLogarithmically) {
+  const ObjectStore store = MakeStore(5000);
+  RTree tree(&store);
+  tree.BulkLoad();
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_LE(tree.height(), 4u);
+}
+
+TEST(RTreeTest, InsertValidates) {
+  const ObjectStore store = MakeStore(1000);
+  RTree tree(&store);
+  for (size_t i = 0; i < store.size(); ++i) {
+    tree.Insert(static_cast<ObjectId>(i));
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  Status s = tree.Validate();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForceAfterBulkLoad) {
+  const ObjectStore store = MakeStore(3000, 7, SpatialDistribution::kClustered);
+  RTree tree(&store);
+  tree.BulkLoad();
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    const Rect range = Rect::FromBounds(
+        x, y, std::min(1.0, x + rng.NextDouble(0, 0.3)),
+        std::min(1.0, y + rng.NextDouble(0, 0.3)));
+    EXPECT_EQ(TreeRange(tree, range), BruteRange(store, range));
+  }
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForceAfterInserts) {
+  const ObjectStore store = MakeStore(2000, 11);
+  RTree tree(&store);
+  for (size_t i = 0; i < store.size(); ++i) {
+    tree.Insert(static_cast<ObjectId>(i));
+  }
+  Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.NextDouble(0, 0.8);
+    const double y = rng.NextDouble(0, 0.8);
+    const Rect range = Rect::FromBounds(x, y, x + 0.2, y + 0.2);
+    EXPECT_EQ(TreeRange(tree, range), BruteRange(store, range));
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesAndValidates) {
+  const ObjectStore store = MakeStore(500, 3);
+  RTree tree(&store);
+  tree.BulkLoad();
+  // Delete every third object.
+  std::set<ObjectId> deleted;
+  for (ObjectId id = 0; id < 500; id += 3) {
+    EXPECT_TRUE(tree.Delete(id)) << id;
+    deleted.insert(id);
+  }
+  EXPECT_EQ(tree.size(), 500u - deleted.size());
+  Status s = tree.Validate();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  // Deleted objects are gone; others remain findable.
+  const Rect everywhere = Rect::FromBounds(-1, -1, 2, 2);
+  const std::set<ObjectId> remaining = TreeRange(tree, everywhere);
+  EXPECT_EQ(remaining.size(), tree.size());
+  for (ObjectId id : deleted) EXPECT_FALSE(remaining.count(id));
+}
+
+TEST(RTreeTest, DeleteMissingReturnsFalse) {
+  const ObjectStore store = MakeStore(100);
+  RTree tree(&store);
+  tree.BulkLoad();
+  EXPECT_TRUE(tree.Delete(42));
+  EXPECT_FALSE(tree.Delete(42));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(RTreeTest, DeleteEverything) {
+  const ObjectStore store = MakeStore(300, 5);
+  RTree tree(&store);
+  tree.BulkLoad();
+  for (ObjectId id = 0; id < 300; ++id) {
+    ASSERT_TRUE(tree.Delete(id)) << id;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate().ok());
+  // Tree stays usable afterwards.
+  tree.Insert(7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(RTreeTest, TraverseVisitsEverythingWhenUnfiltered) {
+  const ObjectStore store = MakeStore(800, 13);
+  RTree tree(&store);
+  tree.BulkLoad();
+  size_t count = 0;
+  tree.Traverse([](const RTree::Node&) { return true; },
+                [&](ObjectId) { ++count; });
+  EXPECT_EQ(count, 800u);
+}
+
+TEST(RTreeTest, TraversePruningByRect) {
+  const ObjectStore store = MakeStore(800, 17);
+  RTree tree(&store);
+  tree.BulkLoad();
+  const Rect range = Rect::FromBounds(0.2, 0.2, 0.5, 0.5);
+  std::set<ObjectId> got;
+  tree.Traverse(
+      [&](const RTree::Node& n) { return n.rect.Intersects(range); },
+      [&](ObjectId id) {
+        if (range.Contains(store.Get(id).loc)) got.insert(id);
+      });
+  EXPECT_EQ(got, BruteRange(store, range));
+}
+
+TEST(RTreeTest, MemoryUsageGrowsWithSize) {
+  const ObjectStore small = MakeStore(100);
+  const ObjectStore large = MakeStore(5000);
+  RTree t1(&small);
+  t1.BulkLoad();
+  RTree t2(&large);
+  t2.BulkLoad();
+  EXPECT_GT(t2.MemoryUsageBytes(), t1.MemoryUsageBytes());
+}
+
+TEST(RTreeTest, CustomFanoutRespected) {
+  const ObjectStore store = MakeStore(500);
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  opts.min_entries = 3;
+  RTree tree(&store, opts);
+  tree.BulkLoad();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_GE(tree.height(), 3u);  // Smaller fanout means a taller tree.
+}
+
+// Mixed workload property test: interleaved inserts and deletes keep all
+// invariants and match a std::set reference for membership.
+class RTreeMixedWorkload : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeMixedWorkload, InvariantsUnderChurn) {
+  const ObjectStore store = MakeStore(1200, GetParam());
+  RTree tree(&store);
+  std::set<ObjectId> reference;
+  Rng rng(GetParam() ^ 0xFEED);
+  for (int step = 0; step < 3000; ++step) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextBounded(store.size()));
+    if (reference.count(id)) {
+      EXPECT_TRUE(tree.Delete(id));
+      reference.erase(id);
+    } else {
+      tree.Insert(id);
+      reference.insert(id);
+    }
+    if (step % 500 == 499) {
+      Status s = tree.Validate();
+      ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  const std::set<ObjectId> contents =
+      TreeRange(tree, Rect::FromBounds(-1, -1, 2, 2));
+  EXPECT_EQ(contents, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeMixedWorkload,
+                         ::testing::Values(1, 7, 31));
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,163 @@
+#include "src/index/score_plane_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/random.h"
+
+namespace yask {
+namespace {
+
+std::vector<PlanePoint> RandomPoints(size_t n, Rng* rng) {
+  std::vector<PlanePoint> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(PlanePoint{rng->NextDouble(), rng->NextDouble(),
+                             static_cast<ObjectId>(i)});
+  }
+  return pts;
+}
+
+TEST(PlanePointTest, ScoreAtIsLinearInterpolation) {
+  PlanePoint p{0.8, 0.2, 0};
+  EXPECT_DOUBLE_EQ(p.ScoreAt(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(p.ScoreAt(1.0), 0.8);
+  EXPECT_DOUBLE_EQ(p.ScoreAt(0.5), 0.5);
+}
+
+TEST(ScorePlaneIndexTest, EmptyIndex) {
+  ScorePlaneIndex index({});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.CountAbove(0.5, 0.3, 0), 0u);
+  size_t hits = 0;
+  index.ForEachCrossing(PlanePoint{0.5, 0.5, 99}, 0.1, 0.9,
+                        [&](const PlanePoint&) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(ScorePlaneIndexTest, CountAboveMatchesBruteForce) {
+  Rng rng(17);
+  const auto pts = RandomPoints(2000, &rng);
+  ScorePlaneIndex index(pts);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double w = rng.NextDouble(0.01, 0.99);
+    const PlanePoint& anchor = pts[rng.NextBounded(pts.size())];
+    const double threshold = anchor.ScoreAt(w);
+    size_t brute = 0;
+    for (const PlanePoint& p : pts) {
+      const double s = p.ScoreAt(w);
+      if (s > threshold || (s == threshold && p.id < anchor.id)) ++brute;
+    }
+    EXPECT_EQ(index.CountAbove(w, threshold, anchor.id), brute);
+  }
+}
+
+TEST(ScorePlaneIndexTest, CountAboveUsesFewerNodesThanLinear) {
+  Rng rng(23);
+  const auto pts = RandomPoints(20000, &rng);
+  ScorePlaneIndex index(pts);
+  // A threshold near the top of the score range prunes almost everything.
+  index.CountAbove(0.5, 0.99, 0);
+  EXPECT_LT(index.last_nodes_visited(), pts.size() / 10);
+}
+
+TEST(ScorePlaneIndexTest, ForEachCrossingCoversBruteForce) {
+  Rng rng(29);
+  const auto pts = RandomPoints(3000, &rng);
+  ScorePlaneIndex index(pts);
+  constexpr double kEps = 1e-9;  // Matches the index's retrieval slack.
+  for (int trial = 0; trial < 50; ++trial) {
+    const PlanePoint anchor = pts[rng.NextBounded(pts.size())];
+    double wlo = rng.NextDouble(0.0, 0.5);
+    double whi = wlo + rng.NextDouble(0.0, 0.5);
+    std::set<ObjectId> brute;
+    for (const PlanePoint& p : pts) {
+      const double d_lo = p.ScoreAt(wlo) - anchor.ScoreAt(wlo);
+      const double d_hi = p.ScoreAt(whi) - anchor.ScoreAt(whi);
+      if ((d_lo <= 0 && d_hi >= 0) || (d_lo >= 0 && d_hi <= 0)) {
+        brute.insert(p.id);
+      }
+    }
+    std::set<ObjectId> got;
+    index.ForEachCrossing(anchor, wlo, whi,
+                          [&](const PlanePoint& p) { got.insert(p.id); });
+    // The retrieval is a slack-superset of the exact predicate: nothing may
+    // be missed, and every extra hit must be an epsilon-near-tie.
+    for (ObjectId id : brute) {
+      EXPECT_TRUE(got.count(id)) << "missed crossing for object " << id;
+    }
+    for (ObjectId id : got) {
+      if (brute.count(id)) continue;
+      const PlanePoint* p = nullptr;
+      for (const PlanePoint& cand : pts) {
+        if (cand.id == id) p = &cand;
+      }
+      ASSERT_NE(p, nullptr);
+      const double d_lo = p->ScoreAt(wlo) - anchor.ScoreAt(wlo);
+      const double d_hi = p->ScoreAt(whi) - anchor.ScoreAt(whi);
+      EXPECT_TRUE(std::abs(d_lo) <= kEps || std::abs(d_hi) <= kEps)
+          << "non-borderline false positive for object " << id;
+    }
+  }
+}
+
+TEST(ScorePlaneIndexTest, CrossingQueryPrunes) {
+  Rng rng(31);
+  // Points clustered near y = x: few cross an anchor far above them.
+  std::vector<PlanePoint> pts;
+  for (size_t i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble(0.0, 0.2);
+    pts.push_back(PlanePoint{v, v + rng.NextDouble(0, 0.01),
+                             static_cast<ObjectId>(i)});
+  }
+  ScorePlaneIndex index(pts);
+  const PlanePoint anchor{0.9, 0.9, 999999};  // Far above all lines.
+  size_t hits = 0;
+  index.ForEachCrossing(anchor, 0.2, 0.8, [&](const PlanePoint&) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+  EXPECT_LT(index.last_nodes_visited(), 50u);
+}
+
+TEST(ScorePlaneIndexTest, AnchorItselfReportsAsCrossing) {
+  // The anchor has zero difference everywhere, which counts as touching.
+  std::vector<PlanePoint> pts{{0.3, 0.7, 0}, {0.6, 0.1, 1}};
+  ScorePlaneIndex index(pts);
+  std::set<ObjectId> got;
+  index.ForEachCrossing(pts[0], 0.1, 0.9,
+                        [&](const PlanePoint& p) { got.insert(p.id); });
+  EXPECT_TRUE(got.count(0));  // Callers filter the anchor out.
+}
+
+TEST(ScorePlaneIndexTest, SinglePoint) {
+  ScorePlaneIndex index({PlanePoint{0.4, 0.6, 7}});
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.CountAbove(0.5, 0.49, 99), 1u);
+  EXPECT_EQ(index.CountAbove(0.5, 0.51, 99), 0u);
+}
+
+TEST(ScorePlaneIndexTest, TieCountingRespectsAnchorId) {
+  // Two identical points; only the one with smaller id counts at a tie.
+  std::vector<PlanePoint> pts{{0.5, 0.5, 3}, {0.5, 0.5, 8}};
+  ScorePlaneIndex index(pts);
+  // Anchor id 8: the equal-scored id 3 counts.
+  EXPECT_EQ(index.CountAbove(0.4, 0.5, 8), 1u);
+  // Anchor id 3: id 8 does not count.
+  EXPECT_EQ(index.CountAbove(0.4, 0.5, 3), 0u);
+  // Anchor id 0: both equal-scored points with larger ids do not count.
+  EXPECT_EQ(index.CountAbove(0.4, 0.5, 0), 0u);
+}
+
+TEST(ScorePlaneIndexTest, LargeFanoutAndSmallFanoutAgree) {
+  Rng rng(37);
+  const auto pts = RandomPoints(512, &rng);
+  ScorePlaneIndex a(pts, 4);
+  ScorePlaneIndex b(pts, 64);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double w = rng.NextDouble(0.1, 0.9);
+    const double t = rng.NextDouble(0.0, 1.0);
+    EXPECT_EQ(a.CountAbove(w, t, 5), b.CountAbove(w, t, 5));
+  }
+}
+
+}  // namespace
+}  // namespace yask

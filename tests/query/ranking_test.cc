@@ -1,0 +1,135 @@
+#include "src/query/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/query/topk_engine.h"
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+class RankingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankingProperty, PrunedRankMatchesScan) {
+  DatasetSpec spec;
+  spec.num_objects = 2000;
+  spec.seed = GetParam();
+  const ObjectStore store = GenerateDataset(spec);
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 30; ++trial) {
+    Query q;
+    q.loc = SampleQueryLocation(store, &rng);
+    q.doc = SampleQueryKeywords(store, 1 + rng.NextBounded(3), &rng);
+    q.k = 10;
+    q.w = Weights::FromWs(rng.NextDouble(0.1, 0.9));
+    const ObjectId target =
+        static_cast<ObjectId>(rng.NextBounded(store.size()));
+    EXPECT_EQ(ComputeRank(store, tree, q, target),
+              ComputeRankScan(store, q, target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingProperty, ::testing::Values(3, 7, 19));
+
+TEST(RankingTest, TopKObjectsHaveRanksOneThroughK) {
+  DatasetSpec spec;
+  spec.num_objects = 800;
+  const ObjectStore store = GenerateDataset(spec);
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  SetRTopKEngine engine(store, tree);
+  Query q;
+  q.loc = Point{0.3, 0.3};
+  q.doc = KeywordSet({0, 1});
+  q.k = 10;
+  const TopKResult result = engine.Query(q);
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(ComputeRank(store, tree, q, result[i].id), i + 1)
+        << "result position " << i;
+  }
+}
+
+TEST(RankingTest, RankMembershipConsistency) {
+  // rank(o) <= k  <=>  o in top-k.
+  DatasetSpec spec;
+  spec.num_objects = 500;
+  const ObjectStore store = GenerateDataset(spec);
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  SetRTopKEngine engine(store, tree);
+  Query q;
+  q.loc = Point{0.7, 0.2};
+  q.doc = KeywordSet({0, 2, 4});
+  q.k = 20;
+  const TopKResult result = engine.Query(q);
+  std::set<ObjectId> in_result;
+  for (const ScoredObject& so : result) in_result.insert(so.id);
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const ObjectId id = static_cast<ObjectId>(rng.NextBounded(store.size()));
+    const size_t rank = ComputeRank(store, tree, q, id);
+    EXPECT_EQ(rank <= q.k, in_result.count(id) > 0) << "object " << id;
+  }
+}
+
+TEST(RankingTest, LowestRankIsMaxOverMissing) {
+  DatasetSpec spec;
+  spec.num_objects = 300;
+  const ObjectStore store = GenerateDataset(spec);
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  Query q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = KeywordSet({0});
+  q.k = 5;
+  const std::vector<ObjectId> missing{10, 20, 30};
+  size_t expect = 0;
+  for (ObjectId m : missing) {
+    expect = std::max(expect, ComputeRank(store, tree, q, m));
+  }
+  EXPECT_EQ(LowestRank(store, tree, q, missing), expect);
+}
+
+TEST(RankingTest, StatsShowPruning) {
+  DatasetSpec spec;
+  spec.num_objects = 20000;
+  spec.vocabulary_size = 300;
+  const ObjectStore store = GenerateDataset(spec);
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  Query q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = KeywordSet({0, 1});
+  q.k = 10;
+  // A top-ranked object: most subtrees are skipped outright.
+  SetRTopKEngine engine(store, tree);
+  const ObjectId best = engine.Query(q)[0].id;
+  RankStats stats;
+  ComputeRank(store, tree, q, best, &stats);
+  EXPECT_LT(stats.objects_scored, store.size() / 4);
+}
+
+TEST(RankingTest, UniformTiesRankByObjectId) {
+  ObjectStore store;
+  store.mutable_vocab()->Intern("x");
+  for (int i = 0; i < 10; ++i) store.Add(Point{0.5, 0.5}, KeywordSet({0}));
+  SetRTree tree(&store);
+  tree.BulkLoad();
+  Query q;
+  q.loc = Point{0.5, 0.5};
+  q.doc = KeywordSet({0});
+  q.k = 3;
+  for (ObjectId id = 0; id < 10; ++id) {
+    EXPECT_EQ(ComputeRank(store, tree, q, id), id + 1);
+    EXPECT_EQ(ComputeRankScan(store, q, id), id + 1);
+  }
+}
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/query/topk_engine.h"
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+class TopKCursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetSpec spec;
+    spec.num_objects = 800;
+    spec.seed = 3;
+    store_ = std::make_unique<ObjectStore>(GenerateDataset(spec));
+    tree_ = std::make_unique<SetRTree>(store_.get());
+    tree_->BulkLoad();
+  }
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<SetRTree> tree_;
+};
+
+TEST_F(TopKCursorTest, EnumeratesFullRankingOrder) {
+  Query q;
+  q.loc = Point{0.4, 0.6};
+  q.doc = KeywordSet({0, 1});
+  q.k = 1;  // Ignored by the cursor.
+  Query probe = q;
+  probe.k = static_cast<uint32_t>(store_->size());
+  const TopKResult full = TopKScan(*store_, probe);
+
+  TopKCursor cursor(*store_, *tree_, q);
+  for (size_t i = 0; i < full.size(); ++i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.has_value()) << "exhausted early at " << i;
+    EXPECT_EQ(next->id, full[i].id) << "rank " << i + 1;
+    EXPECT_DOUBLE_EQ(next->score, full[i].score);
+    EXPECT_EQ(cursor.produced(), i + 1);
+  }
+  EXPECT_FALSE(cursor.Next().has_value());  // Exhausted.
+  EXPECT_FALSE(cursor.Next().has_value());  // Stays exhausted.
+}
+
+TEST_F(TopKCursorTest, ResumingMatchesEnlargedK) {
+  // The demo's k-enlargement: take top-3, then keep pulling to reach the
+  // refined k' — the union must equal a fresh top-k' query.
+  Query q;
+  q.loc = Point{0.7, 0.3};
+  q.doc = KeywordSet({1, 2});
+  q.k = 3;
+  SetRTopKEngine engine(*store_, *tree_);
+
+  TopKCursor cursor(*store_, *tree_, q);
+  TopKResult streamed;
+  for (int i = 0; i < 3; ++i) streamed.push_back(*cursor.Next());
+  // ... user asks why-not; refined k' = 12; resume.
+  for (int i = 3; i < 12; ++i) streamed.push_back(*cursor.Next());
+
+  Query refined = q;
+  refined.k = 12;
+  const TopKResult fresh = engine.Query(refined);
+  ASSERT_EQ(streamed.size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(streamed[i].id, fresh[i].id) << "rank " << i + 1;
+  }
+}
+
+TEST_F(TopKCursorTest, EmptyTree) {
+  ObjectStore empty_store;
+  SetRTree empty_tree(&empty_store);
+  empty_tree.BulkLoad();
+  Query q;
+  q.doc = KeywordSet({0});
+  q.k = 5;
+  TopKCursor cursor(empty_store, empty_tree, q);
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_EQ(cursor.produced(), 0u);
+}
+
+TEST_F(TopKCursorTest, QueryCopiedNotReferenced) {
+  // The cursor owns its query: mutating the original must not matter.
+  auto q = std::make_unique<Query>();
+  q->loc = Point{0.5, 0.5};
+  q->doc = KeywordSet({0});
+  q->k = 1;
+  TopKCursor cursor(*store_, *tree_, *q);
+  const ScoredObject first = *cursor.Next();
+  q.reset();  // Destroy the original query.
+  const ScoredObject second = *cursor.Next();
+  EXPECT_NE(first.id, second.id);
+  EXPECT_GE(first.score, second.score);
+}
+
+}  // namespace
+}  // namespace yask

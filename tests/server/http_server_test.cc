@@ -1,0 +1,213 @@
+#include "src/server/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/server/json.h"
+
+namespace yask {
+namespace {
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fpath"), "/path");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz");  // Invalid escape passthrough.
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(0, 2);
+    server_->Route("GET", "/ping", [](const HttpRequest&) {
+      return HttpResponse::Json("{\"pong\":true}");
+    });
+    server_->Route("POST", "/echo", [](const HttpRequest& req) {
+      return HttpResponse::Json(req.body);
+    });
+    server_->Route("GET", "/params", [](const HttpRequest& req) {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : req.query_params) {
+        if (!first) out += ",";
+        first = false;
+        out += JsonEscape(k) + ":" + JsonEscape(v);
+      }
+      return HttpResponse::Json(out + "}");
+    });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, BindsEphemeralPort) {
+  EXPECT_GT(server_->bound_port(), 0);
+  EXPECT_TRUE(server_->running());
+}
+
+TEST_F(HttpServerTest, GetRoute) {
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "GET", "/ping", "", &status);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*body, "{\"pong\":true}");
+}
+
+TEST_F(HttpServerTest, PostEchoesBody) {
+  const std::string payload = "{\"x\":42}";
+  int status = 0;
+  auto body =
+      HttpFetch(server_->bound_port(), "POST", "/echo", payload, &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*body, payload);
+}
+
+TEST_F(HttpServerTest, QueryParamsParsedAndDecoded) {
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "GET",
+                        "/params?a=1&b=hello%20world", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body->find("\"a\":\"1\""), std::string::npos);
+  EXPECT_NE(body->find("\"b\":\"hello world\""), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownRouteIs404) {
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "GET", "/nope", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(HttpServerTest, WrongMethodIs404) {
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "POST", "/ping", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(HttpServerTest, ConcurrentRequests) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int status = 0;
+        auto body =
+            HttpFetch(server_->bound_port(), "GET", "/ping", "", &status);
+        if (body.ok() && status == 200 && *body == "{\"pong\":true}") {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotent) {
+  server_->Stop();
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST(HttpServerLifecycleTest, RestartOnNewInstance) {
+  HttpServer a(0, 1);
+  a.Route("GET", "/x", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(a.Start().ok());
+  const uint16_t port = a.bound_port();
+  a.Stop();
+  // Port released: a new server can bind it again.
+  HttpServer b(port, 1);
+  b.Route("GET", "/x", [](const HttpRequest&) {
+    return HttpResponse::Json("{}");
+  });
+  EXPECT_TRUE(b.Start().ok());
+  b.Stop();
+}
+
+TEST_F(HttpServerTest, LargeBodyRoundTrips) {
+  // 1 MiB body. (Built via constructor + insert to sidestep a GCC 12
+  // -Wrestrict false positive on append-after-literal.)
+  std::string payload(1 << 20, 'x');
+  payload.insert(0, "{\"blob\":\"");
+  payload += "\"}";
+  int status = 0;
+  auto body =
+      HttpFetch(server_->bound_port(), "POST", "/echo", payload, &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body->size(), payload.size());
+}
+
+TEST_F(HttpServerTest, GarbageRequestGets400) {
+  // Raw socket with a non-HTTP preamble.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_->bound_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "\x01\x02garbage\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+  char buf[512];
+  std::string resp;
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // Either a 400/404 response or a dropped connection is acceptable; a 200
+  // would mean the garbage was routed.
+  EXPECT_EQ(resp.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MissingContentLengthTreatedAsEmptyBody) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_->bound_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char req[] = "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+  std::string resp;
+  char buf[512];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("pong"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorHelperFormatsJson) {
+  const HttpResponse r = HttpResponse::Error(400, "bad \"input\"");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_EQ(r.body, "{\"error\":\"bad \\\"input\\\"\"}");
+}
+
+}  // namespace
+}  // namespace yask

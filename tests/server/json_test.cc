@@ -1,0 +1,179 @@
+#include "src/server/json.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace yask {
+namespace {
+
+TEST(JsonValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(1.5).is_number());
+  EXPECT_TRUE(JsonValue("hi").is_string());
+  EXPECT_TRUE(JsonValue::MakeArray().is_array());
+  EXPECT_TRUE(JsonValue::MakeObject().is_object());
+  EXPECT_EQ(JsonValue(3.25).as_number(), 3.25);
+  EXPECT_EQ(JsonValue("x").as_string(), "x");
+  EXPECT_TRUE(JsonValue(true).as_bool());
+}
+
+TEST(JsonValueTest, ObjectSetGet) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("a", JsonValue(1.0)).Set("b", JsonValue("two"));
+  EXPECT_TRUE(o.Has("a"));
+  EXPECT_FALSE(o.Has("zz"));
+  EXPECT_EQ(o.Get("a").as_number(), 1.0);
+  EXPECT_TRUE(o.Get("zz").is_null());
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(JsonValueTest, ArrayAppendAt) {
+  JsonValue a = JsonValue::MakeArray();
+  a.Append(JsonValue(1.0)).Append(JsonValue(2.0));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.At(1).as_number(), 2.0);
+  EXPECT_TRUE(a.At(5).is_null());
+}
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42.0).Dump(), "42");
+  EXPECT_EQ(JsonValue(1.5).Dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonValue("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("line\nbreak").Dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonValue("tab\there").Dump(), "\"tab\\there\"");
+  EXPECT_EQ(JsonValue(std::string("nul\x01")).Dump(), "\"nul\\u0001\"");
+}
+
+TEST(JsonDumpTest, NestedStructures) {
+  JsonValue o = JsonValue::MakeObject();
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(1.0));
+  arr.Append(JsonValue("x"));
+  o.Set("list", std::move(arr));
+  o.Set("flag", JsonValue(true));
+  // Keys serialise sorted (std::map).
+  EXPECT_EQ(o.Dump(), "{\"flag\":true,\"list\":[1,\"x\"]}");
+}
+
+TEST(JsonParseTest, RoundTripsDump) {
+  const std::string text =
+      R"({"a":1,"b":[true,null,"s"],"c":{"d":2.5},"e":"q\"uote"})";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto reparsed = JsonValue::Parse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(parsed->Dump(), reparsed->Dump());
+  EXPECT_EQ(parsed->Get("b").At(2).as_string(), "s");
+  EXPECT_EQ(parsed->Get("c").Get("d").as_number(), 2.5);
+  EXPECT_EQ(parsed->Get("e").as_string(), "q\"uote");
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto parsed = JsonValue::Parse("  { \"a\" :\n[ 1 , 2 ]\t} ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("a").size(), 2u);
+}
+
+TEST(JsonParseTest, NumbersIncludingNegativeAndExponent) {
+  auto parsed = JsonValue::Parse("[-1.5, 2e3, 0.25]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At(0).as_number(), -1.5);
+  EXPECT_EQ(parsed->At(1).as_number(), 2000.0);
+  EXPECT_EQ(parsed->At(2).as_number(), 0.25);
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto parsed = JsonValue::Parse(R"("café")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());       // Trailing garbage.
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\q\"").ok());
+}
+
+TEST(JsonParseTest, DepthGuardStopsBombs) {
+  std::string bomb;
+  for (int i = 0; i < 100; ++i) bomb += '[';
+  for (int i = 0; i < 100; ++i) bomb += ']';
+  EXPECT_FALSE(JsonValue::Parse(bomb).ok());
+  // Modest nesting is fine.
+  std::string ok = "[[[[[[[[1]]]]]]]]";
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonParseTest, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(), "null");
+}
+
+TEST(JsonEscapeTest, PlainStringsQuotedOnly) {
+  EXPECT_EQ(JsonEscape("abc"), "\"abc\"");
+  EXPECT_EQ(JsonEscape(""), "\"\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "\"back\\\\slash\"");
+}
+
+// Deterministic fuzzing: the parser must never crash or hang, whatever the
+// bytes; valid inputs mutated at random positions must either parse or be
+// rejected cleanly; every successful parse must dump to something that
+// re-parses to the same dump (serialisation fixpoint).
+class JsonFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t len = rng.NextBounded(64);
+    std::string input;
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(rng.NextBounded(256));
+    }
+    auto parsed = JsonValue::Parse(input);  // Must not crash.
+    if (parsed.ok()) {
+      const std::string dumped = parsed->Dump();
+      auto reparsed = JsonValue::Parse(dumped);
+      ASSERT_TRUE(reparsed.ok()) << "dump not re-parseable: " << dumped;
+      EXPECT_EQ(reparsed->Dump(), dumped);
+    }
+  }
+}
+
+TEST_P(JsonFuzz, MutatedValidDocumentsNeverCrash) {
+  Rng rng(GetParam() ^ 0x77);
+  const std::string base =
+      R"({"query_id":17,"missing":[3,"Hotel X"],"lambda":0.5,)"
+      R"("nested":{"a":[true,null,-2.5e3],"b":"esc\"aped"}})";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input = base;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextBounded(input.size());
+      input[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    auto parsed = JsonValue::Parse(input);  // Crash-freedom is the assertion.
+    if (parsed.ok()) {
+      auto reparsed = JsonValue::Parse(parsed->Dump());
+      EXPECT_TRUE(reparsed.ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,67 @@
+#include "src/server/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace yask {
+namespace {
+
+TEST(QueryLogTest, AppendAssignsMonotonicIds) {
+  QueryLog log;
+  EXPECT_EQ(log.Append("topk", "q1", 1.5), 1u);
+  EXPECT_EQ(log.Append("whynot", "q2", 2.5, 0.25), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(QueryLogTest, SnapshotPreservesOrderAndFields) {
+  QueryLog log;
+  log.Append("topk", "first", 1.0);
+  log.Append("whynot", "second", 2.0, 0.125);
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].kind, "topk");
+  EXPECT_EQ(entries[0].description, "first");
+  EXPECT_DOUBLE_EQ(entries[0].response_millis, 1.0);
+  EXPECT_DOUBLE_EQ(entries[0].penalty, -1.0);  // N/A marker.
+  EXPECT_EQ(entries[1].kind, "whynot");
+  EXPECT_DOUBLE_EQ(entries[1].penalty, 0.125);
+}
+
+TEST(QueryLogTest, CapacityEvictsOldest) {
+  QueryLog log(3);
+  for (int i = 0; i < 10; ++i) {
+    log.Append("topk", "q" + std::to_string(i), 0.1);
+  }
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].description, "q7");
+  EXPECT_EQ(entries[2].description, "q9");
+  // Ids keep counting across evictions.
+  EXPECT_EQ(entries[2].id, 10u);
+}
+
+TEST(QueryLogTest, ConcurrentAppendsAreSafeAndComplete) {
+  QueryLog log(10000);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append("topk", "t" + std::to_string(t), 0.01);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Ids are unique.
+  std::vector<uint64_t> ids;
+  for (const auto& e : log.Snapshot()) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+}  // namespace yask

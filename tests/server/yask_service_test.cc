@@ -1,0 +1,271 @@
+#include "src/server/yask_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/storage/hotel_generator.h"
+
+namespace yask {
+namespace {
+
+class YaskServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    store_ = new ObjectStore(GenerateHotelDataset());
+    setr_ = new SetRTree(store_);
+    setr_->BulkLoad();
+    kcr_ = new KcRTree(store_);
+    kcr_->BulkLoad();
+  }
+  static void TearDownTestSuite() {
+    delete kcr_;
+    delete setr_;
+    delete store_;
+  }
+
+  void SetUp() override {
+    service_ = std::make_unique<YaskService>(*store_, *setr_, *kcr_);
+    ASSERT_TRUE(service_->Start().ok());
+  }
+  void TearDown() override { service_->Stop(); }
+
+  /// Issues the Carol query over HTTP and returns the parsed response.
+  JsonValue IssueQuery(int k = 3) {
+    JsonValue req = JsonValue::MakeObject();
+    req.Set("x", JsonValue(114.158));
+    req.Set("y", JsonValue(22.281));
+    req.Set("keywords", JsonValue("clean comfortable"));
+    req.Set("k", JsonValue(k));
+    int status = 0;
+    auto body = HttpFetch(service_->port(), "POST", "/query", req.Dump(),
+                          &status);
+    EXPECT_TRUE(body.ok());
+    EXPECT_EQ(status, 200) << *body;
+    auto parsed = JsonValue::Parse(*body);
+    EXPECT_TRUE(parsed.ok());
+    return std::move(parsed).value();
+  }
+
+  static ObjectStore* store_;
+  static SetRTree* setr_;
+  static KcRTree* kcr_;
+  std::unique_ptr<YaskService> service_;
+};
+
+ObjectStore* YaskServiceTest::store_ = nullptr;
+SetRTree* YaskServiceTest::setr_ = nullptr;
+KcRTree* YaskServiceTest::kcr_ = nullptr;
+
+TEST_F(YaskServiceTest, HealthEndpoint) {
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "GET", "/health", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("status").as_string(), "ok");
+  EXPECT_EQ(parsed->Get("objects").as_number(), 539.0);
+}
+
+TEST_F(YaskServiceTest, QueryReturnsTopKWithServerSideWeights) {
+  const JsonValue resp = IssueQuery(3);
+  EXPECT_EQ(resp.Get("results").size(), 3u);
+  // §3.2: the weighting vector is a server-side parameter, default 0.5/0.5.
+  EXPECT_DOUBLE_EQ(resp.Get("ws").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(resp.Get("wt").as_number(), 0.5);
+  EXPECT_GT(resp.Get("query_id").as_number(), 0.0);
+  // Results carry names and scores.
+  const JsonValue& first = resp.Get("results").At(0);
+  EXPECT_FALSE(first.Get("name").as_string().empty());
+  EXPECT_GT(first.Get("score").as_number(), 0.0);
+  EXPECT_EQ(service_->cached_queries(), 1u);
+}
+
+TEST_F(YaskServiceTest, QueryValidationErrors) {
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/query", "{}", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 400);
+  // Unknown keywords produce an empty keyword set => invalid query.
+  JsonValue req = JsonValue::MakeObject();
+  req.Set("x", JsonValue(114.2));
+  req.Set("y", JsonValue(22.3));
+  req.Set("keywords", JsonValue("qqqqzzzz"));
+  req.Set("k", JsonValue(3));
+  body = HttpFetch(service_->port(), "POST", "/query", req.Dump(), &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 400);
+  // Malformed JSON.
+  body = HttpFetch(service_->port(), "POST", "/query", "{not json", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(YaskServiceTest, WhyNotWorkflowRevivesMissingHotel) {
+  const JsonValue qresp = IssueQuery(3);
+  const uint64_t query_id =
+      static_cast<uint64_t>(qresp.Get("query_id").as_number());
+
+  // Choose a hotel not in the result as the "expected but missing" one.
+  const JsonValue wide = IssueQuery(20);
+  const JsonValue& row = wide.Get("results").At(15);
+  const double missing_id = row.Get("id").as_number();
+
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", JsonValue(static_cast<size_t>(query_id)));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(missing_id));
+  wn.Set("missing", std::move(missing));
+  wn.Set("model", JsonValue("both"));
+  wn.Set("lambda", JsonValue(0.5));
+
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/whynot", wn.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  ASSERT_EQ(status, 200) << *body;
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& a = parsed.value();
+  EXPECT_EQ(a.Get("explanations").size(), 1u);
+  EXPECT_TRUE(a.Has("preference"));
+  EXPECT_TRUE(a.Has("keyword"));
+  EXPECT_TRUE(a.Has("recommended"));
+  // The refined result contains the missing hotel.
+  bool revived = false;
+  for (const JsonValue& r : a.Get("refined_results").array_items()) {
+    if (r.Get("id").as_number() == missing_id) revived = true;
+  }
+  EXPECT_TRUE(revived);
+  // Penalties are within [0, 1].
+  EXPECT_GE(a.Get("preference").Get("penalty").Get("value").as_number(), 0.0);
+  EXPECT_LE(a.Get("preference").Get("penalty").Get("value").as_number(), 1.0);
+}
+
+TEST_F(YaskServiceTest, WhyNotByHotelName) {
+  const JsonValue qresp = IssueQuery(3);
+  const uint64_t query_id =
+      static_cast<uint64_t>(qresp.Get("query_id").as_number());
+  const JsonValue wide = IssueQuery(15);
+  const std::string name =
+      wide.Get("results").At(12).Get("name").as_string();
+
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", JsonValue(static_cast<size_t>(query_id)));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(name));
+  wn.Set("missing", std::move(missing));
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/whynot", wn.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200) << *body;
+}
+
+TEST_F(YaskServiceTest, CombinedModelEndpoint) {
+  const JsonValue qresp = IssueQuery(3);
+  const JsonValue wide = IssueQuery(20);
+  const double missing_id = wide.Get("results").At(15).Get("id").as_number();
+
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", qresp.Get("query_id"));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(missing_id));
+  wn.Set("missing", std::move(missing));
+  wn.Set("model", JsonValue("combined"));
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/whynot", wn.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  ASSERT_EQ(status, 200) << *body;
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& a = parsed.value();
+  EXPECT_TRUE(a.Has("total_penalty"));
+  EXPECT_TRUE(a.Has("preference_penalty"));
+  EXPECT_TRUE(a.Has("keyword_penalty"));
+  EXPECT_TRUE(a.Get("preference_first").is_bool());
+  bool revived = false;
+  for (const JsonValue& r : a.Get("refined_results").array_items()) {
+    if (r.Get("id").as_number() == missing_id) revived = true;
+  }
+  EXPECT_TRUE(revived);
+}
+
+TEST_F(YaskServiceTest, UnknownModelRejected) {
+  const JsonValue qresp = IssueQuery(3);
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", qresp.Get("query_id"));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(5));
+  wn.Set("missing", std::move(missing));
+  wn.Set("model", JsonValue("oracle"));
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/whynot", wn.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(YaskServiceTest, WhyNotUnknownQueryIdIs404) {
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", JsonValue(424242));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(1));
+  wn.Set("missing", std::move(missing));
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/whynot", wn.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(YaskServiceTest, ForgetDropsCachedQuery) {
+  const JsonValue qresp = IssueQuery(3);
+  const size_t id = static_cast<size_t>(qresp.Get("query_id").as_number());
+  EXPECT_EQ(service_->cached_queries(), 1u);
+  JsonValue req = JsonValue::MakeObject();
+  req.Set("query_id", JsonValue(id));
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/forget", req.Dump(),
+                        &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(service_->cached_queries(), 0u);
+  // Forgetting again reports false.
+  body = HttpFetch(service_->port(), "POST", "/forget", req.Dump(), &status);
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Get("forgotten").as_bool());
+}
+
+TEST_F(YaskServiceTest, ObjectsEndpointHonoursLimit) {
+  int status = 0;
+  auto body =
+      HttpFetch(service_->port(), "GET", "/objects?limit=7", "", &status);
+  ASSERT_TRUE(body.ok());
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("objects").size(), 7u);
+  EXPECT_EQ(parsed->Get("total").as_number(), 539.0);
+}
+
+TEST_F(YaskServiceTest, LogRecordsQueriesWithResponseTimes) {
+  IssueQuery(3);
+  IssueQuery(5);
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "GET", "/log", "", &status);
+  ASSERT_TRUE(body.ok());
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& entries = parsed->Get("entries");
+  ASSERT_EQ(entries.size(), 2u);
+  for (const JsonValue& e : entries.array_items()) {
+    EXPECT_EQ(e.Get("kind").as_string(), "topk");
+    EXPECT_GE(e.Get("response_millis").as_number(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace yask

@@ -1,0 +1,109 @@
+#include "src/storage/dataset_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace yask {
+namespace {
+
+TEST(DatasetGeneratorTest, HonoursObjectCount) {
+  DatasetSpec spec;
+  spec.num_objects = 1234;
+  const ObjectStore store = GenerateDataset(spec);
+  EXPECT_EQ(store.size(), 1234u);
+}
+
+TEST(DatasetGeneratorTest, KeywordSizesWithinSpec) {
+  DatasetSpec spec;
+  spec.num_objects = 2000;
+  spec.min_keywords = 4;
+  spec.max_keywords = 7;
+  spec.vocabulary_size = 500;
+  const ObjectStore store = GenerateDataset(spec);
+  for (const SpatialObject& o : store.objects()) {
+    EXPECT_GE(o.doc.size(), 1u);
+    EXPECT_LE(o.doc.size(), 7u);
+  }
+}
+
+TEST(DatasetGeneratorTest, LocationsInsideUnitSquare) {
+  for (auto dist : {SpatialDistribution::kUniform,
+                    SpatialDistribution::kClustered}) {
+    DatasetSpec spec;
+    spec.num_objects = 2000;
+    spec.spatial = dist;
+    const ObjectStore store = GenerateDataset(spec);
+    for (const SpatialObject& o : store.objects()) {
+      EXPECT_GE(o.loc.x, 0.0);
+      EXPECT_LE(o.loc.x, 1.0);
+      EXPECT_GE(o.loc.y, 0.0);
+      EXPECT_LE(o.loc.y, 1.0);
+    }
+  }
+}
+
+TEST(DatasetGeneratorTest, DeterministicForEqualSeeds) {
+  DatasetSpec spec;
+  spec.num_objects = 500;
+  const ObjectStore a = GenerateDataset(spec);
+  const ObjectStore b = GenerateDataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Get(i).loc, b.Get(i).loc);
+    EXPECT_EQ(a.Get(i).doc, b.Get(i).doc);
+  }
+}
+
+TEST(DatasetGeneratorTest, DifferentSeedsDiffer) {
+  DatasetSpec spec;
+  spec.num_objects = 500;
+  const ObjectStore a = GenerateDataset(spec);
+  spec.seed = 43;
+  const ObjectStore b = GenerateDataset(spec);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.Get(i).loc == b.Get(i).loc) ++same;
+  }
+  EXPECT_LT(same, 10u);
+}
+
+TEST(DatasetGeneratorTest, ZipfSkewsKeywordFrequencies) {
+  DatasetSpec spec;
+  spec.num_objects = 5000;
+  spec.keyword_zipf = 1.2;
+  spec.vocabulary_size = 200;
+  const ObjectStore store = GenerateDataset(spec);
+  std::vector<size_t> freq(store.vocab().size(), 0);
+  for (const SpatialObject& o : store.objects()) {
+    for (TermId t : o.doc) ++freq[t];
+  }
+  // kw0 is the most popular rank; it should dominate mid-tail ranks.
+  EXPECT_GT(freq[0], 4 * std::max<size_t>(freq[100], 1));
+}
+
+TEST(DatasetGeneratorTest, VocabularyNamedByRank) {
+  DatasetSpec spec;
+  spec.vocabulary_size = 10;
+  spec.num_objects = 10;
+  const ObjectStore store = GenerateDataset(spec);
+  EXPECT_EQ(store.vocab().size(), 10u);
+  EXPECT_EQ(store.vocab().Word(0), "kw0");
+  EXPECT_EQ(store.vocab().Word(9), "kw9");
+}
+
+TEST(SampleQueryTest, LocationNearDataAndKeywordsNonEmpty) {
+  DatasetSpec spec;
+  spec.num_objects = 1000;
+  const ObjectStore store = GenerateDataset(spec);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Point p = SampleQueryLocation(store, &rng);
+    EXPECT_GE(p.x, -0.2);
+    EXPECT_LE(p.x, 1.2);
+    const KeywordSet kw = SampleQueryKeywords(store, 3, &rng);
+    EXPECT_GE(kw.size(), 1u);
+    EXPECT_LE(kw.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace yask

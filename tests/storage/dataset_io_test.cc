@@ -1,0 +1,107 @@
+#include "src/storage/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/yask_dataset_io_test.tsv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(DatasetIoTest, RoundTrip) {
+  DatasetSpec spec;
+  spec.num_objects = 200;
+  const ObjectStore original = GenerateDataset(spec);
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const SpatialObject& a = original.Get(i);
+    const SpatialObject& b = loaded->Get(i);
+    EXPECT_NEAR(a.loc.x, b.loc.x, 1e-9);
+    EXPECT_NEAR(a.loc.y, b.loc.y, 1e-9);
+    EXPECT_EQ(a.doc.size(), b.doc.size());
+    // Keyword words must survive the round trip (ids may be renumbered, so
+    // compare as word sets).
+    auto words = [](const KeywordSet& doc, const Vocabulary& vocab) {
+      std::set<std::string> out;
+      for (TermId t : doc) out.insert(vocab.Word(t));
+      return out;
+    };
+    EXPECT_EQ(words(a.doc, original.vocab()), words(b.doc, loaded->vocab()));
+  }
+}
+
+TEST_F(DatasetIoTest, NamesSurvive) {
+  ObjectStore store;
+  Vocabulary* vocab = store.mutable_vocab();
+  store.Add(Point{0.1, 0.2}, KeywordSet({vocab->Intern("cafe")}),
+            "Starbucks Central");
+  ASSERT_TRUE(SaveDataset(store, path_).ok());
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Get(0).name, "Starbucks Central");
+}
+
+TEST_F(DatasetIoTest, SkipsCommentsAndBlankLines) {
+  std::ofstream out(path_);
+  out << "# header comment\n\n0.5\t0.5\tcoffee wifi\tCafe A\n\n";
+  out.close();
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->Get(0).doc.size(), 2u);
+}
+
+TEST_F(DatasetIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadDataset("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatasetIoTest, MalformedCoordinatesRejectedWithLineNumber) {
+  std::ofstream out(path_);
+  out << "0.5\t0.5\tok\tA\n";
+  out << "abc\t0.5\tbad\tB\n";
+  out.close();
+  auto loaded = LoadDataset(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(DatasetIoTest, TooFewFieldsRejected) {
+  std::ofstream out(path_);
+  out << "0.5\t0.5\n";
+  out.close();
+  auto loaded = LoadDataset(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, NameFieldOptional) {
+  std::ofstream out(path_);
+  out << "0.25\t0.75\talpha beta\n";
+  out.close();
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Get(0).name, "");
+  EXPECT_EQ(loaded->Get(0).loc, (Point{0.25, 0.75}));
+}
+
+}  // namespace
+}  // namespace yask

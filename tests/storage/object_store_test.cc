@@ -1,0 +1,64 @@
+#include "src/storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yask {
+namespace {
+
+TEST(ObjectStoreTest, AddAssignsDenseIds) {
+  ObjectStore store;
+  const ObjectId a = store.Add(Point{0, 0}, KeywordSet({1}), "a");
+  const ObjectId b = store.Add(Point{1, 1}, KeywordSet({2}), "b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(a).id, a);
+  EXPECT_EQ(store.Get(b).name, "b");
+}
+
+TEST(ObjectStoreTest, BoundsTrackAllPoints) {
+  ObjectStore store;
+  EXPECT_TRUE(store.bounds().empty());
+  store.Add(Point{2, 3}, KeywordSet());
+  store.Add(Point{-1, 5}, KeywordSet());
+  EXPECT_EQ(store.bounds(), Rect::FromBounds(-1, 3, 2, 5));
+}
+
+TEST(ObjectStoreTest, BoundsDiagonal) {
+  ObjectStore store;
+  EXPECT_DOUBLE_EQ(store.BoundsDiagonal(), 0.0);
+  store.Add(Point{0, 0}, KeywordSet());
+  store.Add(Point{3, 4}, KeywordSet());
+  EXPECT_DOUBLE_EQ(store.BoundsDiagonal(), 5.0);
+}
+
+TEST(ObjectStoreTest, FindByName) {
+  ObjectStore store;
+  store.Add(Point{0, 0}, KeywordSet(), "Starbucks Central");
+  store.Add(Point{1, 1}, KeywordSet(), "Harbour Grand");
+  EXPECT_EQ(store.FindByName("Harbour Grand"), 1u);
+  EXPECT_EQ(store.FindByName("Ritz"), kInvalidObject);
+}
+
+TEST(ObjectStoreTest, SharedVocabulary) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->Intern("coffee");
+  ObjectStore store(vocab);
+  EXPECT_EQ(store.vocab().size(), 1u);
+  store.mutable_vocab()->Intern("wifi");
+  EXPECT_EQ(vocab->size(), 2u);
+  EXPECT_EQ(store.shared_vocab().get(), vocab.get());
+}
+
+TEST(ObjectStoreTest, DocumentsPreserved) {
+  ObjectStore store;
+  Vocabulary* vocab = store.mutable_vocab();
+  KeywordSet doc({vocab->Intern("clean"), vocab->Intern("wifi")});
+  const ObjectId id = store.Add(Point{0.5, 0.5}, doc, "Hotel");
+  EXPECT_EQ(store.Get(id).doc, doc);
+}
+
+}  // namespace
+}  // namespace yask

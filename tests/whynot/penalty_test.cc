@@ -1,0 +1,113 @@
+#include "src/whynot/penalty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace yask {
+namespace {
+
+Query BaseQuery() {
+  Query q;
+  q.loc = Point{0, 0};
+  q.doc = KeywordSet({0, 1});
+  q.k = 3;
+  q.w = Weights::FromWs(0.5);
+  return q;
+}
+
+TEST(DeltaKTermTest, ZeroWhenRefinedWithinK) {
+  EXPECT_DOUBLE_EQ(DeltaKTerm(0.5, 3, 10, 3), 0.0);
+  EXPECT_DOUBLE_EQ(DeltaKTerm(0.5, 3, 10, 2), 0.0);
+}
+
+TEST(DeltaKTermTest, MatchesEqnThreeNumerator) {
+  // λ=0.5, k=3, R(M,q)=10, R(M,q')=7: 0.5 * (7-3)/(10-3).
+  EXPECT_DOUBLE_EQ(DeltaKTerm(0.5, 3, 10, 7), 0.5 * 4.0 / 7.0);
+}
+
+TEST(DeltaKTermTest, DegenerateNormaliser) {
+  // R(M,q) == k: the missing objects are not missing; term is 0.
+  EXPECT_DOUBLE_EQ(DeltaKTerm(0.5, 3, 3, 9), 0.0);
+}
+
+TEST(PreferencePenaltyTest, HandComputedExample) {
+  const Query q = BaseQuery();
+  // Refined weight <0.7, 0.3>: ∆w = sqrt(0.04+0.04) = 0.2*sqrt(2)/... wait:
+  // (0.7-0.5, 0.3-0.5) = (0.2, -0.2), ||.||2 = 0.2*sqrt(2).
+  const Weights refined = Weights::FromWs(0.7);
+  // R(M,q)=10, R(M,q')=5 => ∆k = 2, normaliser = 10-3 = 7.
+  const PenaltyBreakdown p = PreferencePenalty(0.5, q, refined, 10, 5);
+  EXPECT_EQ(p.delta_k, 2u);
+  EXPECT_NEAR(p.delta_w, 0.2 * std::sqrt(2.0), 1e-12);
+  const double expect_k = 0.5 * 2.0 / 7.0;
+  const double expect_w =
+      0.5 * (0.2 * std::sqrt(2.0)) / std::sqrt(1.0 + 0.25 + 0.25);
+  EXPECT_NEAR(p.k_term, expect_k, 1e-12);
+  EXPECT_NEAR(p.mod_term, expect_w, 1e-12);
+  EXPECT_NEAR(p.value, expect_k + expect_w, 1e-12);
+}
+
+TEST(PreferencePenaltyTest, PureKRefinementCostsLambda) {
+  const Query q = BaseQuery();
+  // Unchanged w, k' = R(M,q): ∆k = R - k, term = λ * (R-k)/(R-k) = λ.
+  const PenaltyBreakdown p = PreferencePenalty(0.3, q, q.w, 10, 10);
+  EXPECT_NEAR(p.value, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(p.mod_term, 0.0);
+}
+
+TEST(PreferencePenaltyTest, LambdaExtremes) {
+  const Query q = BaseQuery();
+  const Weights refined = Weights::FromWs(0.6);
+  const PenaltyBreakdown p0 = PreferencePenalty(0.0, q, refined, 10, 10);
+  EXPECT_DOUBLE_EQ(p0.k_term, 0.0);
+  EXPECT_GT(p0.mod_term, 0.0);
+  const PenaltyBreakdown p1 = PreferencePenalty(1.0, q, refined, 10, 10);
+  EXPECT_GT(p1.k_term, 0.0);
+  EXPECT_DOUBLE_EQ(p1.mod_term, 0.0);
+}
+
+TEST(PreferencePenaltyTest, BothTermsBoundedByOne) {
+  const Query q = BaseQuery();
+  // Extreme modification: w from 0.5 to nearly 1.
+  const PenaltyBreakdown p =
+      PreferencePenalty(0.5, q, Weights::FromWs(0.999), 100, 100);
+  EXPECT_LE(p.value, 1.0);
+  EXPECT_LE(p.k_term, 0.5);
+  EXPECT_LE(p.mod_term, 0.5);
+}
+
+TEST(KeywordPenaltyTest, HandComputedExample) {
+  const Query q = BaseQuery();
+  // ∆doc = 2, |q.doc ∪ M.doc| = 6, R=10, R'=8, k=3, λ=0.4.
+  const PenaltyBreakdown p = KeywordPenalty(0.4, q, 2, 6, 10, 8);
+  EXPECT_EQ(p.delta_doc, 2u);
+  EXPECT_EQ(p.delta_k, 5u);
+  EXPECT_NEAR(p.k_term, 0.4 * 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(p.mod_term, 0.6 * 2.0 / 6.0, 1e-12);
+}
+
+TEST(KeywordPenaltyTest, ZeroDocNormGuard) {
+  const Query q = BaseQuery();
+  const PenaltyBreakdown p = KeywordPenalty(0.4, q, 0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(p.mod_term, 0.0);
+}
+
+TEST(KeywordPenaltyTest, PureKRefinementCostsLambda) {
+  const Query q = BaseQuery();
+  const PenaltyBreakdown p = KeywordPenalty(0.7, q, 0, 6, 12, 12);
+  EXPECT_NEAR(p.value, 0.7, 1e-12);
+}
+
+TEST(KeywordPenaltyTest, MonotoneInDeltaDoc) {
+  const Query q = BaseQuery();
+  double prev = -1.0;
+  for (size_t d = 0; d <= 6; ++d) {
+    const PenaltyBreakdown p = KeywordPenalty(0.5, q, d, 6, 10, 5);
+    EXPECT_GT(p.value, prev);
+    prev = p.value;
+  }
+}
+
+}  // namespace
+}  // namespace yask
