@@ -3,6 +3,9 @@
 //   dataset_tool generate <n> <out.tsv> [seed]   synthetic clustered dataset
 //   dataset_tool hotels <out.tsv>                the 539-hotel demo dataset
 //   dataset_tool stats <file.tsv>                corpus statistics
+//   dataset_tool build-snapshot <in.tsv> <out.snap>   TSV -> binary snapshot
+//                                                (store + SetR/KcR/inverted)
+//   dataset_tool inspect-snapshot <file.snap>    header + section table
 //
 // With no arguments it runs a self-demo into a temporary file, so it can be
 // exercised without any setup.
@@ -13,6 +16,11 @@
 #include <string>
 
 #include "src/common/geo.h"
+#include "src/common/timer.h"
+#include "src/index/inverted_index.h"
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/storage/dataset_generator.h"
 #include "src/storage/dataset_io.h"
 #include "src/storage/hotel_generator.h"
@@ -87,6 +95,51 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
+int CmdBuildSnapshot(const std::string& in_path, const std::string& out_path) {
+  auto loaded = LoadDataset(in_path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const ObjectStore& store = *loaded;
+
+  Timer build_timer;
+  SetRTree setr(&store);
+  setr.BulkLoad();
+  KcRTree kcr(&store);
+  kcr.BulkLoad();
+  InvertedIndex inverted(store);
+  const double build_ms = build_timer.ElapsedMillis();
+
+  Timer save_timer;
+  auto bytes = WriteSnapshot(out_path, store, &setr, &kcr, &inverted);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  std::printf(
+      "indexed %zu objects in %.1f ms; wrote snapshot %s (%zu bytes, "
+      "%.1f ms)\n",
+      store.size(), build_ms, out_path.c_str(), static_cast<size_t>(*bytes),
+      save_timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdInspectSnapshot(const std::string& path) {
+  auto report = InspectSnapshot(path);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("snapshot      : %s\n", path.c_str());
+  std::printf("format version: %u\n", report->format_version);
+  std::printf("file size     : %zu bytes\n",
+              static_cast<size_t>(report->file_size));
+  std::printf("sections      : %zu\n", report->sections.size());
+  std::printf("  %-16s %12s %10s  %s\n", "name", "bytes", "crc32", "items");
+  for (const SnapshotSectionReport& s : report->sections) {
+    std::printf("  %-16s %12zu   %08x  ", s.name.c_str(),
+                static_cast<size_t>(s.size), s.crc32);
+    if (s.item_count >= 0) {
+      std::printf("%lld\n", static_cast<long long>(s.item_count));
+    } else {
+      std::printf("(payload corrupt)\n");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,18 +154,33 @@ int main(int argc, char** argv) {
     }
     if (cmd == "hotels" && argc == 3) return CmdHotels(argv[2]);
     if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
+    if (cmd == "build-snapshot" && argc == 4) {
+      return CmdBuildSnapshot(argv[2], argv[3]);
+    }
+    if (cmd == "inspect-snapshot" && argc == 3) {
+      return CmdInspectSnapshot(argv[2]);
+    }
     std::fprintf(stderr,
                  "usage: %s generate <n> <out.tsv> [seed]\n"
                  "       %s hotels <out.tsv>\n"
-                 "       %s stats <file.tsv>\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s stats <file.tsv>\n"
+                 "       %s build-snapshot <in.tsv> <out.snap>\n"
+                 "       %s inspect-snapshot <file.snap>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
 
-  // Self-demo: generate the hotel dataset into a temp file and print stats.
+  // Self-demo: generate the hotel dataset into a temp file, print stats,
+  // then round it through the snapshot pipeline.
   const std::string path = "/tmp/yask_dataset_tool_demo.tsv";
   std::printf("self-demo: %s hotels %s\n", argv[0], path.c_str());
   if (int rc = CmdHotels(path); rc != 0) return rc;
   std::printf("\nself-demo: %s stats %s\n", argv[0], path.c_str());
-  return CmdStats(path);
+  if (int rc = CmdStats(path); rc != 0) return rc;
+  const std::string snap = "/tmp/yask_dataset_tool_demo.snap";
+  std::printf("\nself-demo: %s build-snapshot %s %s\n", argv[0], path.c_str(),
+              snap.c_str());
+  if (int rc = CmdBuildSnapshot(path, snap); rc != 0) return rc;
+  std::printf("\nself-demo: %s inspect-snapshot %s\n", argv[0], snap.c_str());
+  return CmdInspectSnapshot(snap);
 }

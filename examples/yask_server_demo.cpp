@@ -6,13 +6,25 @@
 // (why-not mode, Fig. 4), fetches the query log with the response times and
 // penalties shown in Panel 5, and finally releases the cached query.
 //
-//   $ ./yask_server_demo
+// With `--snapshot <path>` the server boots from a snapshot file when one
+// exists (the fast cold-start path: no re-indexing) and writes one after
+// building otherwise, so the second run restores the warm state from disk.
+//
+// With `--serve` the process skips the scripted client and keeps serving
+// until killed, so real clients (curl, a browser) can talk to it.
+//
+//   $ ./yask_server_demo [--snapshot state.snap] [--serve]
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
+#include "src/common/timer.h"
 #include "src/index/kcr_tree.h"
 #include "src/index/setr_tree.h"
 #include "src/server/yask_service.h"
+#include "src/snapshot/snapshot_codec.h"
 #include "src/storage/hotel_generator.h"
 
 using namespace yask;
@@ -34,20 +46,87 @@ JsonValue MustParse(const Result<std::string>& body) {
 
 }  // namespace
 
-int main() {
-  // --- Server side (Fig. 1): store + indexes + service. ---
-  const ObjectStore store = GenerateHotelDataset();
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  bool serve = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (arg == "--serve") {
+      serve = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--snapshot <path>] [--serve]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
-  YaskService service(store, setr, kcr);
+  // --- Server side (Fig. 1): store + indexes + service. ---
+  // Warm state comes from the snapshot when one exists (fast cold start);
+  // otherwise it is built from the dataset and persisted for the next boot.
+  SnapshotBundle state;
+  if (!snapshot_path.empty()) {
+    Timer timer;
+    auto loaded = LoadSnapshot(snapshot_path);
+    if (loaded.ok() && loaded->setr != nullptr && loaded->kcr != nullptr) {
+      state = std::move(loaded).value();
+      std::printf("loaded snapshot %s (%zu objects) in %.2f ms\n",
+                  snapshot_path.c_str(), state.store->size(),
+                  timer.ElapsedMillis());
+    } else if (!loaded.ok() &&
+               loaded.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "ignoring unusable snapshot %s: %s\n",
+                   snapshot_path.c_str(),
+                   loaded.status().ToString().c_str());
+    }
+  }
+  if (state.store == nullptr) {
+    Timer timer;
+    state.store = std::make_unique<ObjectStore>(GenerateHotelDataset());
+    state.setr = std::make_unique<SetRTree>(state.store.get());
+    state.setr->BulkLoad();
+    state.kcr = std::make_unique<KcRTree>(state.store.get());
+    state.kcr->BulkLoad();
+    std::printf("built store + indexes in %.2f ms\n", timer.ElapsedMillis());
+    if (!snapshot_path.empty()) {
+      auto written =
+          WriteSnapshot(snapshot_path, *state.store, state.setr.get(),
+                        state.kcr.get());
+      if (written.ok()) {
+        std::printf("wrote snapshot %s (%zu bytes); next boot loads it\n",
+                    snapshot_path.c_str(), static_cast<size_t>(*written));
+      } else {
+        std::fprintf(stderr, "cannot write snapshot: %s\n",
+                     written.status().ToString().c_str());
+      }
+    }
+  }
+  const ObjectStore& store = *state.store;
+  const SetRTree& setr = *state.setr;
+  const KcRTree& kcr = *state.kcr;
+
+  YaskServiceOptions service_options;
+  service_options.snapshot_path = snapshot_path;
+  // The demo is a local admin playground; a production deployment would
+  // leave the override off and snapshot only to its configured path.
+  service_options.allow_snapshot_path_override = true;
+  YaskService service(store, setr, kcr, service_options);
+  // A snapshot-restored inverted index rides along into future snapshots.
+  service.set_inverted_index(state.inverted.get());
   if (Status s = service.Start(); !s.ok()) {
     std::fprintf(stderr, "cannot start service: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("YASK service listening on 127.0.0.1:%u\n\n", service.port());
+
+  if (serve) {
+    // Plain server mode: no scripted client, just serve until killed.
+    while (service.port() != 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    return 0;
+  }
 
   // --- Client: initial spatial keyword top-k query (Panel 2). ---
   JsonValue query = JsonValue::MakeObject();

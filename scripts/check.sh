@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md), end to end: configure, build, run the test
+# suite. Run from anywhere; builds into <repo>/build.
+#
+#   scripts/check.sh            # configure + build + ctest
+#   scripts/check.sh --bench    # additionally run bench_snapshot and leave
+#                               # BENCH_snapshot.json in the build directory
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$run_bench" -eq 1 ]]; then
+  (cd "$build_dir" && ./bench_snapshot --json=BENCH_snapshot.json)
+fi
+
+echo "check.sh: OK"

@@ -12,6 +12,12 @@ KeywordSet::KeywordSet(std::vector<TermId> ids) : ids_(std::move(ids)) {
 KeywordSet::KeywordSet(std::initializer_list<TermId> ids)
     : KeywordSet(std::vector<TermId>(ids)) {}
 
+KeywordSet KeywordSet::FromSortedUnique(std::vector<TermId> ids) {
+  KeywordSet set;
+  set.ids_ = std::move(ids);
+  return set;
+}
+
 void KeywordSet::Insert(TermId id) {
   auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it != ids_.end() && *it == id) return;

@@ -26,6 +26,11 @@ class KeywordSet {
   explicit KeywordSet(std::vector<TermId> ids);
   KeywordSet(std::initializer_list<TermId> ids);
 
+  /// Adopts an already strictly-ascending id vector without re-sorting (the
+  /// snapshot-load fast path; the decoder has validated the order). Passing
+  /// unsorted or duplicated ids breaks the set-algebra invariants.
+  static KeywordSet FromSortedUnique(std::vector<TermId> ids);
+
   /// Inserts one id, keeping order; no-op if present.
   void Insert(TermId id);
 

@@ -46,6 +46,12 @@ class Vocabulary {
   /// Number of distinct keywords.
   size_t size() const { return words_.size(); }
 
+  /// Pre-sizes both directions of the mapping (snapshot restore).
+  void Reserve(size_t n) {
+    index_.reserve(n);
+    words_.reserve(n);
+  }
+
  private:
   std::unordered_map<std::string, TermId> index_;
   std::vector<std::string> words_;

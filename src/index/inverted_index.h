@@ -19,6 +19,15 @@ class InvertedIndex {
   /// Builds postings for every object in the store; O(total keywords).
   explicit InvertedIndex(const ObjectStore& store);
 
+  /// Reassembles an index from raw posting lists (the snapshot-load hook).
+  /// Each list must be ascending and deduplicated, as Postings() guarantees.
+  static InvertedIndex FromPostings(std::vector<std::vector<ObjectId>> postings);
+
+  /// All posting lists, indexed by TermId (the snapshot-save hook).
+  const std::vector<std::vector<ObjectId>>& postings() const {
+    return postings_;
+  }
+
   /// Posting list (ascending object ids) for a term; empty for unknown terms.
   const std::vector<ObjectId>& Postings(TermId term) const;
 
@@ -32,6 +41,8 @@ class InvertedIndex {
   size_t MemoryUsageBytes() const;
 
  private:
+  InvertedIndex() = default;  // For FromPostings().
+
   std::vector<std::vector<ObjectId>> postings_;  // Indexed by TermId.
   std::vector<ObjectId> empty_;
 };

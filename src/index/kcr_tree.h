@@ -39,6 +39,12 @@ class CountMap {
  public:
   CountMap() = default;
 
+  /// Builds from pre-sorted entries (the snapshot-load hook). `entries` must
+  /// be strictly ascending by TermId with positive counts; callers decoding
+  /// untrusted bytes must validate before constructing.
+  explicit CountMap(std::vector<std::pair<TermId, uint32_t>> entries)
+      : entries_(std::move(entries)) {}
+
   /// Count for a keyword; 0 when absent.
   uint32_t Get(TermId term) const;
 

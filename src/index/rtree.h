@@ -110,6 +110,26 @@ class RTreeT {
   /// nodes are dissolved and their objects re-inserted (condense-tree).
   bool Delete(ObjectId id);
 
+  /// Installs a fully-built node arena, replacing the current tree. This is
+  /// the snapshot-load hook: the codec reconstructs nodes (rects, parents,
+  /// summaries, entries) from disk and hands them over wholesale, so a cold
+  /// start skips both the STR sort and the bottom-up summary recomputation.
+  ///
+  /// `nodes` must be structurally consistent (the codec validates while
+  /// decoding; tests cross-check with Validate()) and must contain no free
+  /// slots. `options` restores the fanout limits the tree was built with, so
+  /// later Insert()/Delete() calls keep honouring them.
+  void AdoptArena(std::vector<Node> nodes, NodeId root, size_t object_count,
+                  RTreeOptions options) {
+    assert(root < nodes.size());
+    nodes_ = std::move(nodes);
+    free_list_.clear();
+    root_ = root;
+    size_ = object_count;
+    live_nodes_ = nodes_.size();
+    options_ = options;
+  }
+
   // --- Queries --------------------------------------------------------------
 
   /// Calls `fn(object_id)` for every indexed object whose point lies in

@@ -5,12 +5,15 @@
 #include "src/common/string_util.h"
 #include "src/common/text.h"
 #include "src/common/timer.h"
+#include "src/snapshot/snapshot_codec.h"
 
 namespace yask {
 
 YaskService::YaskService(const ObjectStore& store, const SetRTree& setr,
                          const KcRTree& kcr, YaskServiceOptions options)
     : store_(&store),
+      setr_(&setr),
+      kcr_(&kcr),
       engine_(store, setr, kcr),
       options_(options),
       server_(options.port, options.num_workers) {
@@ -26,6 +29,8 @@ YaskService::YaskService(const ObjectStore& store, const SetRTree& setr,
                 [this](const HttpRequest& r) { return HandleForget(r); });
   server_.Route("GET", "/health",
                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  server_.Route("POST", "/snapshot",
+                [this](const HttpRequest& r) { return HandleSnapshot(r); });
   // A minimal index page standing in for the demo's map GUI (Figs. 3-5).
   server_.Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse{
@@ -336,6 +341,42 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
   out.Set("status", JsonValue("ok"));
   out.Set("objects", JsonValue(store_->size()));
   out.Set("vocabulary", JsonValue(store_->vocab().size()));
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleSnapshot(const HttpRequest& req) {
+  std::string path = options_.snapshot_path;
+  if (!req.body.empty()) {
+    auto parsed = JsonValue::Parse(req.body);
+    if (!parsed.ok()) {
+      return HttpResponse::Error(400, parsed.status().message());
+    }
+    if (parsed.value().Get("path").is_string()) {
+      if (!options_.allow_snapshot_path_override) {
+        return HttpResponse::Error(
+            403, "snapshot path override is disabled on this server");
+      }
+      path = parsed.value().Get("path").as_string();
+    }
+  }
+  if (path.empty()) {
+    return HttpResponse::Error(
+        400, "no snapshot path configured on this server");
+  }
+
+  Timer timer;
+  Result<uint64_t> bytes = WriteSnapshot(path, *store_, setr_, kcr_, inverted_);
+  const double millis = timer.ElapsedMillis();
+  if (!bytes.ok()) {
+    return HttpResponse::Error(500, bytes.status().ToString());
+  }
+  log_.Append("snapshot", path, millis);
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("path", JsonValue(path));
+  out.Set("bytes", JsonValue(static_cast<size_t>(*bytes)));
+  out.Set("objects", JsonValue(store_->size()));
+  out.Set("response_millis", JsonValue(millis));
   return HttpResponse::Json(out.Dump());
 }
 

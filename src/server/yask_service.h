@@ -21,6 +21,11 @@
 //   GET  /log                  -> query log snapshot
 //   POST /forget   {"query_id":..}   -> drops a cached initial query
 //   GET  /health               -> {"status":"ok","objects":N}
+//   POST /snapshot [{"path":..}]  -> admin: serialize the warm state (store +
+//                  vocabulary + indexes) to disk; see src/snapshot/. Writes
+//                  to YaskServiceOptions::snapshot_path; the body's "path"
+//                  override is honoured only when
+//                  allow_snapshot_path_override is set (403 otherwise).
 
 #ifndef YASK_SERVER_YASK_SERVICE_H_
 #define YASK_SERVER_YASK_SERVICE_H_
@@ -29,6 +34,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/index/inverted_index.h"
 #include "src/index/kcr_tree.h"
 #include "src/index/setr_tree.h"
 #include "src/server/http_server.h"
@@ -47,6 +53,13 @@ struct YaskServiceOptions {
   double default_lambda = 0.5;
   uint16_t port = 0;  // 0 = ephemeral.
   size_t num_workers = 4;
+  /// Default target of the POST /snapshot admin endpoint.
+  std::string snapshot_path;
+  /// Whether POST /snapshot may override the target via {"path": ...} in
+  /// the request body. Off by default: the server has no authentication, so
+  /// a client-chosen path would let any local client overwrite any file the
+  /// server process can write. Enable only for trusted/admin deployments.
+  bool allow_snapshot_path_override = false;
 };
 
 /// The YASK service: owns the HTTP server and the query cache; borrows the
@@ -55,6 +68,13 @@ class YaskService {
  public:
   YaskService(const ObjectStore& store, const SetRTree& setr,
               const KcRTree& kcr, YaskServiceOptions options = {});
+
+  /// When the process also holds an inverted index (e.g. restored from a
+  /// snapshot that contained one), registering it here makes POST /snapshot
+  /// include it — otherwise re-snapshotting would silently drop the section.
+  void set_inverted_index(const InvertedIndex* inverted) {
+    inverted_ = inverted;
+  }
 
   /// Starts serving; returns the bound port via port().
   Status Start();
@@ -73,10 +93,14 @@ class YaskService {
   HttpResponse HandleLog(const HttpRequest& req);
   HttpResponse HandleForget(const HttpRequest& req);
   HttpResponse HandleHealth(const HttpRequest& req);
+  HttpResponse HandleSnapshot(const HttpRequest& req);
 
   JsonValue ResultToJson(const TopKResult& result) const;
 
   const ObjectStore* store_;
+  const SetRTree* setr_;
+  const KcRTree* kcr_;
+  const InvertedIndex* inverted_ = nullptr;  // Optional; see setter.
   WhyNotEngine engine_;
   YaskServiceOptions options_;
   HttpServer server_;

@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Per-component Save/Load codecs plus the whole-server bundle API.
+//
+// A snapshot captures the server's warm state — the object table D, the
+// shared Vocabulary, and the SetR-tree / KcR-tree / inverted index built
+// over it — so a restarting process (or a new replica) loads it in one
+// sequential pass instead of re-interning, re-sorting and re-summarising.
+//
+// Sharing discipline: the vocabulary is serialised exactly once (its own
+// section); LoadSnapshot() deserialises it first and hands the *same*
+// shared_ptr<Vocabulary> to the restored ObjectStore, so no token is ever
+// re-interned and term ids are bit-identical to the saved process.
+//
+// R-tree encoding: node structure (leaf flags + child/object ids) and node
+// summaries are stored; rects and parent pointers are reconstructed from the
+// store's points while decoding (children are written before parents), which
+// halves the file size and still skips the expensive part of a rebuild — the
+// STR sorts and the bottom-up keyword-set/count-map merges.
+
+#ifndef YASK_SNAPSHOT_SNAPSHOT_CODEC_H_
+#define YASK_SNAPSHOT_SNAPSHOT_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/vocabulary.h"
+#include "src/index/inverted_index.h"
+#include "src/index/kcr_tree.h"
+#include "src/index/setr_tree.h"
+#include "src/snapshot/snapshot_io.h"
+#include "src/storage/object_store.h"
+
+namespace yask {
+
+// --- Component codecs --------------------------------------------------------
+// Save* appends one section payload; Load* decodes one. Loaders never crash
+// on corrupt bytes: they validate counts, id ranges and invariants and
+// return InvalidArgument.
+
+void SaveVocabulary(const Vocabulary& vocab, BufWriter* out);
+Status LoadVocabulary(BufReader* in, Vocabulary* vocab);
+
+/// Objects only; the vocabulary travels in its own section. `store` passed
+/// to the loader must be freshly constructed over the already-loaded shared
+/// vocabulary (that is the no-re-interning guarantee).
+void SaveObjectStore(const ObjectStore& store, BufWriter* out);
+Status LoadObjectStore(BufReader* in, ObjectStore* store);
+
+void SaveInvertedIndex(const InvertedIndex& index, BufWriter* out);
+Result<InvertedIndex> LoadInvertedIndex(BufReader* in, size_t vocab_size,
+                                        size_t object_count);
+
+/// The tree passed to a loader must be freshly constructed over the restored
+/// store; its arena is replaced wholesale (RTreeT::AdoptArena).
+void SaveSetRTree(const SetRTree& tree, BufWriter* out);
+Status LoadSetRTree(BufReader* in, SetRTree* tree);
+
+void SaveKcRTree(const KcRTree& tree, BufWriter* out);
+Status LoadKcRTree(BufReader* in, KcRTree* tree);
+
+// --- Whole-server bundle -----------------------------------------------------
+
+/// The restored warm state. The store owns the vocabulary; the indexes point
+/// at the store, so keep the bundle together (moving the struct is fine —
+/// the store lives behind a unique_ptr, its address is stable).
+struct SnapshotBundle {
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<SetRTree> setr;
+  std::unique_ptr<KcRTree> kcr;
+  std::unique_ptr<InvertedIndex> inverted;
+};
+
+/// Serialises the store (+ vocabulary) and whichever indexes are non-null
+/// into one snapshot file. Returns the file size in bytes.
+Result<uint64_t> WriteSnapshot(const std::string& path,
+                               const ObjectStore& store,
+                               const SetRTree* setr = nullptr,
+                               const KcRTree* kcr = nullptr,
+                               const InvertedIndex* inverted = nullptr);
+
+/// Loads a snapshot written by WriteSnapshot. Bundle members for indexes the
+/// file does not contain are left null; store and vocabulary are mandatory.
+Result<SnapshotBundle> LoadSnapshot(const std::string& path);
+
+// --- Inspection --------------------------------------------------------------
+
+/// One row of `dataset_tool inspect-snapshot`.
+struct SnapshotSectionReport {
+  SectionId id;
+  std::string name;
+  uint64_t size = 0;
+  uint32_t crc32 = 0;
+  /// Leading element count of the payload (words, objects, terms, nodes);
+  /// -1 when the payload failed its checksum.
+  int64_t item_count = -1;
+};
+
+struct SnapshotReport {
+  uint32_t format_version = 0;
+  uint64_t file_size = 0;
+  std::vector<SnapshotSectionReport> sections;
+};
+
+/// Validates the container and summarises every section without
+/// materialising the store or the trees.
+Result<SnapshotReport> InspectSnapshot(const std::string& path);
+
+}  // namespace yask
+
+#endif  // YASK_SNAPSHOT_SNAPSHOT_CODEC_H_

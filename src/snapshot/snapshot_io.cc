@@ -1,0 +1,216 @@
+#include "src/snapshot/snapshot_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace yask {
+
+BufWriter* SnapshotWriter::AddSection(SectionId id) {
+  for (const auto& [existing, writer] : sections_) {
+    (void)writer;
+    assert(existing != id && "duplicate snapshot section");
+  }
+  sections_.emplace_back(id, BufWriter());
+  return &sections_.back().second;
+}
+
+Status SnapshotWriter::WriteTo(const std::string& path,
+                               uint64_t* bytes_written_out) const {
+  // Assemble header + payloads + table in memory: snapshots are bounded by
+  // the warm state we are serialising, which already fits in RAM.
+  uint64_t offset = kSnapshotHeaderBytes;
+  std::vector<SnapshotSectionInfo> infos;
+  infos.reserve(sections_.size());
+  for (const auto& [id, payload] : sections_) {
+    infos.push_back(SnapshotSectionInfo{
+        id, offset, payload.size(),
+        Crc32(payload.data().data(), payload.size())});
+    offset += payload.size();
+  }
+
+  BufWriter header;
+  header.PutU64(kSnapshotMagic);
+  header.PutU32(kSnapshotFormatVersion);
+  header.PutU32(static_cast<uint32_t>(sections_.size()));
+  header.PutU64(offset);  // Table begins right after the last payload.
+  BufWriter table;
+  for (const SnapshotSectionInfo& info : infos) {
+    table.PutU32(static_cast<uint32_t>(info.id));
+    table.PutU32(0);  // Reserved for future per-section flags.
+    table.PutU64(info.offset);
+    table.PutU64(info.size);
+    table.PutU32(info.crc32);
+  }
+  BufWriter footer;
+  footer.PutU32(Crc32(table.data().data(), table.size()));
+
+  // Stream header, payloads, table, footer to a temporary sibling, fsync,
+  // then rename over the target. Payloads are written straight from the
+  // section buffers — no second in-memory copy of the (potentially large)
+  // state. The sibling's name is unique per process and call, so concurrent
+  // writers to the same target cannot interleave into one temp file: each
+  // completes its own file and the atomic renames serialise, last writer
+  // wins whole. The fsync-before-rename (plus a directory fsync after) is
+  // what makes the crash guarantee hold on journalled filesystems with
+  // delayed allocation.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::Unavailable("cannot open " + tmp + " for writing");
+    }
+    auto put = [fd](const std::string& bytes) {
+      size_t done = 0;
+      while (done < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n <= 0) return false;
+        done += static_cast<size_t>(n);
+      }
+      return true;
+    };
+    bool ok = put(header.data());
+    for (const auto& [id, payload] : sections_) {
+      (void)id;
+      ok = ok && put(payload.data());
+    }
+    ok = ok && put(table.data()) && put(footer.data());
+    ok = ok && ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::Unavailable("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename " + tmp + " to " + path);
+  }
+  // Persist the rename itself (the new directory entry).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  if (bytes_written_out != nullptr) {
+    *bytes_written_out = offset + table.size() + footer.size();
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  SnapshotReader reader;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return Status::NotFound("cannot open snapshot " + path);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    // Non-seekable inputs (FIFOs, /dev/stdin) report -1; reject them before
+    // the resize turns the value into an absurd allocation.
+    if (!f || size < 0) {
+      return Status::InvalidArgument("snapshot " + path +
+                                     " is not a seekable regular file");
+    }
+    f.seekg(0, std::ios::beg);
+    reader.buffer_.resize(static_cast<size_t>(size));
+    f.read(reader.buffer_.data(), size);
+    if (!f) return Status::Unavailable("cannot read snapshot " + path);
+  }
+  const std::string& buf = reader.buffer_;
+  if (buf.size() < kSnapshotHeaderBytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument("snapshot " + path + " is truncated (" +
+                                   std::to_string(buf.size()) + " bytes)");
+  }
+
+  BufReader header(buf.data(), kSnapshotHeaderBytes);
+  const uint64_t magic = header.GetU64();
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " has bad magic (not a YASK snapshot)");
+  }
+  reader.format_version_ = header.GetU32();
+  if (reader.format_version_ > kSnapshotFormatVersion) {
+    return Status::FailedPrecondition(
+        "snapshot " + path + " has format version " +
+        std::to_string(reader.format_version_) +
+        "; this build reads versions <= " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  const uint32_t section_count = header.GetU32();
+  const uint64_t table_offset = header.GetU64();
+
+  // Subtraction-form bounds checks: the header has no checksum of its own,
+  // so a corrupt table_offset must not be able to wrap the arithmetic.
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(section_count) * kSnapshotTableEntryBytes;
+  if (table_offset < kSnapshotHeaderBytes || table_offset > buf.size() ||
+      buf.size() - table_offset < table_bytes + sizeof(uint32_t)) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " section table out of bounds (truncated?)");
+  }
+
+  BufReader table(buf.data() + table_offset,
+                  static_cast<size_t>(table_bytes) + sizeof(uint32_t));
+  std::vector<SnapshotSectionInfo> sections;
+  sections.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SnapshotSectionInfo info;
+    info.id = static_cast<SectionId>(table.GetU32());
+    table.GetU32();  // reserved
+    info.offset = table.GetU64();
+    info.size = table.GetU64();
+    info.crc32 = table.GetU32();
+    sections.push_back(info);
+  }
+  const uint32_t stored_table_crc = table.GetU32();
+  if (!table.ok()) return table.status();
+  const uint32_t actual_table_crc =
+      Crc32(buf.data() + table_offset, static_cast<size_t>(table_bytes));
+  if (stored_table_crc != actual_table_crc) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " section table checksum mismatch");
+  }
+  for (const SnapshotSectionInfo& info : sections) {
+    if (info.offset < kSnapshotHeaderBytes || info.offset > table_offset ||
+        table_offset - info.offset < info.size) {
+      return Status::InvalidArgument(
+          "snapshot " + path + " section " +
+          SectionIdToString(info.id) + " extent out of bounds");
+    }
+  }
+  reader.sections_ = std::move(sections);
+  return reader;
+}
+
+bool SnapshotReader::Has(SectionId id) const {
+  for (const SnapshotSectionInfo& info : sections_) {
+    if (info.id == id) return true;
+  }
+  return false;
+}
+
+Result<BufReader> SnapshotReader::OpenSection(SectionId id) const {
+  for (const SnapshotSectionInfo& info : sections_) {
+    if (info.id != id) continue;
+    const char* payload = buffer_.data() + info.offset;
+    const uint32_t crc = Crc32(payload, static_cast<size_t>(info.size));
+    if (crc != info.crc32) {
+      return Status::InvalidArgument(
+          std::string("snapshot section ") + SectionIdToString(id) +
+          " checksum mismatch (corrupt payload)");
+    }
+    return BufReader(payload, static_cast<size_t>(info.size));
+  }
+  return Status::NotFound(std::string("snapshot has no section ") +
+                          SectionIdToString(id));
+}
+
+}  // namespace yask

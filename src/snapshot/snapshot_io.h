@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// SnapshotWriter / SnapshotReader: the container layer of the snapshot file.
+//
+// File layout (all integers little-endian; see docs/snapshot_format.md):
+//
+//   header   : u64 magic | u32 format_version | u32 section_count
+//            | u64 table_offset
+//   payloads : the section payloads, back to back, in AddSection() order
+//   table    : section_count entries of
+//                u32 section_id | u32 reserved(0) | u64 offset | u64 size
+//              | u32 crc32(payload)
+//   footer   : u32 crc32(table bytes)
+//
+// The writer buffers payloads and emits the whole file in one pass; the
+// reader slurps the file, validates magic, version, table checksum and
+// bounds, then hands out per-section BufReaders after verifying the
+// section's own CRC. Every failure path returns a Status.
+
+#ifndef YASK_SNAPSHOT_SNAPSHOT_IO_H_
+#define YASK_SNAPSHOT_SNAPSHOT_IO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/snapshot/snapshot_format.h"
+
+namespace yask {
+
+/// Size in bytes of the fixed file header.
+inline constexpr size_t kSnapshotHeaderBytes = 24;
+/// Size in bytes of one section-table entry.
+inline constexpr size_t kSnapshotTableEntryBytes = 28;
+
+/// Descriptor of one section as recorded in the table.
+struct SnapshotSectionInfo {
+  SectionId id;
+  uint64_t offset = 0;  // Absolute file offset of the payload.
+  uint64_t size = 0;    // Payload bytes.
+  uint32_t crc32 = 0;   // CRC-32 of the payload.
+};
+
+/// Assembles a snapshot file section by section.
+///
+/// Usage:
+///   SnapshotWriter w;
+///   SaveVocabulary(vocab, w.AddSection(SectionId::kVocabulary));
+///   ...
+///   Status s = w.WriteTo(path);
+class SnapshotWriter {
+ public:
+  /// Starts a new section and returns the encoder for its payload. The
+  /// returned pointer is valid until the next AddSection()/WriteTo() call.
+  /// A section id may appear at most once per file.
+  BufWriter* AddSection(SectionId id);
+
+  /// Writes header, payloads, table and footer to `path` (atomically via a
+  /// temporary sibling file + rename, so a crash never leaves a half-written
+  /// snapshot under the target name). Returns the total bytes written via
+  /// `bytes_written_out` when non-null.
+  Status WriteTo(const std::string& path,
+                 uint64_t* bytes_written_out = nullptr) const;
+
+ private:
+  std::vector<std::pair<SectionId, BufWriter>> sections_;
+};
+
+/// Opens and validates a snapshot file; hands out checksum-verified section
+/// payloads. Holds the whole file in memory — section readers alias its
+/// buffer, so the SnapshotReader must outlive them.
+class SnapshotReader {
+ public:
+  /// Reads and validates `path` (magic, version, table bounds, table CRC).
+  /// Section payload CRCs are verified lazily, per OpenSection() call.
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  uint32_t format_version() const { return format_version_; }
+  uint64_t file_size() const { return buffer_.size(); }
+  const std::vector<SnapshotSectionInfo>& sections() const { return sections_; }
+
+  bool Has(SectionId id) const;
+
+  /// Verifies the section's CRC and returns a decoder over its payload.
+  /// NotFound if the file has no such section; InvalidArgument on checksum
+  /// mismatch or out-of-bounds extent.
+  Result<BufReader> OpenSection(SectionId id) const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::string buffer_;
+  uint32_t format_version_ = 0;
+  std::vector<SnapshotSectionInfo> sections_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_SNAPSHOT_SNAPSHOT_IO_H_

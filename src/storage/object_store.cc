@@ -21,6 +21,16 @@ ObjectId ObjectStore::Add(Point loc, KeywordSet doc, std::string name) {
   return Add(std::move(o));
 }
 
+void ObjectStore::AdoptObjects(std::vector<SpatialObject> objects) {
+  assert(objects_.empty());
+  objects_ = std::move(objects);
+  bounds_ = Rect::Empty();
+  for (const SpatialObject& o : objects_) {
+    assert(o.id == static_cast<ObjectId>(&o - objects_.data()));
+    bounds_.Extend(o.loc);
+  }
+}
+
 ObjectId ObjectStore::FindByName(const std::string& name) const {
   for (const SpatialObject& o : objects_) {
     if (o.name == name) return o.id;

@@ -35,6 +35,15 @@ class ObjectStore {
   /// Convenience: appends from parts.
   ObjectId Add(Point loc, KeywordSet doc, std::string name = "");
 
+  /// Pre-sizes the object table (bulk loads and snapshot restore).
+  void Reserve(size_t n) { objects_.reserve(n); }
+
+  /// Installs a fully-decoded object table wholesale (the snapshot-load
+  /// hook; stripes are decoded in parallel straight into the vector). Each
+  /// object's id must equal its position. Recomputes the bounds. The store
+  /// must be empty.
+  void AdoptObjects(std::vector<SpatialObject> objects);
+
   const SpatialObject& Get(ObjectId id) const { return objects_[id]; }
 
   size_t size() const { return objects_.size(); }

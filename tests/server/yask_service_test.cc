@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
+#include "src/snapshot/snapshot_codec.h"
 #include "src/storage/hotel_generator.h"
 
 namespace yask {
@@ -25,7 +28,9 @@ class YaskServiceTest : public ::testing::Test {
   }
 
   void SetUp() override {
-    service_ = std::make_unique<YaskService>(*store_, *setr_, *kcr_);
+    YaskServiceOptions options;
+    options.allow_snapshot_path_override = true;  // Tests pick temp paths.
+    service_ = std::make_unique<YaskService>(*store_, *setr_, *kcr_, options);
     ASSERT_TRUE(service_->Start().ok());
   }
   void TearDown() override { service_->Stop(); }
@@ -265,6 +270,65 @@ TEST_F(YaskServiceTest, LogRecordsQueriesWithResponseTimes) {
     EXPECT_EQ(e.Get("kind").as_string(), "topk");
     EXPECT_GE(e.Get("response_millis").as_number(), 0.0);
   }
+}
+
+TEST_F(YaskServiceTest, SnapshotEndpointWritesLoadableSnapshot) {
+  const std::string path = ::testing::TempDir() + "yask_service_test.snap";
+  JsonValue req = JsonValue::MakeObject();
+  req.Set("path", JsonValue(path));
+  int status = 0;
+  auto body =
+      HttpFetch(service_->port(), "POST", "/snapshot", req.Dump(), &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200) << *body;
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("path").as_string(), path);
+  EXPECT_GT(parsed->Get("bytes").as_number(), 0.0);
+  EXPECT_EQ(parsed->Get("objects").as_number(), 539.0);
+
+  // The written file restores the serving state: same store and indexes,
+  // same top-3 answer for the Carol query.
+  auto bundle = LoadSnapshot(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ASSERT_NE(bundle->setr, nullptr);
+  ASSERT_NE(bundle->kcr, nullptr);
+  EXPECT_EQ(bundle->store->size(), store_->size());
+  YaskService reloaded(*bundle->store, *bundle->setr, *bundle->kcr);
+  ASSERT_TRUE(reloaded.Start().ok());
+  const JsonValue original = IssueQuery(3);
+  JsonValue q = JsonValue::MakeObject();
+  q.Set("x", JsonValue(114.158));
+  q.Set("y", JsonValue(22.281));
+  q.Set("keywords", JsonValue("clean comfortable"));
+  q.Set("k", JsonValue(3));
+  auto rbody = HttpFetch(reloaded.port(), "POST", "/query", q.Dump(), &status);
+  ASSERT_TRUE(rbody.ok());
+  auto rparsed = JsonValue::Parse(*rbody);
+  ASSERT_TRUE(rparsed.ok());
+  EXPECT_EQ(rparsed->Get("results").Dump(), original.Get("results").Dump());
+  reloaded.Stop();
+  std::remove(path.c_str());
+}
+
+TEST_F(YaskServiceTest, SnapshotEndpointWithoutPathIs400) {
+  int status = 0;
+  auto body = HttpFetch(service_->port(), "POST", "/snapshot", "{}", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 400);
+}
+
+TEST_F(YaskServiceTest, SnapshotPathOverrideDisabledByDefault) {
+  YaskService locked_down(*store_, *setr_, *kcr_);  // Default options.
+  ASSERT_TRUE(locked_down.Start().ok());
+  JsonValue req = JsonValue::MakeObject();
+  req.Set("path", JsonValue("/tmp/should_not_be_written.snap"));
+  int status = 0;
+  auto body =
+      HttpFetch(locked_down.port(), "POST", "/snapshot", req.Dump(), &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 403);
+  locked_down.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+#include "src/snapshot/snapshot_format.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace yask {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The classic CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const std::string data = "snapshot persistence layer";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  uint32_t chunked = Crc32(data.data(), 10);
+  chunked = Crc32(data.data() + 10, data.size() - 10, chunked);
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(BufCodecTest, FixedWidthRoundTrip) {
+  BufWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutF64(-2.5);
+  BufReader r(w.data().data(), w.size());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetF64(), -2.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufCodecTest, VarintBoundaries) {
+  const std::vector<uint64_t> values = {
+      0,       1,      127,        128,
+      16383,   16384,  0xFFFFFFFF, 0x100000000ull,
+      std::numeric_limits<uint64_t>::max()};
+  BufWriter w;
+  for (uint64_t v : values) w.PutVarU64(v);
+  BufReader r(w.data().data(), w.size());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarU64(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufCodecTest, VarU64RejectsOverflowBits) {
+  // 10-byte varint whose final byte carries payload bits above bit 63.
+  const char overlong[10] = {'\x80', '\x80', '\x80', '\x80', '\x80',
+                             '\x80', '\x80', '\x80', '\x80', '\x7F'};
+  BufReader r(overlong, sizeof(overlong));
+  r.GetVarU64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufCodecTest, VarU32RejectsWideValues) {
+  BufWriter w;
+  w.PutVarU64(0x100000000ull);
+  BufReader r(w.data().data(), w.size());
+  r.GetVarU32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(BufCodecTest, StringRoundTrip) {
+  BufWriter w;
+  w.PutString("");
+  w.PutString("Harbour Grand");
+  w.PutString(std::string(1000, 'x'));
+  BufReader r(w.data().data(), w.size());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetString(), "Harbour Grand");
+  EXPECT_EQ(r.GetString(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufCodecTest, DeltaIdsRoundTrip) {
+  const std::vector<uint32_t> ids = {0, 1, 5, 127, 128, 4096, 0xFFFFFFFF};
+  BufWriter w;
+  w.PutDeltaIds(ids);
+  w.PutDeltaIds({});
+  w.PutDeltaIds({42});
+  BufReader r(w.data().data(), w.size());
+  EXPECT_EQ(r.GetDeltaIds(), ids);
+  EXPECT_EQ(r.GetDeltaIds(), std::vector<uint32_t>{});
+  EXPECT_EQ(r.GetDeltaIds(), std::vector<uint32_t>{42});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufCodecTest, DeltaIdsRejectWrappingDelta) {
+  // A delta of 2^64-1 would wrap prev+delta back below prev, smuggling a
+  // non-ascending id past the 32-bit range check.
+  BufWriter w;
+  w.PutVarU64(2);  // count
+  w.PutVarU32(5);  // first id
+  w.PutVarU64(std::numeric_limits<uint64_t>::max());  // wrapping delta
+  BufReader r(w.data().data(), w.size());
+  r.GetDeltaIds();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufCodecTest, DeltaIdsRejectDuplicates) {
+  // A zero delta after the first element encodes a duplicate id.
+  BufWriter w;
+  w.PutVarU64(2);   // count
+  w.PutVarU32(7);   // first id
+  w.PutVarU32(0);   // duplicate
+  BufReader r(w.data().data(), w.size());
+  r.GetDeltaIds();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufCodecTest, TruncationPoisonsReader) {
+  BufWriter w;
+  w.PutU32(12345);
+  BufReader r(w.data().data(), 2);  // Cut the u32 in half.
+  r.GetU32();
+  EXPECT_FALSE(r.ok());
+  // Sticky: every further read keeps failing and returns zero values.
+  EXPECT_EQ(r.GetU8(), 0);
+  EXPECT_EQ(r.GetVarU64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufCodecTest, CheckCountRejectsAbsurdCounts) {
+  BufWriter w;
+  w.PutVarU64(1);  // 1 byte of payload follows the count in reality.
+  w.PutU8(0);
+  BufReader r(w.data().data(), w.size());
+  const uint64_t claimed = 1;
+  EXPECT_TRUE(r.CheckCount(claimed));
+  EXPECT_FALSE(r.CheckCount(std::numeric_limits<uint64_t>::max()));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufCodecTest, SkipAdvancesAndBoundsChecks) {
+  BufWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BufReader r(w.data().data(), w.size());
+  EXPECT_TRUE(r.Skip(4));
+  EXPECT_EQ(r.GetU32(), 2u);
+  EXPECT_FALSE(r.Skip(1));
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace yask
