@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/corpus/corpus.h"
 #include "src/server/yask_service.h"
 #include "src/storage/hotel_generator.h"
 #include "src/whynot/why_not_engine.h"
@@ -22,20 +23,14 @@ namespace bench {
 namespace {
 
 struct ServiceFixture {
-  ObjectStore store;
-  SetRTree setr;
-  KcRTree kcr;
+  Corpus corpus;
+  const ObjectStore& store;
   YaskService service;
 
   ServiceFixture()
-      : store(GenerateHotelDataset()),
-        setr(&store),
-        kcr(&store),
-        service(store, setr, kcr) {
-    setr.BulkLoad();
-    kcr.BulkLoad();
-    // Trees must be loaded before the service answers queries; the service
-    // only borrows them.
+      : corpus(CorpusBuilder().Build(GenerateHotelDataset())),
+        store(corpus.store()),
+        service(corpus) {
     Status s = service.Start();
     if (!s.ok()) std::abort();
   }
@@ -48,7 +43,7 @@ ServiceFixture& Fixture() {
 
 void BM_EndToEnd_EngineTopK(benchmark::State& state) {
   ServiceFixture& f = Fixture();
-  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  WhyNotEngine engine(f.corpus);
   Rng rng(3);
   const Query q = MakeQuery(f.store, &rng, 2, 3);
   for (auto _ : state) {
@@ -60,7 +55,7 @@ BENCHMARK(BM_EndToEnd_EngineTopK);
 
 void BM_EndToEnd_EngineWhyNot(benchmark::State& state) {
   ServiceFixture& f = Fixture();
-  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  WhyNotEngine engine(f.corpus);
   Rng rng(3);
   const Query q = MakeQuery(f.store, &rng, 2, 3);
   const std::vector<ObjectId> missing = PickMissing(f.store, q, 1, 7);
@@ -92,7 +87,7 @@ void BM_EndToEnd_HttpWhyNot(benchmark::State& state) {
   const size_t query_id =
       static_cast<size_t>(parsed->Get("query_id").as_number());
 
-  WhyNotEngine engine(f.store, f.setr, f.kcr);
+  WhyNotEngine engine(f.corpus);
   Rng rng(5);
   Query q;
   q.loc = Point{114.158, 22.281};

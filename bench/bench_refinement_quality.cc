@@ -35,12 +35,9 @@ struct ModelAggregate {
 };
 
 void PrintQualityTable() {
-  const ObjectStore store = GenerateHotelDataset();
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  const Corpus corpus = CorpusBuilder().Build(GenerateHotelDataset());
+  const ObjectStore& store = corpus.store();
+  WhyNotEngine engine(corpus);
 
   constexpr size_t kTrials = 60;
   ModelAggregate pref_agg;
@@ -107,21 +104,12 @@ void PrintQualityTable() {
 }
 
 void BM_WhyNotAnswer_HotelDataset(benchmark::State& state) {
-  static const ObjectStore* store = new ObjectStore(GenerateHotelDataset());
-  static SetRTree* setr = [] {
-    auto* t = new SetRTree(store);
-    t->BulkLoad();
-    return t;
-  }();
-  static KcRTree* kcr = [] {
-    auto* t = new KcRTree(store);
-    t->BulkLoad();
-    return t;
-  }();
-  WhyNotEngine engine(*store, *setr, *kcr);
+  static const Corpus* corpus =
+      new Corpus(CorpusBuilder().Build(GenerateHotelDataset()));
+  WhyNotEngine engine(*corpus);
   Rng rng(13);
-  Query q = MakeQuery(*store, &rng, 2, 3);
-  std::vector<ObjectId> missing = PickMissing(*store, q, 1, 7);
+  Query q = MakeQuery(corpus->store(), &rng, 2, 3);
+  std::vector<ObjectId> missing = PickMissing(corpus->store(), q, 1, 7);
   for (auto _ : state) {
     auto answer = engine.Answer(q, missing);
     benchmark::DoNotOptimize(answer);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/corpus/corpus.h"
 #include "src/index/inverted_index.h"
 #include "src/index/kcr_tree.h"
 #include "src/index/setr_tree.h"
@@ -23,37 +24,43 @@ namespace bench {
 
 inline constexpr uint64_t kDatasetSeed = 20160901;  // VLDB'16 proceedings.
 
-/// The benchmark dataset family: clustered spatial placement, Zipf keywords,
-/// |vocab| = 2000 — the synthetic stand-in for the POI crawls of refs [5,6].
-inline const ObjectStore& SharedDataset(size_t n) {
-  static std::map<size_t, std::unique_ptr<ObjectStore>>* cache =
-      new std::map<size_t, std::unique_ptr<ObjectStore>>();
+/// The spec of the benchmark dataset family: clustered spatial placement,
+/// Zipf keywords, |vocab| = 2000 — the synthetic stand-in for the POI crawls
+/// of refs [5,6].
+inline DatasetSpec SharedDatasetSpec(size_t n) {
+  DatasetSpec spec;
+  spec.num_objects = n;
+  spec.vocabulary_size = 2000;
+  spec.keyword_zipf = 1.0;
+  spec.min_keywords = 3;
+  spec.max_keywords = 10;
+  spec.seed = kDatasetSeed;
+  return spec;
+}
+
+/// The benchmark corpus family: the shared dataset plus its SetR-tree, as
+/// one owned Corpus. Heavier indexes (KcR-tree, plain R-tree, inverted) stay
+/// in their own lazy caches below so a bench only pays for what it uses.
+inline const Corpus& SharedCorpus(size_t n) {
+  static std::map<size_t, std::unique_ptr<Corpus>>* cache =
+      new std::map<size_t, std::unique_ptr<Corpus>>();
   auto it = cache->find(n);
   if (it == cache->end()) {
-    DatasetSpec spec;
-    spec.num_objects = n;
-    spec.vocabulary_size = 2000;
-    spec.keyword_zipf = 1.0;
-    spec.min_keywords = 3;
-    spec.max_keywords = 10;
-    spec.seed = kDatasetSeed;
-    it = cache->emplace(n, std::make_unique<ObjectStore>(GenerateDataset(spec)))
+    CorpusOptions options;
+    options.build_kcr_tree = false;
+    it = cache
+             ->emplace(n, std::make_unique<Corpus>(CorpusBuilder(options).Build(
+                              GenerateDataset(SharedDatasetSpec(n)))))
              .first;
   }
   return *it->second;
 }
 
-inline const SetRTree& SharedSetR(size_t n) {
-  static std::map<size_t, std::unique_ptr<SetRTree>>* cache =
-      new std::map<size_t, std::unique_ptr<SetRTree>>();
-  auto it = cache->find(n);
-  if (it == cache->end()) {
-    auto tree = std::make_unique<SetRTree>(&SharedDataset(n));
-    tree->BulkLoad();
-    it = cache->emplace(n, std::move(tree)).first;
-  }
-  return *it->second;
+inline const ObjectStore& SharedDataset(size_t n) {
+  return SharedCorpus(n).store();
 }
+
+inline const SetRTree& SharedSetR(size_t n) { return SharedCorpus(n).setr(); }
 
 inline const KcRTree& SharedKcR(size_t n) {
   static std::map<size_t, std::unique_ptr<KcRTree>>* cache =

@@ -21,8 +21,7 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
 #include "src/whynot/why_not_engine.h"
 
 using namespace yask;
@@ -71,8 +70,8 @@ void RenderMap(const ObjectStore& store, const Point& bob,
 
 int main() {
   // --- A city of cafes and bars. ---
-  ObjectStore store;
-  Vocabulary* vocab = store.mutable_vocab();
+  ObjectStore city;
+  Vocabulary* vocab = city.mutable_vocab();
   const TermId coffee = vocab->Intern("coffee");
   const TermId espresso = vocab->Intern("espresso");
   const TermId bakery = vocab->Intern("bakery");
@@ -90,21 +89,19 @@ int main() {
       doc.Insert(bar);
       if (rng.NextBernoulli(0.5)) doc.Insert(cocktails);
     }
-    store.Add(Point{rng.NextDouble(), rng.NextDouble()}, doc,
-              "shop-" + std::to_string(i));
+    city.Add(Point{rng.NextDouble(), rng.NextDouble()}, doc,
+             "shop-" + std::to_string(i));
   }
   // Starbucks down the street: close to Bob, but its doc mentions espresso
   // and bakery too, diluting the Jaccard similarity to the query {coffee}.
   const Point bob{0.5, 0.5};
   const ObjectId starbucks =
-      store.Add(Point{0.55, 0.53}, KeywordSet({coffee, espresso, bakery}),
-                "Starbucks");
+      city.Add(Point{0.55, 0.53}, KeywordSet({coffee, espresso, bakery}),
+               "Starbucks");
 
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  const Corpus corpus = CorpusBuilder().Build(std::move(city));
+  const ObjectStore& store = corpus.store();
+  WhyNotEngine engine(corpus);
 
   // --- Bob's top-3 "coffee" query. ---
   Query q;

@@ -5,6 +5,9 @@
 //   dataset_tool stats <file.tsv>                corpus statistics
 //   dataset_tool build-snapshot <in.tsv> <out.snap>   TSV -> binary snapshot
 //                                                (store + SetR/KcR/inverted)
+//   dataset_tool build-shards <in.tsv> <prefix> <shards>   TSV -> one
+//                                                snapshot file per shard
+//                                                (<prefix>.shard-<i>.snap)
 //   dataset_tool inspect-snapshot <file.snap>    header + section table
 //
 // With no arguments it runs a self-demo into a temporary file, so it can be
@@ -17,9 +20,8 @@
 
 #include "src/common/geo.h"
 #include "src/common/timer.h"
-#include "src/index/inverted_index.h"
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/sharded_corpus.h"
 #include "src/snapshot/snapshot_codec.h"
 #include "src/storage/dataset_generator.h"
 #include "src/storage/dataset_io.h"
@@ -98,23 +100,45 @@ int CmdStats(const std::string& path) {
 int CmdBuildSnapshot(const std::string& in_path, const std::string& out_path) {
   auto loaded = LoadDataset(in_path);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
-  const ObjectStore& store = *loaded;
 
   Timer build_timer;
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  InvertedIndex inverted(store);
+  CorpusOptions options;
+  options.build_inverted_index = true;
+  const Corpus corpus =
+      CorpusBuilder(options).Build(std::move(loaded).value());
   const double build_ms = build_timer.ElapsedMillis();
 
   Timer save_timer;
-  auto bytes = WriteSnapshot(out_path, store, &setr, &kcr, &inverted);
+  auto bytes = corpus.Save(out_path);
   if (!bytes.ok()) return Fail(bytes.status().ToString());
   std::printf(
       "indexed %zu objects in %.1f ms; wrote snapshot %s (%zu bytes, "
       "%.1f ms)\n",
-      store.size(), build_ms, out_path.c_str(), static_cast<size_t>(*bytes),
+      corpus.size(), build_ms, out_path.c_str(), static_cast<size_t>(*bytes),
+      save_timer.ElapsedMillis());
+  return 0;
+}
+
+int CmdBuildShards(const std::string& in_path, const std::string& prefix,
+                   size_t num_shards) {
+  auto loaded = LoadDataset(in_path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const ObjectStore& store = *loaded;
+
+  Timer build_timer;
+  const ShardedCorpus sharded = ShardedCorpus::Partition(
+      store, GridShardRouter::Fit(store, static_cast<uint32_t>(num_shards)));
+  const double build_ms = build_timer.ElapsedMillis();
+
+  Timer save_timer;
+  auto bytes = sharded.Save(prefix);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  std::printf(
+      "partitioned %zu objects into %zu shards (%s) in %.1f ms; wrote "
+      "%s.shard-0..%zu.snap (%zu bytes total, %.1f ms)\n",
+      sharded.size(), sharded.num_shards(),
+      sharded.router_description().c_str(), build_ms, prefix.c_str(),
+      sharded.num_shards() - 1, static_cast<size_t>(*bytes),
       save_timer.ElapsedMillis());
   return 0;
 }
@@ -157,6 +181,12 @@ int main(int argc, char** argv) {
     if (cmd == "build-snapshot" && argc == 4) {
       return CmdBuildSnapshot(argv[2], argv[3]);
     }
+    if (cmd == "build-shards" && argc == 5) {
+      const size_t shards =
+          static_cast<size_t>(std::strtoull(argv[4], nullptr, 10));
+      if (shards == 0) return Fail("shards must be a positive integer");
+      return CmdBuildShards(argv[2], argv[3], shards);
+    }
     if (cmd == "inspect-snapshot" && argc == 3) {
       return CmdInspectSnapshot(argv[2]);
     }
@@ -165,8 +195,9 @@ int main(int argc, char** argv) {
                  "       %s hotels <out.tsv>\n"
                  "       %s stats <file.tsv>\n"
                  "       %s build-snapshot <in.tsv> <out.snap>\n"
+                 "       %s build-shards <in.tsv> <prefix> <shards>\n"
                  "       %s inspect-snapshot <file.snap>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
 

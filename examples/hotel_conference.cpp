@@ -20,21 +20,17 @@
 #include <cstdio>
 #include <set>
 
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
 #include "src/storage/hotel_generator.h"
 #include "src/whynot/why_not_engine.h"
 
 using namespace yask;
 
 int main() {
-  const ObjectStore store = GenerateHotelDataset();
+  const Corpus corpus = CorpusBuilder().Build(GenerateHotelDataset());
+  const ObjectStore& store = corpus.store();
   const Vocabulary& vocab = store.vocab();
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  WhyNotEngine engine(corpus);
 
   // Carol's query: top-3 clean+comfortable hotels near the venue in Central.
   Query q;

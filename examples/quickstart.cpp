@@ -8,8 +8,7 @@
 
 #include <cstdio>
 
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
 #include "src/storage/dataset_generator.h"
 #include "src/whynot/why_not_engine.h"
 
@@ -20,14 +19,11 @@ int main() {
   DatasetSpec spec;
   spec.num_objects = 10000;
   spec.seed = 7;
-  ObjectStore store = GenerateDataset(spec);
 
-  // 2. The two indexes the engines need.
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  // 2. A corpus owns the store plus the indexes the engines need.
+  const Corpus corpus = CorpusBuilder().Build(GenerateDataset(spec));
+  const ObjectStore& store = corpus.store();
+  WhyNotEngine engine(corpus);
 
   // 3. A top-5 query: location + keywords (+ the default <0.5,0.5> weights).
   Query q;

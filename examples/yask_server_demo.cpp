@@ -6,25 +6,34 @@
 // (why-not mode, Fig. 4), fetches the query log with the response times and
 // penalties shown in Panel 5, and finally releases the cached query.
 //
-// With `--snapshot <path>` the server boots from a snapshot file when one
-// exists (the fast cold-start path: no re-indexing) and writes one after
-// building otherwise, so the second run restores the warm state from disk.
+// The serving state is a Corpus (src/corpus/): with `--snapshot <path>` it
+// boots from a snapshot file when one exists (the fast cold-start path: no
+// re-indexing) and writes one after building otherwise, so the second run
+// restores the warm state from disk.
+//
+// With `--shards N` the server instead serves an N-way partitioned
+// ShardedCorpus: top-k queries fan out across the shards in parallel
+// (bit-identical results), `--snapshot <prefix>` persists/boots one file
+// per shard, and the scripted why-not step is skipped (refinement runs on
+// an unsharded replica; the endpoint answers 501 in this mode).
 //
 // With `--serve` the process skips the scripted client and keeps serving
 // until killed, so real clients (curl, a browser) can talk to it.
 //
-//   $ ./yask_server_demo [--snapshot state.snap] [--serve]
+//   $ ./yask_server_demo [--snapshot state.snap] [--serve] [--shards N]
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "src/common/timer.h"
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/sharded_corpus.h"
 #include "src/server/yask_service.h"
-#include "src/snapshot/snapshot_codec.h"
 #include "src/storage/hotel_generator.h"
 
 using namespace yask;
@@ -49,80 +58,118 @@ JsonValue MustParse(const Result<std::string>& body) {
 int main(int argc, char** argv) {
   std::string snapshot_path;
   bool serve = false;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (shards == 0) shards = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--snapshot <path>] [--serve]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--snapshot <path>] [--serve] [--shards N]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  // --- Server side (Fig. 1): store + indexes + service. ---
+  // --- Server side (Fig. 1): the corpus layer owns store + indexes. ---
   // Warm state comes from the snapshot when one exists (fast cold start);
   // otherwise it is built from the dataset and persisted for the next boot.
-  SnapshotBundle state;
-  if (!snapshot_path.empty()) {
-    Timer timer;
-    auto loaded = LoadSnapshot(snapshot_path);
-    if (loaded.ok() && loaded->setr != nullptr && loaded->kcr != nullptr) {
-      state = std::move(loaded).value();
-      std::printf("loaded snapshot %s (%zu objects) in %.2f ms\n",
-                  snapshot_path.c_str(), state.store->size(),
-                  timer.ElapsedMillis());
-    } else if (!loaded.ok() &&
-               loaded.status().code() != StatusCode::kNotFound) {
-      std::fprintf(stderr, "ignoring unusable snapshot %s: %s\n",
-                   snapshot_path.c_str(),
-                   loaded.status().ToString().c_str());
-    }
-  }
-  if (state.store == nullptr) {
-    Timer timer;
-    state.store = std::make_unique<ObjectStore>(GenerateHotelDataset());
-    state.setr = std::make_unique<SetRTree>(state.store.get());
-    state.setr->BulkLoad();
-    state.kcr = std::make_unique<KcRTree>(state.store.get());
-    state.kcr->BulkLoad();
-    std::printf("built store + indexes in %.2f ms\n", timer.ElapsedMillis());
+  std::optional<Corpus> corpus;
+  std::optional<ShardedCorpus> sharded;
+  if (shards > 1) {
     if (!snapshot_path.empty()) {
-      auto written =
-          WriteSnapshot(snapshot_path, *state.store, state.setr.get(),
-                        state.kcr.get());
-      if (written.ok()) {
-        std::printf("wrote snapshot %s (%zu bytes); next boot loads it\n",
-                    snapshot_path.c_str(), static_cast<size_t>(*written));
-      } else {
-        std::fprintf(stderr, "cannot write snapshot: %s\n",
-                     written.status().ToString().c_str());
+      Timer timer;
+      auto loaded = ShardedCorpus::Load(snapshot_path);
+      if (loaded.ok() && loaded->num_shards() == shards) {
+        sharded = std::move(loaded).value();
+        std::printf("loaded %zu shard snapshots %s.shard-*.snap "
+                    "(%zu objects) in %.2f ms\n",
+                    sharded->num_shards(), snapshot_path.c_str(),
+                    sharded->size(), timer.ElapsedMillis());
+      } else if (!loaded.ok() &&
+                 loaded.status().code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "ignoring unusable shard snapshots %s: %s\n",
+                     snapshot_path.c_str(),
+                     loaded.status().ToString().c_str());
+      }
+    }
+    if (!sharded.has_value()) {
+      Timer timer;
+      const ObjectStore source = GenerateHotelDataset();
+      sharded = ShardedCorpus::Partition(
+          source, GridShardRouter::Fit(source, static_cast<uint32_t>(shards)));
+      std::printf("partitioned %zu objects into %zu shards (%s) in %.2f ms\n",
+                  sharded->size(), sharded->num_shards(),
+                  sharded->router_description().c_str(),
+                  timer.ElapsedMillis());
+      if (!snapshot_path.empty()) {
+        auto written = sharded->Save(snapshot_path);
+        if (written.ok()) {
+          std::printf("wrote %zu shard files under %s.shard-*.snap "
+                      "(%zu bytes); next boot loads them\n",
+                      sharded->num_shards(), snapshot_path.c_str(),
+                      static_cast<size_t>(*written));
+        } else {
+          std::fprintf(stderr, "cannot write shard snapshots: %s\n",
+                       written.status().ToString().c_str());
+        }
+      }
+    }
+  } else {
+    if (!snapshot_path.empty()) {
+      Timer timer;
+      auto loaded = CorpusBuilder().FromSnapshot(snapshot_path);
+      if (loaded.ok()) {
+        corpus = std::move(loaded).value();
+        std::printf("loaded snapshot %s (%zu objects) in %.2f ms\n",
+                    snapshot_path.c_str(), corpus->size(),
+                    timer.ElapsedMillis());
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "ignoring unusable snapshot %s: %s\n",
+                     snapshot_path.c_str(),
+                     loaded.status().ToString().c_str());
+      }
+    }
+    if (!corpus.has_value()) {
+      Timer timer;
+      corpus = CorpusBuilder().Build(GenerateHotelDataset());
+      std::printf("built store + indexes in %.2f ms\n", timer.ElapsedMillis());
+      if (!snapshot_path.empty()) {
+        auto written = corpus->Save(snapshot_path);
+        if (written.ok()) {
+          std::printf("wrote snapshot %s (%zu bytes); next boot loads it\n",
+                      snapshot_path.c_str(), static_cast<size_t>(*written));
+        } else {
+          std::fprintf(stderr, "cannot write snapshot: %s\n",
+                       written.status().ToString().c_str());
+        }
       }
     }
   }
-  const ObjectStore& store = *state.store;
-  const SetRTree& setr = *state.setr;
-  const KcRTree& kcr = *state.kcr;
 
   YaskServiceOptions service_options;
   service_options.snapshot_path = snapshot_path;
   // The demo is a local admin playground; a production deployment would
   // leave the override off and snapshot only to its configured path.
   service_options.allow_snapshot_path_override = true;
-  YaskService service(store, setr, kcr, service_options);
-  // A snapshot-restored inverted index rides along into future snapshots.
-  service.set_inverted_index(state.inverted.get());
-  if (Status s = service.Start(); !s.ok()) {
+  std::unique_ptr<YaskService> service =
+      corpus.has_value()
+          ? std::make_unique<YaskService>(*corpus, service_options)
+          : std::make_unique<YaskService>(*sharded, service_options);
+  if (Status s = service->Start(); !s.ok()) {
     std::fprintf(stderr, "cannot start service: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("YASK service listening on 127.0.0.1:%u\n\n", service.port());
+  std::printf("YASK service listening on 127.0.0.1:%u\n\n", service->port());
 
   if (serve) {
     // Plain server mode: no scripted client, just serve until killed.
-    while (service.port() != 0) {
+    while (service->port() != 0) {
       std::this_thread::sleep_for(std::chrono::seconds(1));
     }
     return 0;
@@ -136,7 +183,7 @@ int main(int argc, char** argv) {
   query.Set("k", JsonValue(3));
   std::printf("POST /query  %s\n", query.Dump().c_str());
   const JsonValue qresp =
-      MustParse(HttpFetch(service.port(), "POST", "/query", query.Dump()));
+      MustParse(HttpFetch(service->port(), "POST", "/query", query.Dump()));
   std::printf("  -> query_id=%zu, w=<%.2f,%.2f> (server-side parameter)\n",
               static_cast<size_t>(qresp.Get("query_id").as_number()),
               qresp.Get("ws").as_number(), qresp.Get("wt").as_number());
@@ -146,51 +193,59 @@ int main(int argc, char** argv) {
                 row.Get("score").as_number());
   }
 
-  // --- Client: select a missing hotel and ask why-not (Panel 3). ---
-  // Browse a wider result to find a hotel the user knows but did not see.
-  JsonValue wide = query;
-  wide.Set("k", JsonValue(25));
-  const JsonValue wresp =
-      MustParse(HttpFetch(service.port(), "POST", "/query", wide.Dump()));
-  const std::string expected_name =
-      wresp.Get("results").At(18).Get("name").as_string();
+  if (!sharded.has_value()) {
+    // --- Client: select a missing hotel and ask why-not (Panel 3). ---
+    // Browse a wider result to find a hotel the user knows but did not see.
+    JsonValue wide = query;
+    wide.Set("k", JsonValue(25));
+    const JsonValue wresp =
+        MustParse(HttpFetch(service->port(), "POST", "/query", wide.Dump()));
+    const std::string expected_name =
+        wresp.Get("results").At(18).Get("name").as_string();
 
-  JsonValue whynot = JsonValue::MakeObject();
-  whynot.Set("query_id", qresp.Get("query_id"));
-  JsonValue missing = JsonValue::MakeArray();
-  missing.Append(JsonValue(expected_name));
-  whynot.Set("missing", std::move(missing));
-  whynot.Set("model", JsonValue("both"));
-  whynot.Set("lambda", JsonValue(0.5));
-  std::printf("\nPOST /whynot  (black marker: \"%s\")\n",
-              expected_name.c_str());
-  const JsonValue aresp =
-      MustParse(HttpFetch(service.port(), "POST", "/whynot", whynot.Dump()));
+    JsonValue whynot = JsonValue::MakeObject();
+    whynot.Set("query_id", qresp.Get("query_id"));
+    JsonValue missing = JsonValue::MakeArray();
+    missing.Append(JsonValue(expected_name));
+    whynot.Set("missing", std::move(missing));
+    whynot.Set("model", JsonValue("both"));
+    whynot.Set("lambda", JsonValue(0.5));
+    std::printf("\nPOST /whynot  (black marker: \"%s\")\n",
+                expected_name.c_str());
+    const JsonValue aresp = MustParse(
+        HttpFetch(service->port(), "POST", "/whynot", whynot.Dump()));
 
-  // Explanation panel (Fig. 5).
-  const JsonValue& expl = aresp.Get("explanations").At(0);
-  std::printf("  explanation: %s\n", expl.Get("text").as_string().c_str());
-  std::printf("  refined (preference):  ws'=%.3f k'=%zu penalty=%.4f\n",
-              aresp.Get("preference").Get("ws").as_number(),
-              static_cast<size_t>(aresp.Get("preference").Get("k").as_number()),
-              aresp.Get("preference").Get("penalty").Get("value").as_number());
-  std::printf("  refined (keyword):     doc'={%s} k'=%zu penalty=%.4f\n",
-              aresp.Get("keyword").Get("keywords").as_string().c_str(),
-              static_cast<size_t>(aresp.Get("keyword").Get("k").as_number()),
-              aresp.Get("keyword").Get("penalty").Get("value").as_number());
-  std::printf("  recommended model:     %s\n",
-              aresp.Get("recommended").as_string().c_str());
-  std::printf("  refined result markers:\n");
-  for (const JsonValue& row : aresp.Get("refined_results").array_items()) {
-    const bool is_expected = row.Get("name").as_string() == expected_name;
-    std::printf("    %-24s%s\n", row.Get("name").as_string().c_str(),
-                is_expected ? "  <-- revived" : "");
+    // Explanation panel (Fig. 5).
+    const JsonValue& expl = aresp.Get("explanations").At(0);
+    std::printf("  explanation: %s\n", expl.Get("text").as_string().c_str());
+    std::printf(
+        "  refined (preference):  ws'=%.3f k'=%zu penalty=%.4f\n",
+        aresp.Get("preference").Get("ws").as_number(),
+        static_cast<size_t>(aresp.Get("preference").Get("k").as_number()),
+        aresp.Get("preference").Get("penalty").Get("value").as_number());
+    std::printf(
+        "  refined (keyword):     doc'={%s} k'=%zu penalty=%.4f\n",
+        aresp.Get("keyword").Get("keywords").as_string().c_str(),
+        static_cast<size_t>(aresp.Get("keyword").Get("k").as_number()),
+        aresp.Get("keyword").Get("penalty").Get("value").as_number());
+    std::printf("  recommended model:     %s\n",
+                aresp.Get("recommended").as_string().c_str());
+    std::printf("  refined result markers:\n");
+    for (const JsonValue& row : aresp.Get("refined_results").array_items()) {
+      const bool is_expected = row.Get("name").as_string() == expected_name;
+      std::printf("    %-24s%s\n", row.Get("name").as_string().c_str(),
+                  is_expected ? "  <-- revived" : "");
+    }
+  } else {
+    std::printf("\n(%zu-shard mode: /whynot runs on an unsharded replica; "
+                "skipping the why-not step)\n",
+                sharded->num_shards());
   }
 
   // --- Client: the query log (Panel 5: parameters, penalty, time). ---
   std::printf("\nGET /log\n");
   const JsonValue log =
-      MustParse(HttpFetch(service.port(), "GET", "/log"));
+      MustParse(HttpFetch(service->port(), "GET", "/log"));
   for (const JsonValue& e : log.Get("entries").array_items()) {
     std::printf("  [%s] %.2f ms  %s%s\n", e.Get("kind").as_string().c_str(),
                 e.Get("response_millis").as_number(),
@@ -205,9 +260,9 @@ int main(int argc, char** argv) {
   // --- Client gives up asking why-not questions: drop the cached query. ---
   JsonValue forget = JsonValue::MakeObject();
   forget.Set("query_id", qresp.Get("query_id"));
-  MustParse(HttpFetch(service.port(), "POST", "/forget", forget.Dump()));
+  MustParse(HttpFetch(service->port(), "POST", "/forget", forget.Dump()));
   std::printf("\nPOST /forget -> initial query released from the cache\n");
 
-  service.Stop();
+  service->Stop();
   return 0;
 }

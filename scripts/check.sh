@@ -2,21 +2,42 @@
 # Tier-1 verify (ROADMAP.md), end to end: configure, build, run the test
 # suite. Run from anywhere; builds into <repo>/build.
 #
-#   scripts/check.sh            # configure + build + ctest
-#   scripts/check.sh --bench    # additionally run bench_snapshot and leave
-#                               # BENCH_snapshot.json in the build directory
+#   scripts/check.sh              # configure + build + ctest
+#   scripts/check.sh --bench      # additionally run bench_snapshot and
+#                                 # bench_sharded, leaving BENCH_snapshot.json
+#                                 # and BENCH_sharded.json in the build dir
+#   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
+#                                 # <repo>/build-sanitize + ctest under the
+#                                 # sanitizers (use for the concurrency and
+#                                 # shutdown tests; pair with TSAN_OPTIONS/
+#                                 # a TSan toolchain for race hunting)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 
 run_bench=0
+run_sanitize=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
-    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+    --sanitize) run_sanitize=1 ;;
+    *) echo "usage: $0 [--bench] [--sanitize]" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$run_sanitize" -eq 1 ]]; then
+  sanitize_dir="${repo_root}/build-sanitize"
+  sanitize_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B "$sanitize_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$sanitize_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$sanitize_flags"
+  cmake --build "$sanitize_dir" -j "$(nproc)"
+  (cd "$sanitize_dir" && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --output-on-failure -j "$(nproc)")
+  echo "check.sh: sanitize OK"
+fi
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc)"
@@ -24,6 +45,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 if [[ "$run_bench" -eq 1 ]]; then
   (cd "$build_dir" && ./bench_snapshot --json=BENCH_snapshot.json)
+  (cd "$build_dir" && ./bench_sharded --json=BENCH_sharded.json)
 fi
 
 echo "check.sh: OK"

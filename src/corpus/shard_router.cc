@@ -1,0 +1,108 @@
+#include "src/corpus/shard_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace yask {
+
+namespace {
+
+/// Splits `sorted` into `parts` equi-count runs and returns the values at
+/// the run boundaries (parts - 1 of them): boundary b is the last value of
+/// run b, so "value <= boundary" selects runs 0..b.
+std::vector<double> QuantileCuts(const std::vector<double>& sorted,
+                                 size_t parts) {
+  std::vector<double> cuts;
+  if (parts <= 1 || sorted.empty()) return cuts;
+  cuts.reserve(parts - 1);
+  const size_t base = sorted.size() / parts;
+  const size_t extra = sorted.size() % parts;
+  size_t end = 0;
+  for (size_t p = 0; p + 1 < parts; ++p) {
+    end += base + (p < extra ? 1 : 0);
+    // end == 0 only when a run is empty (more parts than objects); reuse the
+    // smallest value so the boundary stays monotone.
+    cuts.push_back(sorted[end == 0 ? 0 : end - 1]);
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::unique_ptr<GridShardRouter> GridShardRouter::Fit(const ObjectStore& store,
+                                                      uint32_t num_shards) {
+  auto router = std::unique_ptr<GridShardRouter>(new GridShardRouter());
+  const uint32_t n = std::max(1u, num_shards);
+  router->num_shards_ = n;
+
+  const uint32_t cols = static_cast<uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  // Cells per column: sizes differ by at most one and sum to n.
+  std::vector<uint32_t> rows(cols, n / cols);
+  for (uint32_t c = 0; c < n % cols; ++c) ++rows[c];
+
+  std::vector<double> xs;
+  xs.reserve(store.size());
+  for (const SpatialObject& o : store.objects()) xs.push_back(o.loc.x);
+  std::sort(xs.begin(), xs.end());
+  router->col_upper_x_ = QuantileCuts(xs, cols);
+
+  // Per column, the y-values of the objects it routes to (by the x cuts).
+  std::vector<std::vector<double>> ys(cols);
+  for (const SpatialObject& o : store.objects()) {
+    const size_t col = std::upper_bound(router->col_upper_x_.begin(),
+                                        router->col_upper_x_.end(), o.loc.x) -
+                       router->col_upper_x_.begin();
+    ys[col].push_back(o.loc.y);
+  }
+
+  router->cell_upper_y_.resize(cols);
+  router->col_offset_.resize(cols);
+  uint32_t offset = 0;
+  for (uint32_t c = 0; c < cols; ++c) {
+    std::sort(ys[c].begin(), ys[c].end());
+    router->cell_upper_y_[c] = QuantileCuts(ys[c], rows[c]);
+    router->col_offset_[c] = offset;
+    offset += rows[c];
+  }
+  return router;
+}
+
+uint32_t GridShardRouter::Route(const Point& loc) const {
+  const size_t col = std::upper_bound(col_upper_x_.begin(), col_upper_x_.end(),
+                                      loc.x) -
+                     col_upper_x_.begin();
+  const std::vector<double>& cuts = cell_upper_y_[col];
+  const size_t row =
+      std::upper_bound(cuts.begin(), cuts.end(), loc.y) - cuts.begin();
+  return col_offset_[col] + static_cast<uint32_t>(row);
+}
+
+std::string GridShardRouter::Describe() const {
+  return "grid " + std::to_string(col_offset_.size()) + " cols, " +
+         std::to_string(num_shards_) + " cells";
+}
+
+uint32_t HashShardRouter::Route(const Point& loc) const {
+  // FNV-1a over the raw coordinate bits: deterministic across processes
+  // (std::hash is not guaranteed to be).
+  uint64_t bits[2];
+  static_assert(sizeof(bits) == 2 * sizeof(double));
+  std::memcpy(&bits[0], &loc.x, sizeof(double));
+  std::memcpy(&bits[1], &loc.y, sizeof(double));
+  uint64_t h = 1469598103934665603ull;
+  for (const uint64_t word : bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (byte * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<uint32_t>(h % num_shards_);
+}
+
+std::string HashShardRouter::Describe() const {
+  return "hash " + std::to_string(num_shards_);
+}
+
+}  // namespace yask

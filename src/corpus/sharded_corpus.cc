@@ -1,0 +1,262 @@
+#include "src/corpus/sharded_corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <latch>
+#include <thread>
+
+namespace yask {
+
+ShardedCorpus ShardedCorpus::Partition(const ObjectStore& source,
+                                       std::unique_ptr<ShardRouter> router,
+                                       const CorpusOptions& options) {
+  assert(router != nullptr);
+  ShardedCorpus sharded;
+  const uint32_t n = std::max(1u, router->num_shards());
+
+  // Distribute objects in ascending global id order, so each shard store's
+  // local id order is the global order restricted to the shard (the D6
+  // tie-order invariant of the exactness argument).
+  std::vector<ObjectStore> stores;
+  stores.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) stores.emplace_back(source.shared_vocab());
+  sharded.to_global_.resize(n);
+  sharded.locate_.reserve(source.size());
+  for (const SpatialObject& o : source.objects()) {
+    const uint32_t s = std::min(router->Route(o.loc), n - 1);
+    const ObjectId local = stores[s].Add(o);
+    sharded.to_global_[s].push_back(o.id);
+    sharded.locate_.emplace_back(s, local);
+  }
+
+  const CorpusBuilder builder(options);
+  sharded.shards_.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    sharded.shards_.push_back(builder.Build(std::move(stores[s])));
+  }
+  sharded.bounds_ = source.bounds();
+  sharded.dist_norm_ = source.BoundsDiagonal();
+  sharded.router_desc_ = router->Describe();
+  sharded.router_ = std::move(router);
+  return sharded;
+}
+
+ObjectId ShardedCorpus::FindByName(const std::string& name) const {
+  // Scan in global id order so ties resolve exactly like an unsharded
+  // store's FindByName (first match by global id).
+  for (ObjectId global = 0; global < locate_.size(); ++global) {
+    if (Object(global).name == name) return global;
+  }
+  return kInvalidObject;
+}
+
+std::string ShardedCorpus::ShardFilePath(const std::string& prefix,
+                                         uint32_t index) {
+  return prefix + ".shard-" + std::to_string(index) + ".snap";
+}
+
+Result<uint64_t> ShardedCorpus::Save(const std::string& prefix) const {
+  uint64_t total_bytes = 0;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardManifest manifest;
+    manifest.shard_index = s;
+    manifest.shard_count = static_cast<uint32_t>(shards_.size());
+    manifest.global_bounds = bounds_;
+    manifest.global_ids = to_global_[s];
+    manifest.router = router_desc_;
+    Result<uint64_t> bytes = shards_[s].Save(ShardFilePath(prefix, s),
+                                             &manifest);
+    if (!bytes.ok()) return bytes.status();
+    total_bytes += *bytes;
+  }
+  return total_bytes;
+}
+
+Result<ShardedCorpus> ShardedCorpus::Load(const std::string& prefix,
+                                          const CorpusOptions& options) {
+  ShardedCorpus sharded;
+  const CorpusBuilder builder(options);
+  uint32_t shard_count = 1;
+  uint64_t total_objects = 0;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const std::string path = ShardFilePath(prefix, s);
+    std::unique_ptr<ShardManifest> manifest;
+    Result<Corpus> corpus = builder.FromSnapshot(path, &manifest);
+    if (!corpus.ok()) return corpus.status();
+    if (manifest == nullptr) {
+      return Status::InvalidArgument(path +
+                                     " has no shard manifest section; it is "
+                                     "not part of a partitioned corpus");
+    }
+    if (manifest->shard_index != s) {
+      return Status::InvalidArgument(
+          path + " claims shard index " +
+          std::to_string(manifest->shard_index) + ", expected " +
+          std::to_string(s));
+    }
+    if (s == 0) {
+      shard_count = manifest->shard_count;
+      sharded.bounds_ = manifest->global_bounds;
+      sharded.router_desc_ = manifest->router;
+      sharded.shards_.reserve(shard_count);
+      sharded.to_global_.reserve(shard_count);
+    } else if (manifest->shard_count != shard_count) {
+      return Status::InvalidArgument(
+          path + " claims " + std::to_string(manifest->shard_count) +
+          " shards, expected " + std::to_string(shard_count));
+    } else if (!(manifest->global_bounds == sharded.bounds_)) {
+      return Status::InvalidArgument(path +
+                                     " disagrees on the global bounds");
+    }
+    total_objects += manifest->global_ids.size();
+    sharded.shards_.push_back(std::move(corpus).value());
+    sharded.to_global_.push_back(std::move(manifest->global_ids));
+  }
+
+  // The shards' global ids must tile 0..total-1 exactly: no holes, no
+  // duplicates (a missing or doubled object would silently corrupt results).
+  constexpr auto kUnset = static_cast<uint32_t>(-1);
+  sharded.locate_.assign(static_cast<size_t>(total_objects),
+                         {kUnset, kInvalidObject});
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const std::vector<ObjectId>& globals = sharded.to_global_[s];
+    for (ObjectId local = 0; local < globals.size(); ++local) {
+      const ObjectId global = globals[local];
+      if (global >= total_objects || sharded.locate_[global].first != kUnset) {
+        return Status::InvalidArgument(
+            "shard files disagree: global object id " +
+            std::to_string(global) + " is out of range or duplicated");
+      }
+      sharded.locate_[global] = {s, local};
+    }
+  }
+
+  sharded.dist_norm_ =
+      sharded.bounds_.empty()
+          ? 0.0
+          : Distance(Point{sharded.bounds_.min_x, sharded.bounds_.min_y},
+                     Point{sharded.bounds_.max_x, sharded.bounds_.max_y});
+  return sharded;
+}
+
+// --- ShardedTopKEngine -------------------------------------------------------
+
+ShardedTopKEngine::ShardedTopKEngine(const ShardedCorpus& corpus,
+                                     size_t num_threads)
+    : corpus_(&corpus) {
+  engines_.reserve(corpus.num_shards());
+  for (size_t s = 0; s < corpus.num_shards(); ++s) {
+    const Corpus& shard = corpus.shard(s);
+    engines_.emplace_back(shard.store(), shard.setr());
+    engines_.back().set_dist_norm(corpus.dist_norm());
+  }
+  if (engines_.size() > 1) {
+    // The calling thread searches the home shard; the pool covers the rest.
+    // On a single-core host a pool buys nothing — the fan-out runs inline
+    // (and gets a strictly better, incrementally-refined prune threshold).
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (hw > 1) {
+      size_t threads = num_threads != 0 ? num_threads : engines_.size() - 1;
+      threads = std::min({threads, engines_.size() - 1, hw});
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+  }
+}
+
+TopKResult ShardedTopKEngine::Query(const ::yask::Query& query,
+                                    TopKStats* stats) const {
+  if (query.k == 0) return {};  // Same guard as the unsharded engine.
+  const size_t n = engines_.size();
+  std::vector<TopKResult> parts(n);
+  std::vector<TopKStats> part_stats(n);
+
+  // Phase 1: search the query's home shard — the shard whose tree MBR is
+  // nearest the query point — to completion. Its k-th score then bounds
+  // what any other shard must beat (the classic distributed-top-k threshold
+  // broadcast): far shards usually terminate at their root, so the fan-out
+  // does roughly one small-tree search worth of work per query instead of N.
+  size_t home = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < n; ++s) {
+    const SetRTree& tree = corpus_->shard(s).setr();
+    if (tree.empty()) continue;
+    const double d = tree.node(tree.root()).rect.MinDistance(query.loc);
+    if (d < best_distance) {
+      best_distance = d;
+      home = s;
+    }
+  }
+  parts[home] = engines_[home].Query(query, &part_stats[home]);
+
+  // Merges a shard's local-id rows into `merged` (global ids) and truncates
+  // to the k best. Scores are bit-identical across layouts, so the
+  // ScoredObject sort (score desc, global id asc) reproduces the unsharded
+  // ordering exactly — ties and all; truncation only ever drops rows that k
+  // kept rows already dominate.
+  TopKResult merged;
+  auto merge_part = [&](size_t s) {
+    for (const ScoredObject& so : parts[s]) {
+      merged.push_back(ScoredObject{corpus_->ToGlobal(s, so.id), so.score});
+    }
+    std::sort(merged.begin(), merged.end());
+    if (merged.size() > query.k) merged.resize(query.k);
+  };
+  merge_part(home);
+
+  // Skipping only strictly-worse candidates keeps the fan-out exact: an
+  // object pruned by the threshold scores strictly below the current k-th
+  // result, so the D6 ordering can never place it in the top-k regardless
+  // of ids.
+  auto threshold = [&] {
+    return merged.size() == query.k
+               ? merged.back().score
+               : -std::numeric_limits<double>::infinity();
+  };
+
+  // Phase 2: the remaining shards, thresholded.
+  if (n > 1 && pool_ != nullptr) {
+    // Parallel: every other shard searches concurrently against the home
+    // shard's k-th score.
+    const double prune_below = threshold();
+    std::latch latch(static_cast<ptrdiff_t>(n - 1));
+    for (size_t s = 0; s < n; ++s) {
+      if (s == home) continue;
+      pool_->Submit([this, s, prune_below, &query, &parts, &part_stats,
+                     &latch] {
+        parts[s] = engines_[s].Query(query, prune_below, &part_stats[s]);
+        latch.count_down();
+      });
+    }
+    latch.wait();
+    for (size_t s = 0; s < n; ++s) {
+      if (s != home) merge_part(s);
+    }
+  } else if (n > 1) {
+    // Sequential (single-core host): nearest shards first, re-tightening
+    // the threshold after each merge — later shards see the best bound yet.
+    std::vector<std::pair<double, size_t>> order;
+    for (size_t s = 0; s < n; ++s) {
+      if (s == home) continue;
+      const SetRTree& tree = corpus_->shard(s).setr();
+      const double d = tree.empty()
+                           ? std::numeric_limits<double>::infinity()
+                           : tree.node(tree.root()).rect.MinDistance(query.loc);
+      order.emplace_back(d, s);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [distance, s] : order) {
+      parts[s] = engines_[s].Query(query, threshold(), &part_stats[s]);
+      merge_part(s);
+    }
+  }
+
+  if (stats != nullptr) {
+    for (const TopKStats& ps : part_stats) {
+      stats->nodes_popped += ps.nodes_popped;
+      stats->objects_scored += ps.objects_scored;
+    }
+  }
+  return merged;
+}
+
+}  // namespace yask

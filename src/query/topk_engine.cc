@@ -81,8 +81,9 @@ class ResultHeap {
 }  // namespace
 
 TopKResult SetRTopKEngine::Query(const ::yask::Query& query,
-                                 TopKStats* stats) const {
-  Scorer scorer(*store_, query);
+                                 double prune_below, TopKStats* stats) const {
+  Scorer scorer = dist_norm_ >= 0.0 ? Scorer(*store_, query, dist_norm_)
+                                    : Scorer(*store_, query);
   TopKResult result;
   if (store_->empty() || query.k == 0 || tree_->empty()) return result;
 
@@ -96,6 +97,9 @@ TopKResult SetRTopKEngine::Query(const ::yask::Query& query,
   while (!pq.empty() && result.size() < query.k) {
     const QueueEntry top = pq.top();
     pq.pop();
+    // The frontier maximum bounds everything still reachable: strictly below
+    // the threshold means nothing left can matter to the caller.
+    if (top.key < prune_below) break;
     if (top.is_object) {
       result.push_back(ScoredObject{top.id, top.key});
       continue;

@@ -16,6 +16,7 @@
 #define YASK_QUERY_TOPK_ENGINE_H_
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <queue>
 
@@ -50,12 +51,29 @@ class SetRTopKEngine {
       : store_(&store), tree_(&tree) {}
 
   /// Runs q against the index. Returns min(k, |D|) objects.
-  TopKResult Query(const Query& query, TopKStats* stats = nullptr) const;
+  TopKResult Query(const Query& query, TopKStats* stats = nullptr) const {
+    return Query(query, -std::numeric_limits<double>::infinity(), stats);
+  }
+
+  /// Thresholded variant: abandons the search once no remaining candidate
+  /// can score >= `prune_below`, so objects scoring strictly below it may be
+  /// omitted from the result. Exactness contract: every indexed object with
+  /// score >= prune_below that belongs to the top-k IS returned (the
+  /// best-first frontier bound is admissible and the stop test is strict).
+  /// The sharded fan-out passes the k-th score of the most promising shard
+  /// here, which usually terminates far shards at their root.
+  TopKResult Query(const ::yask::Query& query, double prune_below,
+                   TopKStats* stats = nullptr) const;
 
   /// Selects the node-bound flavour (default: length-tightened). Exposed for
   /// the D1 ablation benchmark; results are identical either way, only the
   /// amount of pruning differs.
   void set_bound_variant(SetRBoundVariant variant) { variant_ = variant; }
+
+  /// Overrides the SDist normaliser (default: the store's bounds diagonal).
+  /// A sharded corpus sets every shard engine to the *global* diagonal so
+  /// per-shard scores are bit-identical to the unsharded engine's.
+  void set_dist_norm(double norm) { dist_norm_ = norm; }
 
   const ObjectStore& store() const { return *store_; }
 
@@ -63,6 +81,7 @@ class SetRTopKEngine {
   const ObjectStore* store_;
   const SetRTree* tree_;
   SetRBoundVariant variant_ = SetRBoundVariant::kLengthTightened;
+  double dist_norm_ = -1.0;  // < 0: use the store's own diagonal.
 };
 
 /// A resumable best-first top-k enumeration: yields objects in exact rank

@@ -77,7 +77,9 @@ void HttpServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // Drain any still-queued connections.
+  // Workers abandon the queue as soon as running_ drops (they only finish
+  // the connection they already hold), so under load the queue can still be
+  // full here: close every queued fd or they would leak.
   std::lock_guard<std::mutex> lock(mu_);
   while (!pending_.empty()) {
     ::close(pending_.front());
@@ -106,10 +108,10 @@ void HttpServer::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return !pending_.empty() || !running_.load(); });
-      if (pending_.empty()) {
-        if (!running_.load()) return;
-        continue;
-      }
+      // On Stop(), exit even with connections still queued: Stop() closes
+      // them after the join. Serving a backlog during shutdown would make
+      // Stop() latency unbounded under load.
+      if (!running_.load()) return;
       fd = pending_.front();
       pending_.pop();
     }
@@ -176,9 +178,11 @@ const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     default: return "OK";
   }
 }

@@ -67,7 +67,9 @@ class HttpServer {
   /// Binds, listens and spawns the accept/worker threads.
   Status Start();
 
-  /// Stops accepting, drains workers, closes the socket. Idempotent.
+  /// Stops accepting and joins the workers. Connections already being
+  /// handled finish; connections still queued are closed unserved (so Stop()
+  /// neither leaks fds nor blocks behind a backlog). Idempotent.
   void Stop();
 
   /// The actual port after Start() (useful with port 0).

@@ -1,22 +1,38 @@
 #include "src/server/yask_service.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "src/common/string_util.h"
 #include "src/common/text.h"
 #include "src/common/timer.h"
-#include "src/snapshot/snapshot_codec.h"
 
 namespace yask {
 
-YaskService::YaskService(const ObjectStore& store, const SetRTree& setr,
-                         const KcRTree& kcr, YaskServiceOptions options)
-    : store_(&store),
-      setr_(&setr),
-      kcr_(&kcr),
-      engine_(store, setr, kcr),
-      options_(options),
-      server_(options.port, options.num_workers) {
+namespace {
+
+/// Range-checked double -> integer conversions for client-supplied JSON
+/// numbers (a bare static_cast from a negative or huge double is UB).
+bool ToUint32(double v, uint32_t* out) {
+  if (!(v >= 0.0 && v <= static_cast<double>(
+                             std::numeric_limits<uint32_t>::max()))) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool ToUint64(double v, uint64_t* out) {
+  if (!(v >= 0.0 && v < 18446744073709551616.0)) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+YaskService::YaskService(YaskServiceOptions options)
+    : options_(options), server_(options.port, options.num_workers) {
   server_.Route("POST", "/query",
                 [this](const HttpRequest& r) { return HandleQuery(r); });
   server_.Route("POST", "/whynot",
@@ -45,6 +61,19 @@ YaskService::YaskService(const ObjectStore& store, const SetRTree& setr,
   });
 }
 
+YaskService::YaskService(const Corpus& corpus, YaskServiceOptions options)
+    : YaskService(options) {
+  corpus_ = &corpus;
+  engine_.emplace(corpus);
+}
+
+YaskService::YaskService(const ShardedCorpus& corpus,
+                         YaskServiceOptions options)
+    : YaskService(options) {
+  sharded_ = &corpus;
+  sharded_engine_.emplace(corpus);
+}
+
 Status YaskService::Start() { return server_.Start(); }
 
 void YaskService::Stop() { server_.Stop(); }
@@ -54,17 +83,68 @@ size_t YaskService::cached_queries() const {
   return query_cache_.size();
 }
 
+// --- Corpus-layout-independent accessors -------------------------------------
+
+size_t YaskService::ObjectCount() const {
+  return corpus_ != nullptr ? corpus_->size() : sharded_->size();
+}
+
+const Vocabulary& YaskService::vocab() const {
+  return corpus_ != nullptr ? corpus_->vocab() : sharded_->vocab();
+}
+
+const SpatialObject& YaskService::ObjectAt(ObjectId global_id) const {
+  return corpus_ != nullptr ? corpus_->store().Get(global_id)
+                            : sharded_->Object(global_id);
+}
+
+ObjectId YaskService::FindByName(const std::string& name) const {
+  return corpus_ != nullptr ? corpus_->store().FindByName(name)
+                            : sharded_->FindByName(name);
+}
+
+TopKResult YaskService::RunTopK(const Query& query) const {
+  return corpus_ != nullptr ? engine_->TopK(query)
+                            : sharded_engine_->Query(query);
+}
+
+// --- Query cache (LRU) -------------------------------------------------------
+
+uint64_t YaskService::CacheQuery(const Query& query) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const uint64_t id = next_query_id_++;
+  lru_.push_front(id);
+  query_cache_[id] = CacheEntry{query, lru_.begin()};
+  if (options_.max_cached_queries > 0 &&
+      query_cache_.size() > options_.max_cached_queries) {
+    const uint64_t evicted = lru_.back();
+    lru_.pop_back();
+    query_cache_.erase(evicted);
+  }
+  return id;
+}
+
+std::optional<Query> YaskService::LookupCachedQuery(uint64_t id) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = query_cache_.find(id);
+  if (it == query_cache_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.query;
+}
+
+// --- Handlers ----------------------------------------------------------------
+
 JsonValue YaskService::ResultToJson(const TopKResult& result) const {
   JsonValue arr = JsonValue::MakeArray();
   for (const ScoredObject& so : result) {
-    const SpatialObject& o = store_->Get(so.id);
+    const SpatialObject& o = ObjectAt(so.id);
     JsonValue row = JsonValue::MakeObject();
     row.Set("id", JsonValue(static_cast<size_t>(so.id)));
     row.Set("name", JsonValue(o.name));
     row.Set("x", JsonValue(o.loc.x));
     row.Set("y", JsonValue(o.loc.y));
     row.Set("score", JsonValue(so.score));
-    row.Set("keywords", JsonValue(o.doc.ToString(store_->vocab())));
+    row.Set("keywords", JsonValue(o.doc.ToString(vocab())));
     arr.Append(std::move(row));
   }
   return arr;
@@ -81,33 +161,29 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
 
   Query q;
   q.loc = Point{in.Get("x").as_number(), in.Get("y").as_number()};
-  q.doc = LookupKeywords(in.Get("keywords").as_string(), store_->vocab());
-  q.k = in.Get("k").is_number()
-            ? static_cast<uint32_t>(in.Get("k").as_number())
-            : 10;
+  q.doc = LookupKeywords(in.Get("keywords").as_string(), vocab());
+  q.k = 10;
+  if (in.Get("k").is_number() && !ToUint32(in.Get("k").as_number(), &q.k)) {
+    return HttpResponse::Error(400, "k out of range");
+  }
   q.w = options_.system_weights;  // §3.2: w is a server-side parameter.
   if (Status s = q.Validate(); !s.ok()) {
     return HttpResponse::Error(400, s.message());
   }
 
   Timer timer;
-  const TopKResult result = engine_.TopK(q);
+  const TopKResult result = RunTopK(q);
   const double millis = timer.ElapsedMillis();
 
-  uint64_t id;
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    id = next_query_id_++;
-    query_cache_[id] = q;
-  }
-  log_.Append("topk", q.ToString(store_->vocab()), millis);
+  const uint64_t id = CacheQuery(q);
+  log_.Append("topk", q.ToString(vocab()), millis);
 
   JsonValue out = JsonValue::MakeObject();
   out.Set("query_id", JsonValue(static_cast<size_t>(id)));
   out.Set("k", JsonValue(static_cast<size_t>(q.k)));
   out.Set("ws", JsonValue(q.w.ws));
   out.Set("wt", JsonValue(q.w.wt));
-  out.Set("keywords", JsonValue(q.doc.ToString(store_->vocab())));
+  out.Set("keywords", JsonValue(q.doc.ToString(vocab())));
   out.Set("results", ResultToJson(result));
   out.Set("response_millis", JsonValue(millis));
   return HttpResponse::Json(out.Dump());
@@ -129,6 +205,13 @@ JsonValue PenaltyToJson(const PenaltyBreakdown& p) {
 }  // namespace
 
 HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
+  if (corpus_ == nullptr) {
+    // The refinement models need the global indexes (weight-plane sweep,
+    // KcR-tree bounds); they run on an unsharded replica, not on the
+    // fan-out shards. See docs/architecture.md.
+    return HttpResponse::Error(
+        501, "why-not answering requires an unsharded corpus replica");
+  }
   auto parsed = JsonValue::Parse(req.body);
   if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
   const JsonValue& in = parsed.value();
@@ -136,23 +219,26 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     return HttpResponse::Error(400, "expected query_id, missing[, model]");
   }
 
-  Query q;
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = query_cache_.find(
-        static_cast<uint64_t>(in.Get("query_id").as_number()));
-    if (it == query_cache_.end()) {
-      return HttpResponse::Error(404, "unknown or expired query_id");
-    }
-    q = it->second;
+  uint64_t query_id = 0;
+  if (!ToUint64(in.Get("query_id").as_number(), &query_id)) {
+    return HttpResponse::Error(400, "query_id out of range");
   }
+  std::optional<Query> cached = LookupCachedQuery(query_id);
+  if (!cached.has_value()) {
+    return HttpResponse::Error(404, "unknown or expired query_id");
+  }
+  const Query& q = *cached;
 
   std::vector<ObjectId> missing;
   for (const JsonValue& v : in.Get("missing").array_items()) {
     if (v.is_number()) {
-      missing.push_back(static_cast<ObjectId>(v.as_number()));
+      uint32_t id = 0;
+      if (!ToUint32(v.as_number(), &id)) {
+        return HttpResponse::Error(400, "missing object id out of range");
+      }
+      missing.push_back(id);
     } else if (v.is_string()) {
-      const ObjectId id = store_->FindByName(v.as_string());
+      const ObjectId id = FindByName(v.as_string());
       if (id == kInvalidObject) {
         return HttpResponse::Error(404, "no object named " + v.as_string());
       }
@@ -169,7 +255,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   if (model == "combined") {
     // §3.2: apply the two refinement functions simultaneously.
     Timer timer;
-    auto combined = engine_.CombineRefinements(q, missing, options);
+    auto combined = engine_->CombineRefinements(q, missing, options);
     const double millis = timer.ElapsedMillis();
     if (!combined.ok()) {
       return HttpResponse::Error(400, combined.status().ToString());
@@ -177,8 +263,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     JsonValue out = JsonValue::MakeObject();
     out.Set("ws", JsonValue(combined->refined.w.ws));
     out.Set("wt", JsonValue(combined->refined.w.wt));
-    out.Set("keywords",
-            JsonValue(combined->refined.doc.ToString(store_->vocab())));
+    out.Set("keywords", JsonValue(combined->refined.doc.ToString(vocab())));
     out.Set("k", JsonValue(static_cast<size_t>(combined->refined.k)));
     out.Set("preference_penalty", PenaltyToJson(combined->preference_penalty));
     out.Set("keyword_penalty", PenaltyToJson(combined->keyword_penalty));
@@ -187,9 +272,9 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     out.Set("original_rank", JsonValue(combined->original_rank));
     out.Set("refined_rank", JsonValue(combined->refined_rank));
     out.Set("refined_results",
-            ResultToJson(engine_.TopK(combined->refined)));
+            ResultToJson(engine_->TopK(combined->refined)));
     out.Set("response_millis", JsonValue(millis));
-    log_.Append("whynot-combined", q.ToString(store_->vocab()), millis,
+    log_.Append("whynot-combined", q.ToString(vocab()), millis,
                 combined->total_penalty);
     return HttpResponse::Json(out.Dump());
   }
@@ -202,7 +287,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   }
 
   Timer timer;
-  auto answer = engine_.Answer(q, missing, options);
+  auto answer = engine_->Answer(q, missing, options);
   const double millis = timer.ElapsedMillis();
   if (!answer.ok()) {
     return HttpResponse::Error(400, answer.status().ToString());
@@ -215,7 +300,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   for (const MissingObjectExplanation& e : a.explanations) {
     JsonValue v = JsonValue::MakeObject();
     v.Set("id", JsonValue(static_cast<size_t>(e.id)));
-    v.Set("name", JsonValue(store_->Get(e.id).name));
+    v.Set("name", JsonValue(ObjectAt(e.id).name));
     v.Set("rank", JsonValue(e.rank));
     v.Set("score", JsonValue(e.score));
     v.Set("sdist", JsonValue(e.sdist));
@@ -244,7 +329,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   if (a.keyword.has_value()) {
     const RefinedKeywordQuery& r = *a.keyword;
     JsonValue v = JsonValue::MakeObject();
-    v.Set("keywords", JsonValue(r.refined.doc.ToString(store_->vocab())));
+    v.Set("keywords", JsonValue(r.refined.doc.ToString(vocab())));
     v.Set("k", JsonValue(static_cast<size_t>(r.refined.k)));
     v.Set("penalty", PenaltyToJson(r.penalty));
     v.Set("original_rank", JsonValue(r.original_rank));
@@ -271,7 +356,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   out.Set("response_millis", JsonValue(millis));
 
   log_.Append("whynot",
-              q.ToString(store_->vocab()) + " missing=" +
+              q.ToString(vocab()) + " missing=" +
                   std::to_string(missing.size()),
               millis, logged_penalty);
   return HttpResponse::Json(out.Dump());
@@ -285,19 +370,19 @@ HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
     if (ParseUint64(it->second, &v)) limit = static_cast<size_t>(v);
   }
   JsonValue arr = JsonValue::MakeArray();
-  const size_t n = std::min(limit, store_->size());
+  const size_t n = std::min(limit, ObjectCount());
   for (size_t i = 0; i < n; ++i) {
-    const SpatialObject& o = store_->Get(static_cast<ObjectId>(i));
+    const SpatialObject& o = ObjectAt(static_cast<ObjectId>(i));
     JsonValue row = JsonValue::MakeObject();
     row.Set("id", JsonValue(i));
     row.Set("name", JsonValue(o.name));
     row.Set("x", JsonValue(o.loc.x));
     row.Set("y", JsonValue(o.loc.y));
-    row.Set("keywords", JsonValue(o.doc.ToString(store_->vocab())));
+    row.Set("keywords", JsonValue(o.doc.ToString(vocab())));
     arr.Append(std::move(row));
   }
   JsonValue out = JsonValue::MakeObject();
-  out.Set("total", JsonValue(store_->size()));
+  out.Set("total", JsonValue(ObjectCount()));
   out.Set("objects", std::move(arr));
   return HttpResponse::Json(out.Dump());
 }
@@ -324,23 +409,33 @@ HttpResponse YaskService::HandleForget(const HttpRequest& req) {
   if (!parsed.value().Get("query_id").is_number()) {
     return HttpResponse::Error(400, "expected query_id");
   }
-  const uint64_t id =
-      static_cast<uint64_t>(parsed.value().Get("query_id").as_number());
-  size_t erased;
+  uint64_t id = 0;
+  if (!ToUint64(parsed.value().Get("query_id").as_number(), &id)) {
+    return HttpResponse::Error(400, "query_id out of range");
+  }
+  bool erased = false;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    erased = query_cache_.erase(id);
+    auto it = query_cache_.find(id);
+    if (it != query_cache_.end()) {
+      lru_.erase(it->second.lru_pos);
+      query_cache_.erase(it);
+      erased = true;
+    }
   }
   JsonValue out = JsonValue::MakeObject();
-  out.Set("forgotten", JsonValue(erased > 0));
+  out.Set("forgotten", JsonValue(erased));
   return HttpResponse::Json(out.Dump());
 }
 
 HttpResponse YaskService::HandleHealth(const HttpRequest&) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("status", JsonValue("ok"));
-  out.Set("objects", JsonValue(store_->size()));
-  out.Set("vocabulary", JsonValue(store_->vocab().size()));
+  out.Set("objects", JsonValue(ObjectCount()));
+  out.Set("vocabulary", JsonValue(vocab().size()));
+  if (sharded_ != nullptr) {
+    out.Set("shards", JsonValue(sharded_->num_shards()));
+  }
   return HttpResponse::Json(out.Dump());
 }
 
@@ -365,7 +460,8 @@ HttpResponse YaskService::HandleSnapshot(const HttpRequest& req) {
   }
 
   Timer timer;
-  Result<uint64_t> bytes = WriteSnapshot(path, *store_, setr_, kcr_, inverted_);
+  Result<uint64_t> bytes =
+      corpus_ != nullptr ? corpus_->Save(path) : sharded_->Save(path);
   const double millis = timer.ElapsedMillis();
   if (!bytes.ok()) {
     return HttpResponse::Error(500, bytes.status().ToString());
@@ -375,7 +471,10 @@ HttpResponse YaskService::HandleSnapshot(const HttpRequest& req) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("path", JsonValue(path));
   out.Set("bytes", JsonValue(static_cast<size_t>(*bytes)));
-  out.Set("objects", JsonValue(store_->size()));
+  out.Set("objects", JsonValue(ObjectCount()));
+  if (sharded_ != nullptr) {
+    out.Set("shards", JsonValue(sharded_->num_shards()));
+  }
   out.Set("response_millis", JsonValue(millis));
   return HttpResponse::Json(out.Dump());
 }

@@ -5,6 +5,12 @@
 // initial spatial keyword queries until users give up asking follow-up
 // 'why-not' questions"), and keeps the query log of Panel 5.
 //
+// Serving state comes from the corpus layer (src/corpus/): either one
+// Corpus (the full-featured replica: top-k + why-not) or a ShardedCorpus
+// (the scale-out layout: top-k queries fan out across the shards in
+// parallel; why-not refinement needs the global indexes of an unsharded
+// replica and answers 501 here — see docs/architecture.md).
+//
 // Per §3.2, the client never supplies the weight vector: "the system ...
 // leaves the weighting vector w as a system parameter on the server. In the
 // default setting, the spatial distance and textual similarity are weighed
@@ -20,27 +26,29 @@
 //   GET  /objects?limit=N      -> dataset sample (the demo's grey markers)
 //   GET  /log                  -> query log snapshot
 //   POST /forget   {"query_id":..}   -> drops a cached initial query
-//   GET  /health               -> {"status":"ok","objects":N}
-//   POST /snapshot [{"path":..}]  -> admin: serialize the warm state (store +
-//                  vocabulary + indexes) to disk; see src/snapshot/. Writes
-//                  to YaskServiceOptions::snapshot_path; the body's "path"
-//                  override is honoured only when
-//                  allow_snapshot_path_override is set (403 otherwise).
+//   GET  /health               -> {"status":"ok","objects":N[,"shards":S]}
+//   POST /snapshot [{"path":..}]  -> admin: serialize the warm state to disk
+//                  (one file for a Corpus, one file per shard for a
+//                  ShardedCorpus). Writes to YaskServiceOptions::
+//                  snapshot_path; the body's "path" override is honoured
+//                  only when allow_snapshot_path_override is set (403
+//                  otherwise).
 
 #ifndef YASK_SERVER_YASK_SERVICE_H_
 #define YASK_SERVER_YASK_SERVICE_H_
 
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
-#include "src/index/inverted_index.h"
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/sharded_corpus.h"
 #include "src/server/http_server.h"
 #include "src/server/json.h"
 #include "src/server/query_log.h"
-#include "src/storage/object_store.h"
 #include "src/whynot/why_not_engine.h"
 
 namespace yask {
@@ -53,7 +61,13 @@ struct YaskServiceOptions {
   double default_lambda = 0.5;
   uint16_t port = 0;  // 0 = ephemeral.
   size_t num_workers = 4;
-  /// Default target of the POST /snapshot admin endpoint.
+  /// Upper bound on cached initial queries. Clients that never POST /forget
+  /// used to grow the cache without limit; beyond this many entries the
+  /// least-recently-used query is evicted (a later /whynot for it answers
+  /// 404, exactly as if the client had forgotten it). 0 disables the bound.
+  size_t max_cached_queries = 4096;
+  /// Default target of the POST /snapshot admin endpoint. For a sharded
+  /// service this is the per-shard file prefix (see ShardedCorpus::Save).
   std::string snapshot_path;
   /// Whether POST /snapshot may override the target via {"path": ...} in
   /// the request body. Off by default: the server has no authentication, so
@@ -63,18 +77,15 @@ struct YaskServiceOptions {
 };
 
 /// The YASK service: owns the HTTP server and the query cache; borrows the
-/// store and indexes (which must outlive it).
+/// corpus (which must outlive it).
 class YaskService {
  public:
-  YaskService(const ObjectStore& store, const SetRTree& setr,
-              const KcRTree& kcr, YaskServiceOptions options = {});
+  /// Full-featured replica over one corpus (requires corpus.has_kcr()).
+  explicit YaskService(const Corpus& corpus, YaskServiceOptions options = {});
 
-  /// When the process also holds an inverted index (e.g. restored from a
-  /// snapshot that contained one), registering it here makes POST /snapshot
-  /// include it — otherwise re-snapshotting would silently drop the section.
-  void set_inverted_index(const InvertedIndex* inverted) {
-    inverted_ = inverted;
-  }
+  /// Scale-out mode: top-k fans out over the shards; /whynot answers 501.
+  explicit YaskService(const ShardedCorpus& corpus,
+                       YaskServiceOptions options = {});
 
   /// Starts serving; returns the bound port via port().
   Status Start();
@@ -87,6 +98,8 @@ class YaskService {
   size_t cached_queries() const;
 
  private:
+  explicit YaskService(YaskServiceOptions options);
+
   HttpResponse HandleQuery(const HttpRequest& req);
   HttpResponse HandleWhyNot(const HttpRequest& req);
   HttpResponse HandleObjects(const HttpRequest& req);
@@ -95,19 +108,39 @@ class YaskService {
   HttpResponse HandleHealth(const HttpRequest& req);
   HttpResponse HandleSnapshot(const HttpRequest& req);
 
+  // --- Corpus-layout-independent serving state accessors. ---
+  size_t ObjectCount() const;
+  const Vocabulary& vocab() const;
+  /// Object by global id (in sharded mode `.id` of the result is shard-
+  /// local; always use `global_id` for identity).
+  const SpatialObject& ObjectAt(ObjectId global_id) const;
+  ObjectId FindByName(const std::string& name) const;
+  TopKResult RunTopK(const Query& query) const;
+
   JsonValue ResultToJson(const TopKResult& result) const;
 
-  const ObjectStore* store_;
-  const SetRTree* setr_;
-  const KcRTree* kcr_;
-  const InvertedIndex* inverted_ = nullptr;  // Optional; see setter.
-  WhyNotEngine engine_;
+  /// Caches `query`, evicting the LRU entry beyond max_cached_queries.
+  uint64_t CacheQuery(const Query& query);
+  /// Looks a cached query up and marks it most-recently used.
+  std::optional<Query> LookupCachedQuery(uint64_t id);
+
+  const Corpus* corpus_ = nullptr;            // Exactly one of these two
+  const ShardedCorpus* sharded_ = nullptr;    // is non-null.
+  std::optional<WhyNotEngine> engine_;        // Corpus mode only.
+  std::optional<ShardedTopKEngine> sharded_engine_;  // Sharded mode only.
   YaskServiceOptions options_;
   HttpServer server_;
   QueryLog log_;
 
+  // LRU query cache: map id -> (query, position in lru_); lru_ holds ids,
+  // most recently used at the front.
   mutable std::mutex cache_mu_;
-  std::unordered_map<uint64_t, Query> query_cache_;
+  struct CacheEntry {
+    Query query;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<uint64_t, CacheEntry> query_cache_;
+  std::list<uint64_t> lru_;
   uint64_t next_query_id_ = 1;
 };
 

@@ -503,12 +503,73 @@ Status LoadKcRTree(BufReader* in, KcRTree* tree) {
   return LoadRTreeT(in, tree);
 }
 
+// --- Shard manifest ----------------------------------------------------------
+// Payload: varu64 object_count (leading count for inspect-snapshot)
+//        | varu32 shard_index | varu32 shard_count
+//        | u8 has_bounds [ | f64 min_x | f64 min_y | f64 max_x | f64 max_y ]
+//        | delta-ids global_ids | string router.
+
+void SaveShardManifest(const ShardManifest& manifest, BufWriter* out) {
+  out->PutVarU64(manifest.global_ids.size());
+  out->PutVarU32(manifest.shard_index);
+  out->PutVarU32(manifest.shard_count);
+  out->PutU8(manifest.global_bounds.empty() ? 0 : 1);
+  if (!manifest.global_bounds.empty()) {
+    out->PutF64(manifest.global_bounds.min_x);
+    out->PutF64(manifest.global_bounds.min_y);
+    out->PutF64(manifest.global_bounds.max_x);
+    out->PutF64(manifest.global_bounds.max_y);
+  }
+  out->PutDeltaIds(manifest.global_ids);
+  out->PutString(manifest.router);
+}
+
+Result<ShardManifest> LoadShardManifest(BufReader* in) {
+  ShardManifest m;
+  const uint64_t count = in->GetVarU64();
+  m.shard_index = in->GetVarU32();
+  m.shard_count = in->GetVarU32();
+  const uint8_t has_bounds = in->GetU8();
+  if (!in->ok()) return ReaderStatus(*in);
+  if (has_bounds > 1) {
+    return Status::InvalidArgument("snapshot decode: bad bounds flag");
+  }
+  if (has_bounds == 1) {
+    const double min_x = in->GetF64();
+    const double min_y = in->GetF64();
+    const double max_x = in->GetF64();
+    const double max_y = in->GetF64();
+    if (!in->ok()) return ReaderStatus(*in);
+    if (!std::isfinite(min_x) || !std::isfinite(min_y) ||
+        !std::isfinite(max_x) || !std::isfinite(max_y) || min_x > max_x ||
+        min_y > max_y) {
+      return Status::InvalidArgument(
+          "snapshot decode: non-finite or inverted shard bounds");
+    }
+    m.global_bounds = Rect{min_x, min_y, max_x, max_y};
+  }
+  m.global_ids = in->GetDeltaIds();
+  m.router = in->GetString();
+  if (!in->ok()) return ReaderStatus(*in);
+  if (m.shard_count == 0 || m.shard_index >= m.shard_count) {
+    return Status::InvalidArgument(
+        "snapshot decode: shard index " + std::to_string(m.shard_index) +
+        " outside shard count " + std::to_string(m.shard_count));
+  }
+  if (m.global_ids.size() != count) {
+    return Status::InvalidArgument(
+        "snapshot decode: shard manifest id count disagrees with header");
+  }
+  return m;
+}
+
 // --- Bundle ------------------------------------------------------------------
 
 Result<uint64_t> WriteSnapshot(const std::string& path,
                                const ObjectStore& store, const SetRTree* setr,
                                const KcRTree* kcr,
-                               const InvertedIndex* inverted) {
+                               const InvertedIndex* inverted,
+                               const ShardManifest* shard) {
   SnapshotWriter writer;
   SaveVocabulary(store.vocab(), writer.AddSection(SectionId::kVocabulary));
   SaveObjectStore(store, writer.AddSection(SectionId::kObjectStore));
@@ -520,6 +581,9 @@ Result<uint64_t> WriteSnapshot(const std::string& path,
   }
   if (kcr != nullptr) {
     SaveKcRTree(*kcr, writer.AddSection(SectionId::kKcRTree));
+  }
+  if (shard != nullptr) {
+    SaveShardManifest(*shard, writer.AddSection(SectionId::kShardManifest));
   }
   uint64_t bytes = 0;
   if (Status s = writer.WriteTo(path, &bytes); !s.ok()) return s;
@@ -596,6 +660,21 @@ Result<SnapshotBundle> LoadSnapshot(const std::string& path) {
   for (std::thread& t : loaders) t.join();
   for (const Status* s : {&setr_status, &kcr_status, &inverted_status}) {
     if (!s->ok()) return *s;
+  }
+
+  if (reader->Has(SectionId::kShardManifest)) {
+    Result<BufReader> section = reader->OpenSection(SectionId::kShardManifest);
+    if (!section.ok()) return section.status();
+    Result<ShardManifest> manifest = LoadShardManifest(&section.value());
+    if (!manifest.ok()) return manifest.status();
+    if (manifest->global_ids.size() != bundle.store->size()) {
+      return Status::InvalidArgument(
+          "snapshot decode: shard manifest maps " +
+          std::to_string(manifest->global_ids.size()) +
+          " objects but the store holds " +
+          std::to_string(bundle.store->size()));
+    }
+    bundle.shard = std::make_unique<ShardManifest>(std::move(manifest).value());
   }
   return bundle;
 }

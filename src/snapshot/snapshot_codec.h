@@ -22,7 +22,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/common/geometry.h"
 #include "src/common/status.h"
 #include "src/common/vocabulary.h"
 #include "src/index/inverted_index.h"
@@ -59,6 +61,26 @@ Status LoadSetRTree(BufReader* in, SetRTree* tree);
 void SaveKcRTree(const KcRTree& tree, BufWriter* out);
 Status LoadKcRTree(BufReader* in, KcRTree* tree);
 
+// --- Shard manifest ----------------------------------------------------------
+
+/// Extra section of a per-shard snapshot file: everything a loader needs to
+/// reassemble a ShardedCorpus from N shard files. `global_ids[i]` is the
+/// global ObjectId of the shard store's local object i (strictly ascending —
+/// shards are filled in global id order). `global_bounds` is the MBR of the
+/// *whole* partitioned dataset; its diagonal is the SDist normaliser that
+/// keeps per-shard scores bit-identical to an unsharded corpus.
+struct ShardManifest {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  Rect global_bounds = Rect::Empty();
+  std::vector<ObjectId> global_ids;
+  /// Human-readable router description ("grid 2x2", "hash"); informational.
+  std::string router;
+};
+
+void SaveShardManifest(const ShardManifest& manifest, BufWriter* out);
+Result<ShardManifest> LoadShardManifest(BufReader* in);
+
 // --- Whole-server bundle -----------------------------------------------------
 
 /// The restored warm state. The store owns the vocabulary; the indexes point
@@ -69,15 +91,19 @@ struct SnapshotBundle {
   std::unique_ptr<SetRTree> setr;
   std::unique_ptr<KcRTree> kcr;
   std::unique_ptr<InvertedIndex> inverted;
+  /// Non-null only for per-shard snapshot files.
+  std::unique_ptr<ShardManifest> shard;
 };
 
 /// Serialises the store (+ vocabulary) and whichever indexes are non-null
-/// into one snapshot file. Returns the file size in bytes.
+/// into one snapshot file. A non-null `shard` manifest marks the file as one
+/// shard of a partitioned corpus. Returns the file size in bytes.
 Result<uint64_t> WriteSnapshot(const std::string& path,
                                const ObjectStore& store,
                                const SetRTree* setr = nullptr,
                                const KcRTree* kcr = nullptr,
-                               const InvertedIndex* inverted = nullptr);
+                               const InvertedIndex* inverted = nullptr,
+                               const ShardManifest* shard = nullptr);
 
 /// Loads a snapshot written by WriteSnapshot. Bundle members for indexes the
 /// file does not contain are left null; store and vocabulary are mandatory.

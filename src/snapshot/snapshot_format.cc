@@ -16,6 +16,8 @@ const char* SectionIdToString(SectionId id) {
       return "setr_tree";
     case SectionId::kKcRTree:
       return "kcr_tree";
+    case SectionId::kShardManifest:
+      return "shard_manifest";
   }
   return "unknown";
 }

@@ -37,6 +37,10 @@ enum class SectionId : uint32_t {
   kInvertedIndex = 3,
   kSetRTree = 4,
   kKcRTree = 5,
+  /// Present only in per-shard snapshot files: which shard of how many this
+  /// file is, the partition's global bounds, and the shard's global object
+  /// ids (the local->global id map). See docs/architecture.md.
+  kShardManifest = 6,
 };
 
 /// Stable lower-case name for logs and `dataset_tool inspect-snapshot`.

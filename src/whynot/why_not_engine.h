@@ -1,8 +1,8 @@
 // Copyright (c) 2026 The YASK reproduction authors.
 // The why-not question answering engine (§3.1, Fig. 1): the facade that the
-// server (and library users) talk to. It owns nothing; it binds the object
-// store with the SetR-tree (top-k + explanations) and the KcR-tree (keyword
-// adaption) and orchestrates the three modules:
+// server (and library users) talk to. It owns nothing; it runs over a
+// Corpus — the store with the SetR-tree (top-k + explanations) and the
+// KcR-tree (keyword adaption) — and orchestrates the three modules:
 //   * explanation generator,
 //   * preference-adjusted refinement,
 //   * keyword-adapted refinement,
@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/corpus/corpus.h"
 #include "src/index/kcr_tree.h"
 #include "src/index/setr_tree.h"
 #include "src/query/query.h"
@@ -68,13 +69,15 @@ struct CombinedRefinement {
   size_t refined_rank = 0;       // R(M, final refined query).
 };
 
-/// The engine facade. All referenced structures must outlive it; the trees
-/// must index `store`.
+/// The engine facade. The corpus must outlive the engine and must have been
+/// built with its KcR-tree (keyword adaption runs on it).
 class WhyNotEngine {
  public:
-  WhyNotEngine(const ObjectStore& store, const SetRTree& setr,
-               const KcRTree& kcr)
-      : store_(&store), setr_(&setr), kcr_(&kcr), topk_(store, setr) {}
+  explicit WhyNotEngine(const Corpus& corpus)
+      : store_(&corpus.store()),
+        setr_(&corpus.setr()),
+        kcr_(&corpus.kcr()),
+        topk_(corpus.store(), corpus.setr()) {}
 
   /// Runs the initial top-k query (the demo's query mode, Fig. 3).
   TopKResult TopK(const Query& query, TopKStats* stats = nullptr) const {

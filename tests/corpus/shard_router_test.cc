@@ -1,0 +1,98 @@
+// ShardRouter policies: range validity, determinism, grid balance, and the
+// pluggability of the seam (both routers drive the same partitioner).
+
+#include "src/corpus/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/storage/dataset_generator.h"
+
+namespace yask {
+namespace {
+
+ObjectStore ClusteredDataset(size_t n, uint64_t seed) {
+  DatasetSpec spec;
+  spec.num_objects = n;
+  spec.vocabulary_size = 50;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+std::vector<size_t> ShardCounts(const ObjectStore& store,
+                                const ShardRouter& router) {
+  std::vector<size_t> counts(router.num_shards(), 0);
+  for (const SpatialObject& o : store.objects()) {
+    const uint32_t s = router.Route(o.loc);
+    EXPECT_LT(s, router.num_shards());
+    ++counts[s];
+  }
+  return counts;
+}
+
+TEST(GridShardRouterTest, EveryShardCountIsCoveredAndBalanced) {
+  const ObjectStore store = ClusteredDataset(4000, 5);
+  for (const uint32_t shards : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+    auto router = GridShardRouter::Fit(store, shards);
+    ASSERT_EQ(router->num_shards(), shards);
+    const std::vector<size_t> counts = ShardCounts(store, *router);
+    // The quantile grid keeps shards within a loose balance envelope even
+    // on clustered data (ties at cut values can shift a few objects).
+    const size_t ideal = store.size() / shards;
+    for (const size_t c : counts) {
+      EXPECT_GE(c, ideal / 2) << "shards=" << shards;
+      EXPECT_LE(c, ideal * 2) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(GridShardRouterTest, RoutingIsDeterministic) {
+  const ObjectStore store = ClusteredDataset(1000, 6);
+  auto a = GridShardRouter::Fit(store, 6);
+  auto b = GridShardRouter::Fit(store, 6);
+  for (const SpatialObject& o : store.objects()) {
+    EXPECT_EQ(a->Route(o.loc), b->Route(o.loc));
+  }
+  EXPECT_EQ(a->Describe(), b->Describe());
+}
+
+TEST(GridShardRouterTest, HandlesDegenerateStores) {
+  // Empty store: everything (e.g. future inserts) routes in range.
+  ObjectStore empty;
+  auto router = GridShardRouter::Fit(empty, 4);
+  EXPECT_LT(router->Route(Point{0.3, 0.8}), 4u);
+
+  // All objects at one point: routing still lands in range.
+  ObjectStore clones;
+  const TermId kw = clones.mutable_vocab()->Intern("x");
+  for (int i = 0; i < 50; ++i) {
+    clones.Add(Point{0.5, 0.5}, KeywordSet({kw}), "c");
+  }
+  auto clone_router = GridShardRouter::Fit(clones, 8);
+  EXPECT_LT(clone_router->Route(Point{0.5, 0.5}), 8u);
+
+  // Fewer objects than shards.
+  ObjectStore tiny;
+  tiny.mutable_vocab()->Intern("y");
+  tiny.Add(Point{0.1, 0.2}, KeywordSet({0}), "a");
+  tiny.Add(Point{0.9, 0.8}, KeywordSet({0}), "b");
+  auto tiny_router = GridShardRouter::Fit(tiny, 5);
+  for (const SpatialObject& o : tiny.objects()) {
+    EXPECT_LT(tiny_router->Route(o.loc), 5u);
+  }
+}
+
+TEST(HashShardRouterTest, InRangeDeterministicAndRoughlyBalanced) {
+  const ObjectStore store = ClusteredDataset(4000, 7);
+  const HashShardRouter router(4);
+  const std::vector<size_t> counts = ShardCounts(store, router);
+  for (const size_t c : counts) {
+    EXPECT_GT(c, store.size() / 8);  // No empty or starved shard.
+  }
+  EXPECT_EQ(router.Route(Point{0.25, 0.75}), router.Route(Point{0.25, 0.75}));
+  EXPECT_EQ(router.Describe(), "hash 4");
+}
+
+}  // namespace
+}  // namespace yask

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 
+#include "src/corpus/corpus.h"
 #include "src/query/ranking.h"
 #include "src/query/topk_engine.h"
 #include "src/whynot/why_not_engine.h"
@@ -19,14 +21,12 @@ namespace {
 class FullyDegenerateStore : public ::testing::Test {
  protected:
   void SetUp() override {
-    kw_ = store_.mutable_vocab()->Intern("dim");
+    ObjectStore store;
+    kw_ = store.mutable_vocab()->Intern("dim");
     for (int i = 0; i < 100; ++i) {
-      store_.Add(Point{0.5, 0.5}, KeywordSet({kw_}), "clone");
+      store.Add(Point{0.5, 0.5}, KeywordSet({kw_}), "clone");
     }
-    setr_ = std::make_unique<SetRTree>(&store_);
-    setr_->BulkLoad();
-    kcr_ = std::make_unique<KcRTree>(&store_);
-    kcr_->BulkLoad();
+    corpus_.emplace(CorpusBuilder().Build(std::move(store)));
   }
   Query MakeQuery(uint32_t k) {
     Query q;
@@ -35,19 +35,19 @@ class FullyDegenerateStore : public ::testing::Test {
     q.k = k;
     return q;
   }
-  ObjectStore store_;
   TermId kw_;
-  std::unique_ptr<SetRTree> setr_;
-  std::unique_ptr<KcRTree> kcr_;
+  std::optional<Corpus> corpus_;
 };
 
 TEST_F(FullyDegenerateStore, IndexesValidate) {
-  EXPECT_TRUE(setr_->Validate().ok()) << setr_->Validate().ToString();
-  EXPECT_TRUE(kcr_->Validate().ok()) << kcr_->Validate().ToString();
+  EXPECT_TRUE(corpus_->setr().Validate().ok())
+      << corpus_->setr().Validate().ToString();
+  EXPECT_TRUE(corpus_->kcr().Validate().ok())
+      << corpus_->kcr().Validate().ToString();
 }
 
 TEST_F(FullyDegenerateStore, TopKReturnsLowestIds) {
-  SetRTopKEngine engine(store_, *setr_);
+  const SetRTopKEngine engine = corpus_->topk();
   const TopKResult r = engine.Query(MakeQuery(7));
   ASSERT_EQ(r.size(), 7u);
   for (uint32_t i = 0; i < 7; ++i) EXPECT_EQ(r[i].id, i);
@@ -56,12 +56,12 @@ TEST_F(FullyDegenerateStore, TopKReturnsLowestIds) {
 TEST_F(FullyDegenerateStore, RanksAreIdPlusOne) {
   const Query q = MakeQuery(5);
   for (ObjectId id : {0u, 42u, 99u}) {
-    EXPECT_EQ(ComputeRank(store_, *setr_, q, id), id + 1);
+    EXPECT_EQ(ComputeRank(corpus_->store(), corpus_->setr(), q, id), id + 1);
   }
 }
 
 TEST_F(FullyDegenerateStore, WhyNotStillRevives) {
-  WhyNotEngine engine(store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = MakeQuery(5);
   // Object 50 ranks 51 purely by tie-break; only k-enlargement can help
   // (neither w nor doc changes can reorder perfect ties).
@@ -79,11 +79,8 @@ TEST(DegenerateTest, SingleObjectStore) {
   ObjectStore store;
   const TermId kw = store.mutable_vocab()->Intern("solo");
   store.Add(Point{0.1, 0.9}, KeywordSet({kw}), "only");
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  SetRTopKEngine engine(store, setr);
+  const Corpus corpus = CorpusBuilder().Build(std::move(store));
+  const SetRTopKEngine engine = corpus.topk();
   Query q;
   q.loc = Point{0.5, 0.5};
   q.doc = KeywordSet({kw});
@@ -92,7 +89,7 @@ TEST(DegenerateTest, SingleObjectStore) {
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(r[0].id, 0u);
   // A why-not question about the only object: it is trivially in the result.
-  WhyNotEngine why(store, setr, kcr);
+  WhyNotEngine why(corpus);
   auto answer = why.Answer(q, {0});
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(answer->recommended, RefinementModel::kNone);
@@ -174,11 +171,8 @@ TEST(DegenerateTest, AllMissingObjectsAlreadyTop) {
   for (int i = 0; i < 10; ++i) {
     store.Add(Point{0.1 * i, 0.1 * i}, KeywordSet({kw}), "o");
   }
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  const Corpus corpus = CorpusBuilder().Build(std::move(store));
+  WhyNotEngine engine(corpus);
   Query q;
   q.loc = Point{0, 0};
   q.doc = KeywordSet({kw});

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "src/corpus/corpus.h"
 #include "src/query/ranking.h"
 #include "src/query/topk_engine.h"
 #include "src/storage/dataset_generator.h"
@@ -17,15 +18,13 @@ namespace yask {
 namespace {
 
 /// Exercises the complete workflow on one dataset + query + missing pick.
-void RunWorkflow(const ObjectStore& store, const Query& q, size_t missing_rank,
+void RunWorkflow(ObjectStore dataset, const Query& q, size_t missing_rank,
                  double lambda) {
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  ASSERT_TRUE(setr.Validate().ok());
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  ASSERT_TRUE(kcr.Validate().ok());
-  WhyNotEngine engine(store, setr, kcr);
+  const Corpus corpus = CorpusBuilder().Build(std::move(dataset));
+  const ObjectStore& store = corpus.store();
+  ASSERT_TRUE(corpus.setr().Validate().ok());
+  ASSERT_TRUE(corpus.kcr().Validate().ok());
+  WhyNotEngine engine(corpus);
 
   // Step 1: initial top-k query.
   const TopKResult initial = engine.TopK(q);
@@ -49,7 +48,7 @@ void RunWorkflow(const ObjectStore& store, const Query& q, size_t missing_rank,
   ASSERT_EQ(a.explanations.size(), 1u);
   EXPECT_EQ(a.explanations[0].rank, missing_rank + 1);
   EXPECT_EQ(a.explanations[0].rank,
-            ComputeRank(store, setr, q, expected));
+            ComputeRank(store, corpus.setr(), q, expected));
 
   // Both refinements revive the expected object.
   ASSERT_TRUE(a.preference.has_value());
@@ -92,18 +91,18 @@ TEST(EndToEndTest, BobsCoffeeScenario) {
   q.loc = Point{0.5, 0.5};
   q.doc = KeywordSet({coffee});
   q.k = 3;
-  RunWorkflow(store, q, /*missing_rank=*/6, /*lambda=*/0.5);
+  RunWorkflow(std::move(store), q, /*missing_rank=*/6, /*lambda=*/0.5);
 }
 
 TEST(EndToEndTest, CarolsHotelScenario) {
   // Example 2: Carol's top-3 "clean comfortable" hotels near the venue.
-  const ObjectStore store = GenerateHotelDataset();
+  ObjectStore store = GenerateHotelDataset();
   const Vocabulary& v = store.vocab();
   Query q;
   q.loc = Point{114.158, 22.281};
   q.doc = KeywordSet({v.Find("clean"), v.Find("comfortable")});
   q.k = 3;
-  RunWorkflow(store, q, /*missing_rank=*/8, /*lambda=*/0.5);
+  RunWorkflow(std::move(store), q, /*missing_rank=*/8, /*lambda=*/0.5);
 }
 
 TEST(EndToEndTest, SyntheticSweep) {
@@ -117,7 +116,7 @@ TEST(EndToEndTest, SyntheticSweep) {
     q.loc = SampleQueryLocation(store, &rng);
     q.doc = SampleQueryKeywords(store, 2, &rng);
     q.k = 5;
-    RunWorkflow(store, q, /*missing_rank=*/11, lambda);
+    RunWorkflow(ObjectStore(store), q, /*missing_rank=*/11, lambda);
   }
 }
 
@@ -155,12 +154,9 @@ TEST(EndToEndTest, ApplyingBothRefinementsSequentially) {
   // §3.2: "Users can apply the two refinement functions simultaneously to
   // find better solutions." Apply preference first, then keyword adaption on
   // the already-refined query; the missing object must stay in the result.
-  const ObjectStore store = GenerateHotelDataset();
-  SetRTree setr(&store);
-  setr.BulkLoad();
-  KcRTree kcr(&store);
-  kcr.BulkLoad();
-  WhyNotEngine engine(store, setr, kcr);
+  const Corpus corpus = CorpusBuilder().Build(GenerateHotelDataset());
+  const ObjectStore& store = corpus.store();
+  WhyNotEngine engine(corpus);
 
   const Vocabulary& v = store.vocab();
   Query q;
@@ -173,7 +169,7 @@ TEST(EndToEndTest, ApplyingBothRefinementsSequentially) {
 
   auto first = AdjustPreference(store, q, {expected});
   ASSERT_TRUE(first.ok());
-  auto second = AdaptKeywords(store, kcr, first->refined, {expected});
+  auto second = AdaptKeywords(store, corpus.kcr(), first->refined, {expected});
   ASSERT_TRUE(second.ok());
   const TopKResult final_result = engine.TopK(second->refined);
   std::set<ObjectId> ids;

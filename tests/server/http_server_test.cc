@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -201,6 +203,65 @@ TEST_F(HttpServerTest, MissingContentLengthTreatedAsEmptyBody) {
   ::close(fd);
   EXPECT_NE(resp.find("200 OK"), std::string::npos);
   EXPECT_NE(resp.find("pong"), std::string::npos);
+}
+
+TEST(HttpServerShutdownTest, StopUnderLoadClosesQueuedFdsQuicklyNoLeak) {
+  // Counts open fds of this process (the opendir fd cancels out between the
+  // baseline and the final count).
+  auto count_fds = [] {
+    size_t n = 0;
+    DIR* dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr) return n;
+    while (::readdir(dir) != nullptr) ++n;
+    ::closedir(dir);
+    return n;
+  };
+
+  const size_t baseline = count_fds();
+  constexpr int kClients = 30;
+  static constexpr int kHandlerMillis = 150;
+  {
+    // One worker, a slow handler: the first connection occupies the worker
+    // while the rest pile up in the pending_ queue.
+    HttpServer server(0, 1);
+    server.Route("GET", "/slow", [](const HttpRequest&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kHandlerMillis));
+      return HttpResponse::Json("{}");
+    });
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<int> clients;
+    for (int i = 0; i < kClients; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(server.bound_port());
+      ASSERT_EQ(
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+      const char req[] = "GET /slow HTTP/1.1\r\nHost: x\r\n\r\n";
+      ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+      clients.push_back(fd);
+    }
+    // Let the accept thread queue everything behind the busy worker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    // Stop() must not serve the ~29-request backlog (that would take
+    // kClients * kHandlerMillis); it finishes the in-flight request, closes
+    // the queued fds and returns.
+    const auto start = std::chrono::steady_clock::now();
+    server.Stop();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_LT(elapsed.count(), kClients * kHandlerMillis / 2)
+        << "Stop() appears to drain the backlog instead of closing it";
+
+    for (const int fd : clients) ::close(fd);
+  }
+  // Every accepted server-side fd must be gone: queue-drain close, worker
+  // close, or listener close.
+  EXPECT_EQ(count_fds(), baseline);
 }
 
 TEST(HttpResponseTest, ErrorHelperFormatsJson) {

@@ -6,7 +6,7 @@
 #include <memory>
 #include <string>
 
-#include "src/snapshot/snapshot_codec.h"
+#include "src/corpus/corpus.h"
 #include "src/storage/hotel_generator.h"
 
 namespace yask {
@@ -15,22 +15,17 @@ namespace {
 class YaskServiceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    store_ = new ObjectStore(GenerateHotelDataset());
-    setr_ = new SetRTree(store_);
-    setr_->BulkLoad();
-    kcr_ = new KcRTree(store_);
-    kcr_->BulkLoad();
+    corpus_ = new Corpus(CorpusBuilder().Build(GenerateHotelDataset()));
   }
   static void TearDownTestSuite() {
-    delete kcr_;
-    delete setr_;
-    delete store_;
+    delete corpus_;
+    corpus_ = nullptr;
   }
 
   void SetUp() override {
     YaskServiceOptions options;
     options.allow_snapshot_path_override = true;  // Tests pick temp paths.
-    service_ = std::make_unique<YaskService>(*store_, *setr_, *kcr_, options);
+    service_ = std::make_unique<YaskService>(*corpus_, options);
     ASSERT_TRUE(service_->Start().ok());
   }
   void TearDown() override { service_->Stop(); }
@@ -52,15 +47,11 @@ class YaskServiceTest : public ::testing::Test {
     return std::move(parsed).value();
   }
 
-  static ObjectStore* store_;
-  static SetRTree* setr_;
-  static KcRTree* kcr_;
+  static const Corpus* corpus_;
   std::unique_ptr<YaskService> service_;
 };
 
-ObjectStore* YaskServiceTest::store_ = nullptr;
-SetRTree* YaskServiceTest::setr_ = nullptr;
-KcRTree* YaskServiceTest::kcr_ = nullptr;
+const Corpus* YaskServiceTest::corpus_ = nullptr;
 
 TEST_F(YaskServiceTest, HealthEndpoint) {
   int status = 0;
@@ -289,12 +280,11 @@ TEST_F(YaskServiceTest, SnapshotEndpointWritesLoadableSnapshot) {
 
   // The written file restores the serving state: same store and indexes,
   // same top-3 answer for the Carol query.
-  auto bundle = LoadSnapshot(path);
-  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
-  ASSERT_NE(bundle->setr, nullptr);
-  ASSERT_NE(bundle->kcr, nullptr);
-  EXPECT_EQ(bundle->store->size(), store_->size());
-  YaskService reloaded(*bundle->store, *bundle->setr, *bundle->kcr);
+  auto restored = CorpusBuilder().FromSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(restored->has_kcr());
+  EXPECT_EQ(restored->size(), corpus_->size());
+  YaskService reloaded(*restored);
   ASSERT_TRUE(reloaded.Start().ok());
   const JsonValue original = IssueQuery(3);
   JsonValue q = JsonValue::MakeObject();
@@ -318,8 +308,102 @@ TEST_F(YaskServiceTest, SnapshotEndpointWithoutPathIs400) {
   EXPECT_EQ(status, 400);
 }
 
+TEST_F(YaskServiceTest, QueryCacheEvictsLeastRecentlyUsed) {
+  YaskServiceOptions options;
+  options.max_cached_queries = 3;
+  YaskService bounded(*corpus_, options);
+  ASSERT_TRUE(bounded.Start().ok());
+
+  auto issue = [&](int k) {
+    JsonValue req = JsonValue::MakeObject();
+    req.Set("x", JsonValue(114.158));
+    req.Set("y", JsonValue(22.281));
+    req.Set("keywords", JsonValue("clean comfortable"));
+    req.Set("k", JsonValue(k));
+    int status = 0;
+    auto body =
+        HttpFetch(bounded.port(), "POST", "/query", req.Dump(), &status);
+    EXPECT_TRUE(body.ok());
+    EXPECT_EQ(status, 200);
+    auto parsed = JsonValue::Parse(*body);
+    EXPECT_TRUE(parsed.ok());
+    return static_cast<uint64_t>(parsed->Get("query_id").as_number());
+  };
+  auto whynot_status = [&](uint64_t query_id) {
+    JsonValue wn = JsonValue::MakeObject();
+    wn.Set("query_id", JsonValue(static_cast<size_t>(query_id)));
+    JsonValue missing = JsonValue::MakeArray();
+    missing.Append(JsonValue(5));
+    wn.Set("missing", std::move(missing));
+    int status = 0;
+    auto body =
+        HttpFetch(bounded.port(), "POST", "/whynot", wn.Dump(), &status);
+    EXPECT_TRUE(body.ok());
+    return status;
+  };
+
+  const uint64_t q1 = issue(3);
+  const uint64_t q2 = issue(4);
+  const uint64_t q3 = issue(5);
+  EXPECT_EQ(bounded.cached_queries(), 3u);
+
+  // Touch q1 so q2 becomes the least recently used, then overflow the cache.
+  EXPECT_EQ(whynot_status(q1), 200);
+  const uint64_t q4 = issue(6);
+  EXPECT_EQ(bounded.cached_queries(), 3u);
+
+  // q2 was evicted; q1, q3 and q4 survive.
+  EXPECT_EQ(whynot_status(q2), 404);
+  EXPECT_EQ(whynot_status(q1), 200);
+  EXPECT_EQ(whynot_status(q3), 200);
+  EXPECT_EQ(whynot_status(q4), 200);
+  bounded.Stop();
+}
+
+TEST_F(YaskServiceTest, ShardedServiceServesQueriesAndRejectsWhyNot) {
+  const ShardedCorpus sharded = ShardedCorpus::Partition(
+      corpus_->store(), GridShardRouter::Fit(corpus_->store(), 4));
+  YaskService service(sharded);
+  ASSERT_TRUE(service.Start().ok());
+
+  // /health reports the shard layout.
+  int status = 0;
+  auto health = HttpFetch(service.port(), "GET", "/health", "", &status);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(status, 200);
+  auto hparsed = JsonValue::Parse(*health);
+  ASSERT_TRUE(hparsed.ok());
+  EXPECT_EQ(hparsed->Get("objects").as_number(), 539.0);
+  EXPECT_EQ(hparsed->Get("shards").as_number(), 4.0);
+
+  // The Carol query answers identically to the unsharded service.
+  JsonValue req = JsonValue::MakeObject();
+  req.Set("x", JsonValue(114.158));
+  req.Set("y", JsonValue(22.281));
+  req.Set("keywords", JsonValue("clean comfortable"));
+  req.Set("k", JsonValue(3));
+  auto body = HttpFetch(service.port(), "POST", "/query", req.Dump(), &status);
+  ASSERT_TRUE(body.ok());
+  ASSERT_EQ(status, 200) << *body;
+  auto parsed = JsonValue::Parse(*body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue unsharded = IssueQuery(3);
+  EXPECT_EQ(parsed->Get("results").Dump(), unsharded.Get("results").Dump());
+
+  // Why-not refinement needs the unsharded replica.
+  JsonValue wn = JsonValue::MakeObject();
+  wn.Set("query_id", parsed->Get("query_id"));
+  JsonValue missing = JsonValue::MakeArray();
+  missing.Append(JsonValue(5));
+  wn.Set("missing", std::move(missing));
+  body = HttpFetch(service.port(), "POST", "/whynot", wn.Dump(), &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 501);
+  service.Stop();
+}
+
 TEST_F(YaskServiceTest, SnapshotPathOverrideDisabledByDefault) {
-  YaskService locked_down(*store_, *setr_, *kcr_);  // Default options.
+  YaskService locked_down(*corpus_);  // Default options.
   ASSERT_TRUE(locked_down.Start().ok());
   JsonValue req = JsonValue::MakeObject();
   req.Set("path", JsonValue("/tmp/should_not_be_written.snap"));

@@ -251,8 +251,13 @@ TEST_F(SnapshotBundleTest, TopKAndWhyNotAnswersIdenticalAfterReload) {
   ASSERT_NE(bundle->kcr, nullptr);
   ASSERT_NE(bundle->inverted, nullptr);
 
-  WhyNotEngine before(*store_, *setr_, *kcr_);
-  WhyNotEngine after(*bundle->store, *bundle->setr, *bundle->kcr);
+  // The why-not engine runs over a Corpus; build one around each state
+  // (bulk loading from the same store reproduces the identical trees).
+  const Corpus before_corpus = CorpusBuilder().Build(ObjectStore(*store_));
+  auto after_corpus = CorpusBuilder().FromSnapshot(path_);
+  ASSERT_TRUE(after_corpus.ok()) << after_corpus.status().ToString();
+  WhyNotEngine before(before_corpus);
+  WhyNotEngine after(*after_corpus);
 
   // Top-k answers must be bit-identical (ids and scores).
   const Query q = CarolQuery();

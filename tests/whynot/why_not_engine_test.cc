@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/corpus/corpus.h"
 #include "src/storage/hotel_generator.h"
 
 namespace yask {
@@ -14,18 +15,12 @@ namespace {
 class WhyNotEngineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    store_ = new ObjectStore(GenerateHotelDataset());
-    setr_ = new SetRTree(store_);
-    setr_->BulkLoad();
-    kcr_ = new KcRTree(store_);
-    kcr_->BulkLoad();
+    corpus_ = new Corpus(CorpusBuilder().Build(GenerateHotelDataset()));
+    store_ = &corpus_->store();
   }
   static void TearDownTestSuite() {
-    delete kcr_;
-    delete setr_;
-    delete store_;
-    kcr_ = nullptr;
-    setr_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
     store_ = nullptr;
   }
 
@@ -39,23 +34,21 @@ class WhyNotEngineTest : public ::testing::Test {
     return q;
   }
 
-  static ObjectStore* store_;
-  static SetRTree* setr_;
-  static KcRTree* kcr_;
+  static const Corpus* corpus_;
+  static const ObjectStore* store_;
 };
 
-ObjectStore* WhyNotEngineTest::store_ = nullptr;
-SetRTree* WhyNotEngineTest::setr_ = nullptr;
-KcRTree* WhyNotEngineTest::kcr_ = nullptr;
+const Corpus* WhyNotEngineTest::corpus_ = nullptr;
+const ObjectStore* WhyNotEngineTest::store_ = nullptr;
 
 TEST_F(WhyNotEngineTest, TopKReturnsKHotels) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const TopKResult r = engine.TopK(CarolQuery());
   EXPECT_EQ(r.size(), 3u);
 }
 
 TEST_F(WhyNotEngineTest, AnswerRunsBothModelsAndRecommends) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   // Pick a hotel outside the top-3 as Carol's expected hotel.
   Query probe = q;
@@ -86,7 +79,7 @@ TEST_F(WhyNotEngineTest, AnswerRunsBothModelsAndRecommends) {
 }
 
 TEST_F(WhyNotEngineTest, SingleModelModes) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   Query probe = q;
   probe.k = 20;
@@ -110,7 +103,7 @@ TEST_F(WhyNotEngineTest, SingleModelModes) {
 }
 
 TEST_F(WhyNotEngineTest, ObjectAlreadyInResult) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   const ObjectId in_result = engine.TopK(q)[0].id;
   auto a = engine.Answer(q, {in_result});
@@ -120,7 +113,7 @@ TEST_F(WhyNotEngineTest, ObjectAlreadyInResult) {
 }
 
 TEST_F(WhyNotEngineTest, MultipleMissingHotels) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   Query probe = q;
   probe.k = 40;
@@ -136,7 +129,7 @@ TEST_F(WhyNotEngineTest, MultipleMissingHotels) {
 }
 
 TEST_F(WhyNotEngineTest, LambdaShiftsRefinementStyle) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   Query probe = q;
   probe.k = 30;
@@ -156,7 +149,7 @@ TEST_F(WhyNotEngineTest, LambdaShiftsRefinementStyle) {
 }
 
 TEST_F(WhyNotEngineTest, CombinedRefinementRevivesAndReportsBothPenalties) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   Query probe = q;
   probe.k = 30;
@@ -181,7 +174,7 @@ TEST_F(WhyNotEngineTest, CombinedRefinementRevivesAndReportsBothPenalties) {
 }
 
 TEST_F(WhyNotEngineTest, CombinedPicksTheCheaperOrder) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   Query probe = q;
   probe.k = 25;
@@ -194,10 +187,10 @@ TEST_F(WhyNotEngineTest, CombinedPicksTheCheaperOrder) {
   KeywordAdaptOptions ko;
   auto pref_a = AdjustPreference(*store_, q, {expected}, po);
   ASSERT_TRUE(pref_a.ok());
-  auto kw_a = AdaptKeywords(*store_, *kcr_, pref_a->refined, {expected}, ko);
+  auto kw_a = AdaptKeywords(*store_, corpus_->kcr(), pref_a->refined, {expected}, ko);
   ASSERT_TRUE(kw_a.ok());
   const double total_a = pref_a->penalty.value + kw_a->penalty.value;
-  auto kw_b = AdaptKeywords(*store_, *kcr_, q, {expected}, ko);
+  auto kw_b = AdaptKeywords(*store_, corpus_->kcr(), q, {expected}, ko);
   ASSERT_TRUE(kw_b.ok());
   auto pref_b = AdjustPreference(*store_, kw_b->refined, {expected}, po);
   ASSERT_TRUE(pref_b.ok());
@@ -207,7 +200,7 @@ TEST_F(WhyNotEngineTest, CombinedPicksTheCheaperOrder) {
 }
 
 TEST_F(WhyNotEngineTest, CombinedOnInResultObjectIsFree) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   const ObjectId in_result = engine.TopK(q)[0].id;
   auto combined = engine.CombineRefinements(q, {in_result});
@@ -218,7 +211,7 @@ TEST_F(WhyNotEngineTest, CombinedOnInResultObjectIsFree) {
 }
 
 TEST_F(WhyNotEngineTest, ErrorsPropagate) {
-  WhyNotEngine engine(*store_, *setr_, *kcr_);
+  WhyNotEngine engine(*corpus_);
   const Query q = CarolQuery();
   EXPECT_FALSE(engine.Answer(q, {}).ok());
   EXPECT_FALSE(engine.Answer(q, {9999999}).ok());
