@@ -1,0 +1,343 @@
+// Experiment E12: distributed why-not over the rank-oracle seam.
+//
+// Partitions the shared benchmark dataset into 1/2/4 spatial-grid shards
+// (KcR-trees included — keyword adaption runs on them) and answers the same
+// randomized why-not workload through WhyNotEngine over each ShardedCorpus.
+// Every sharded answer is cross-checked field-by-field against the
+// unsharded WhyNotEngine — explanations, both refined queries, the
+// recommendation and the refined result order must be bit-identical, so a
+// fast-but-wrong merge fails the run (non-zero exit) rather than entering
+// the perf trajectory.
+//
+// Two timings per configuration (the bench_sharded discipline):
+//   * wall      — WhyNotEngine::Answer on this host as-is (parallel over the
+//                 corpus pool when the host has cores, inline when not).
+//   * scatter   — the scatter-gather deployment model: every shard runs its
+//                 slice of each oracle fan-out concurrently on its own
+//                 core/node, so per-question latency is the MAX of the
+//                 per-shard busy times plus everything that is coordinator
+//                 work (candidate enumeration, penalty arithmetic, merges).
+//                 Per-shard busy time is measured per fan-out task through
+//                 the oracle's instrumentation hook; no parallel hardware is
+//                 required. On a 1-core CI host this is the number that
+//                 reflects what the oracle seam buys a real deployment; on
+//                 a multicore host `wall` converges toward it.
+//
+// The speedup_4_shards_vs_1 context key reports the scatter model
+// (speedup_metric records that); wall speedups are reported alongside.
+//
+//   $ ./bench_whynot_sharded [--n=100000] [--questions=16]
+//                            [--json=BENCH_whynot_sharded.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/corpus/sharded_corpus.h"
+#include "src/corpus/sharded_whynot_oracle.h"
+#include "src/server/json.h"
+#include "src/whynot/why_not_engine.h"
+
+namespace yask {
+namespace bench {
+namespace {
+
+constexpr int kReps = 2;  // Best-of for each timed workload pass.
+
+struct Question {
+  Query query;
+  std::vector<ObjectId> missing;
+};
+
+struct ShardRun {
+  size_t shards = 0;
+  double wall_ms = 0.0;     // Best-of-kReps wall for the whole workload.
+  double scatter_ms = 0.0;  // Sum over questions of the scatter-gather model.
+  bool results_match = true;
+};
+
+std::vector<Question> MakeWorkload(const ObjectStore& store, size_t count) {
+  Rng rng(kDatasetSeed + 2);
+  std::vector<Question> questions;
+  while (questions.size() < count) {
+    Question q;
+    q.query = MakeQuery(store, &rng, /*num_keywords=*/3, /*k=*/10);
+    q.missing = PickMissing(store, q.query, 1 + questions.size() % 2,
+                            /*offset=*/4);
+    if (q.missing.empty()) continue;
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+bool SamePenalty(const PenaltyBreakdown& a, const PenaltyBreakdown& b) {
+  return a.value == b.value && a.k_term == b.k_term &&
+         a.mod_term == b.mod_term && a.delta_k == b.delta_k &&
+         a.delta_w == b.delta_w && a.delta_doc == b.delta_doc;
+}
+
+/// Strict equality of everything /whynot exposes: any divergence is a merge
+/// bug, not noise.
+bool AnswersEqual(const WhyNotAnswer& a, const WhyNotAnswer& b) {
+  if (a.explanations.size() != b.explanations.size()) return false;
+  for (size_t i = 0; i < a.explanations.size(); ++i) {
+    const MissingObjectExplanation& x = a.explanations[i];
+    const MissingObjectExplanation& y = b.explanations[i];
+    if (x.id != y.id || x.rank != y.rank || x.score != y.score ||
+        x.sdist != y.sdist || x.tsim != y.tsim || x.kth_score != y.kth_score ||
+        x.reason != y.reason || x.recommendation != y.recommendation ||
+        x.text != y.text) {
+      return false;
+    }
+  }
+  if (a.preference.has_value() != b.preference.has_value()) return false;
+  if (a.preference.has_value()) {
+    const RefinedPreferenceQuery& x = *a.preference;
+    const RefinedPreferenceQuery& y = *b.preference;
+    if (x.refined.w.ws != y.refined.w.ws || x.refined.k != y.refined.k ||
+        x.original_rank != y.original_rank ||
+        x.refined_rank != y.refined_rank ||
+        x.already_in_result != y.already_in_result ||
+        !SamePenalty(x.penalty, y.penalty)) {
+      return false;
+    }
+  }
+  if (a.keyword.has_value() != b.keyword.has_value()) return false;
+  if (a.keyword.has_value()) {
+    const RefinedKeywordQuery& x = *a.keyword;
+    const RefinedKeywordQuery& y = *b.keyword;
+    if (x.refined.doc.ids() != y.refined.doc.ids() ||
+        x.refined.k != y.refined.k || x.original_rank != y.original_rank ||
+        x.refined_rank != y.refined_rank ||
+        x.already_in_result != y.already_in_result ||
+        !SamePenalty(x.penalty, y.penalty)) {
+      return false;
+    }
+  }
+  if (a.recommended != b.recommended) return false;
+  if (a.refined_result.size() != b.refined_result.size()) return false;
+  for (size_t i = 0; i < a.refined_result.size(); ++i) {
+    if (!(a.refined_result[i] == b.refined_result[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace yask
+
+int main(int argc, char** argv) {
+  using namespace yask;
+  using namespace yask::bench;
+
+  size_t n = 100000;
+  size_t num_questions = 16;
+  std::string json_path = "BENCH_whynot_sharded.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<size_t>(std::strtoull(arg.c_str() + 4, nullptr, 10));
+    } else if (arg.rfind("--questions=", 0) == 0) {
+      num_questions =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n=N] [--questions=Q] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The unsharded baseline engine and the reference answers. The shared
+  // bench corpus skips the KcR-tree, so this harness builds its own.
+  Timer setup_timer;
+  const Corpus baseline =
+      CorpusBuilder().Build(GenerateDataset(SharedDatasetSpec(n)));
+  const ObjectStore& store = baseline.store();
+  const WhyNotEngine reference(baseline);
+  const std::vector<Question> workload = MakeWorkload(store, num_questions);
+  std::printf("built unsharded corpus (n=%zu, KcR included) in %.0f ms\n", n,
+              setup_timer.ElapsedMillis());
+
+  std::vector<WhyNotAnswer> expected;
+  expected.reserve(workload.size());
+  double baseline_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    expected.clear();
+    Timer timer;
+    for (const Question& q : workload) {
+      auto answer = reference.Answer(q.query, q.missing);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "reference why-not failed: %s\n",
+                     answer.status().ToString().c_str());
+        return 1;
+      }
+      expected.push_back(std::move(answer).value());
+    }
+    baseline_ms = std::min(baseline_ms, timer.ElapsedMillis());
+  }
+
+  std::printf(
+      "n=%zu objects, %zu why-not questions (k=10, 3 keywords, |M|=1..2), "
+      "host cores=%u\n",
+      n, workload.size(), std::thread::hardware_concurrency());
+  std::printf("%-16s %11s %9s %11s %9s  %s\n", "engine", "wall ms/q",
+              "wall q/s", "scatter ms", "sct q/s", "exact");
+  std::printf("%-16s %11.2f %9.1f %11s %9s  %s\n", "unsharded",
+              baseline_ms / workload.size(),
+              1000.0 * workload.size() / baseline_ms, "-", "-", "ref");
+
+  std::vector<ShardRun> runs;
+  for (const size_t shards : {1, 2, 4}) {
+    Timer partition_timer;
+    const ShardedCorpus sharded = ShardedCorpus::Partition(
+        store, GridShardRouter::Fit(store, static_cast<uint32_t>(shards)));
+    const double partition_ms = partition_timer.ElapsedMillis();
+
+    // The engine under test, with the scatter-model instrumentation wired
+    // into its oracle before the engine takes ownership.
+    std::vector<double> busy(sharded.num_shards(), 0.0);
+    auto oracle = std::make_unique<ShardedWhyNotOracle>(sharded);
+    ShardedWhyNotOracle* oracle_handle = oracle.get();
+    const WhyNotEngine engine(std::move(oracle));
+
+    ShardRun run;
+    run.shards = shards;
+    // Warm-up pass doubling as the correctness gate: every question must
+    // reproduce the unsharded answer bit-for-bit.
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto answer = engine.Answer(workload[i].query, workload[i].missing);
+      if (!answer.ok() || !AnswersEqual(*answer, expected[i])) {
+        run.results_match = false;
+      }
+    }
+
+    // (a) Wall time of the fan-out engine on this host.
+    run.wall_ms = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      for (const Question& q : workload) {
+        auto answer = engine.Answer(q.query, q.missing);
+        if (!answer.ok()) run.results_match = false;
+      }
+      run.wall_ms = std::min(run.wall_ms, timer.ElapsedMillis());
+    }
+
+    // (b) Scatter-gather model: per-question latency = the slowest shard's
+    // accumulated fan-out busy time plus the coordinator remainder (wall
+    // minus ALL shard busy time, clamped — on a multicore host fan-out
+    // overlap can push the raw remainder below zero).
+    oracle_handle->set_shard_busy_ms(&busy);
+    run.scatter_ms = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      double total = 0.0;
+      for (const Question& q : workload) {
+        std::fill(busy.begin(), busy.end(), 0.0);
+        Timer timer;
+        auto answer = engine.Answer(q.query, q.missing);
+        const double wall = timer.ElapsedMillis();
+        if (!answer.ok()) run.results_match = false;
+        double busy_sum = 0.0;
+        double busy_max = 0.0;
+        for (double b : busy) {
+          busy_sum += b;
+          busy_max = std::max(busy_max, b);
+        }
+        total += busy_max + std::max(0.0, wall - busy_sum);
+      }
+      run.scatter_ms = std::min(run.scatter_ms, total);
+    }
+    oracle_handle->set_shard_busy_ms(nullptr);
+    runs.push_back(run);
+
+    std::printf("%-16s %11.2f %9.1f %11.2f %9.1f  %s  (partition %.0f ms)\n",
+                ("sharded/" + std::to_string(shards)).c_str(),
+                run.wall_ms / workload.size(),
+                1000.0 * workload.size() / run.wall_ms,
+                run.scatter_ms / workload.size(),
+                1000.0 * workload.size() / run.scatter_ms,
+                run.results_match ? "yes" : "NO — BUG", partition_ms);
+  }
+
+  const ShardRun* one = nullptr;
+  const ShardRun* four = nullptr;
+  for (const ShardRun& r : runs) {
+    if (r.shards == 1) one = &r;
+    if (r.shards == 4) four = &r;
+  }
+  const double scatter_speedup =
+      (one != nullptr && four != nullptr) ? one->scatter_ms / four->scatter_ms
+                                          : 0.0;
+  const double wall_speedup =
+      (one != nullptr && four != nullptr) ? one->wall_ms / four->wall_ms : 0.0;
+  std::printf(
+      "\n4-shard vs 1-shard refinement throughput: %.2fx scatter-gather "
+      "model, %.2fx wall on this %u-core host\n",
+      scatter_speedup, wall_speedup, std::thread::hardware_concurrency());
+
+  bool all_match = true;
+  for (const ShardRun& r : runs) all_match = all_match && r.results_match;
+
+  JsonValue context = JsonValue::MakeObject();
+  context.Set("bench", JsonValue("whynot_sharded"));
+  context.Set("n", JsonValue(n));
+  context.Set("questions", JsonValue(workload.size()));
+  context.Set("host_hardware_concurrency",
+              JsonValue(static_cast<size_t>(
+                  std::thread::hardware_concurrency())));
+  context.Set("speedup_4_shards_vs_1", JsonValue(scatter_speedup));
+  context.Set("speedup_metric",
+              JsonValue("scatter_gather_latency_model (one core/node per "
+                        "shard; per-shard oracle fan-out tasks timed "
+                        "individually, coordinator remainder added)"));
+  context.Set("wall_speedup_4_shards_vs_1", JsonValue(wall_speedup));
+  context.Set("results_match", JsonValue(all_match));
+
+  JsonValue benches = JsonValue::MakeArray();
+  auto bench_row = [&](const std::string& name, double ms_per_question) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("name", JsonValue(name));
+    row.Set("run_type", JsonValue("iteration"));
+    row.Set("iterations", JsonValue(workload.size()));
+    row.Set("real_time", JsonValue(ms_per_question));
+    row.Set("cpu_time", JsonValue(ms_per_question));
+    row.Set("time_unit", JsonValue("ms"));
+    row.Set("items_per_second", JsonValue(1000.0 / ms_per_question));
+    benches.Append(std::move(row));
+  };
+  const std::string suffix = "/" + std::to_string(n);
+  bench_row("whynot_sharded/unsharded" + suffix,
+            baseline_ms / workload.size());
+  for (const ShardRun& r : runs) {
+    const std::string shard_tag = "/shards:" + std::to_string(r.shards);
+    bench_row("whynot_sharded/wall" + shard_tag + suffix,
+              r.wall_ms / workload.size());
+    bench_row("whynot_sharded/scatter" + shard_tag + suffix,
+              r.scatter_ms / workload.size());
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("context", std::move(context));
+  doc.Set("benchmarks", std::move(benches));
+
+  std::ofstream out(json_path, std::ios::trunc);
+  out << doc.Dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // The exactness gate: a fast-but-wrong distributed why-not must fail
+  // loudly, exactly like bench_sharded.
+  return all_match ? 0 : 1;
+}

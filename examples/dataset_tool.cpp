@@ -143,6 +143,18 @@ int CmdBuildShards(const std::string& in_path, const std::string& prefix,
   return 0;
 }
 
+/// For a per-shard file "<prefix>.shard-<i>.snap", recovers "<prefix>";
+/// empty when the name does not follow the ShardedCorpus::Save convention.
+std::string ShardPrefixOf(const std::string& path, uint32_t shard_index) {
+  const std::string tail =
+      ".shard-" + std::to_string(shard_index) + ".snap";
+  if (path.size() <= tail.size() ||
+      path.compare(path.size() - tail.size(), tail.size(), tail) != 0) {
+    return "";
+  }
+  return path.substr(0, path.size() - tail.size());
+}
+
 int CmdInspectSnapshot(const std::string& path) {
   auto report = InspectSnapshot(path);
   if (!report.ok()) return Fail(report.status().ToString());
@@ -160,6 +172,46 @@ int CmdInspectSnapshot(const std::string& path) {
     } else {
       std::printf("(payload corrupt)\n");
     }
+  }
+
+  if (!report->shard.has_value()) return 0;
+
+  // A per-shard file: print the decoded manifest rather than skipping it.
+  const ShardManifest& m = *report->shard;
+  std::printf("shard manifest: shard %u of %u, %zu objects", m.shard_index,
+              m.shard_count, m.global_ids.size());
+  if (!m.global_ids.empty()) {
+    std::printf(" (global ids %u..%u)", m.global_ids.front(),
+                m.global_ids.back());
+  }
+  std::printf("\n");
+  std::printf("router        : %s\n",
+              m.router.empty() ? "(unrecorded)" : m.router.c_str());
+  if (!m.global_bounds.empty()) {
+    std::printf("global bounds : x [%.5g, %.5g], y [%.5g, %.5g]\n",
+                m.global_bounds.min_x, m.global_bounds.max_x,
+                m.global_bounds.min_y, m.global_bounds.max_y);
+  }
+
+  // Sibling shard files (the ShardedCorpus::Save naming convention): report
+  // the per-shard object counts of the whole partition when they are there.
+  const std::string prefix = ShardPrefixOf(path, m.shard_index);
+  if (prefix.empty() || m.shard_count <= 1) return 0;
+  std::printf("per-shard objects:\n");
+  for (uint32_t s = 0; s < m.shard_count; ++s) {
+    const std::string sibling = ShardedCorpus::ShardFilePath(prefix, s);
+    if (s == m.shard_index) {
+      std::printf("  shard %-3u %8zu  (this file)\n", s, m.global_ids.size());
+      continue;
+    }
+    auto sibling_report = InspectSnapshot(sibling);
+    if (!sibling_report.ok() || !sibling_report->shard.has_value()) {
+      std::printf("  shard %-3u %8s  (%s: missing or unreadable)\n", s, "?",
+                  sibling.c_str());
+      continue;
+    }
+    std::printf("  shard %-3u %8zu  (%s)\n", s,
+                sibling_report->shard->global_ids.size(), sibling.c_str());
   }
   return 0;
 }

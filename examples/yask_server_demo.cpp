@@ -12,10 +12,10 @@
 // restores the warm state from disk.
 //
 // With `--shards N` the server instead serves an N-way partitioned
-// ShardedCorpus: top-k queries fan out across the shards in parallel
-// (bit-identical results), `--snapshot <prefix>` persists/boots one file
-// per shard, and the scripted why-not step is skipped (refinement runs on
-// an unsharded replica; the endpoint answers 501 in this mode).
+// ShardedCorpus: top-k queries AND why-not questions fan out across the
+// shards in parallel through the why-not oracle seam (bit-identical
+// answers), and `--snapshot <prefix>` persists/boots one file per shard.
+// The scripted client below runs the same workflow in both modes.
 //
 // With `--serve` the process skips the scripted client and keeps serving
 // until killed, so real clients (curl, a browser) can talk to it.
@@ -193,8 +193,10 @@ int main(int argc, char** argv) {
                 row.Get("score").as_number());
   }
 
-  if (!sharded.has_value()) {
-    // --- Client: select a missing hotel and ask why-not (Panel 3). ---
+  {
+    // --- Client: select a missing hotel and ask why-not (Panel 3). In
+    // sharded mode the question fans out over the shards and answers
+    // exactly what an unsharded replica would. ---
     // Browse a wider result to find a hotel the user knows but did not see.
     JsonValue wide = query;
     wide.Set("k", JsonValue(25));
@@ -236,10 +238,6 @@ int main(int argc, char** argv) {
       std::printf("    %-24s%s\n", row.Get("name").as_string().c_str(),
                   is_expected ? "  <-- revived" : "");
     }
-  } else {
-    std::printf("\n(%zu-shard mode: /whynot runs on an unsharded replica; "
-                "skipping the why-not step)\n",
-                sharded->num_shards());
   }
 
   // --- Client: the query log (Panel 5: parameters, penalty, time). ---

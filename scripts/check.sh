@@ -3,14 +3,20 @@
 # suite. Run from anywhere; builds into <repo>/build.
 #
 #   scripts/check.sh              # configure + build + ctest
-#   scripts/check.sh --bench      # additionally run bench_snapshot and
-#                                 # bench_sharded, leaving BENCH_snapshot.json
-#                                 # and BENCH_sharded.json in the build dir
+#   scripts/check.sh --bench      # additionally run bench_snapshot,
+#                                 # bench_sharded and bench_whynot_sharded,
+#                                 # leaving BENCH_*.json in the build dir
+#                                 # (each sharded bench fails the run on any
+#                                 # divergence from the unsharded answers)
 #   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
 #                                 # <repo>/build-sanitize + ctest under the
 #                                 # sanitizers (use for the concurrency and
 #                                 # shutdown tests; pair with TSAN_OPTIONS/
 #                                 # a TSan toolchain for race hunting)
+#
+# The distributed suite alone: (cd build && ctest -L sharded); the sanitize
+# run below covers it too (full ctest includes every `sharded`-labelled
+# test).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,6 +52,7 @@ cmake --build "$build_dir" -j "$(nproc)"
 if [[ "$run_bench" -eq 1 ]]; then
   (cd "$build_dir" && ./bench_snapshot --json=BENCH_snapshot.json)
   (cd "$build_dir" && ./bench_sharded --json=BENCH_sharded.json)
+  (cd "$build_dir" && ./bench_whynot_sharded --json=BENCH_whynot_sharded.json)
 fi
 
 echo "check.sh: OK"

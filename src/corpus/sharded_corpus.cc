@@ -38,7 +38,30 @@ ShardedCorpus ShardedCorpus::Partition(const ObjectStore& source,
   sharded.dist_norm_ = source.BoundsDiagonal();
   sharded.router_desc_ = router->Describe();
   sharded.router_ = std::move(router);
+  sharded.fanout_threads_ = options.fanout_threads;
   return sharded;
+}
+
+ThreadPool* ShardedCorpus::pool() const {
+  std::lock_guard<std::mutex> lock(*pool_mu_);
+  if (!pool_decided_) {
+    pool_decided_ = true;
+    if (shards_.size() > 1) {
+      const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+      size_t threads = fanout_threads_;
+      if (threads == 0) {
+        // On a single-core host a pool buys nothing — the fan-outs run
+        // inline (and the top-k one gets a strictly better, incrementally-
+        // refined prune threshold).
+        threads = hw <= 1 ? 0 : hw;
+      }
+      // More workers than shards can never help: a fan-out submits at most
+      // one task per shard.
+      threads = std::min(threads, shards_.size());
+      if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
+    }
+  }
+  return pool_.get();
 }
 
 ObjectId ShardedCorpus::FindByName(const std::string& name) const {
@@ -136,30 +159,19 @@ Result<ShardedCorpus> ShardedCorpus::Load(const std::string& prefix,
           ? 0.0
           : Distance(Point{sharded.bounds_.min_x, sharded.bounds_.min_y},
                      Point{sharded.bounds_.max_x, sharded.bounds_.max_y});
+  sharded.fanout_threads_ = options.fanout_threads;
   return sharded;
 }
 
 // --- ShardedTopKEngine -------------------------------------------------------
 
-ShardedTopKEngine::ShardedTopKEngine(const ShardedCorpus& corpus,
-                                     size_t num_threads)
-    : corpus_(&corpus) {
+ShardedTopKEngine::ShardedTopKEngine(const ShardedCorpus& corpus)
+    : corpus_(&corpus), pool_(corpus.pool()) {
   engines_.reserve(corpus.num_shards());
   for (size_t s = 0; s < corpus.num_shards(); ++s) {
     const Corpus& shard = corpus.shard(s);
     engines_.emplace_back(shard.store(), shard.setr());
     engines_.back().set_dist_norm(corpus.dist_norm());
-  }
-  if (engines_.size() > 1) {
-    // The calling thread searches the home shard; the pool covers the rest.
-    // On a single-core host a pool buys nothing — the fan-out runs inline
-    // (and gets a strictly better, incrementally-refined prune threshold).
-    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
-    if (hw > 1) {
-      size_t threads = num_threads != 0 ? num_threads : engines_.size() - 1;
-      threads = std::min({threads, engines_.size() - 1, hw});
-      pool_ = std::make_unique<ThreadPool>(threads);
-    }
   }
 }
 

@@ -30,6 +30,7 @@
 #define YASK_CORPUS_SHARDED_CORPUS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,6 +98,16 @@ class ShardedCorpus {
   /// "<prefix>.shard-<index>.snap".
   static std::string ShardFilePath(const std::string& prefix, uint32_t index);
 
+  /// The worker pool every fan-out engine over this corpus shares
+  /// (ShardedTopKEngine for /query, ShardedWhyNotOracle for /whynot), sized
+  /// by the CorpusOptions::fanout_threads passed to Partition()/Load() and
+  /// clamped to the shard count. Created lazily on first call (thread-safe),
+  /// so a corpus that is only built and saved — dataset_tool build-shards —
+  /// never spins up workers. Null when fan-outs should run inline on the
+  /// calling thread: single-shard corpora, and single-core hosts unless a
+  /// thread count was forced.
+  ThreadPool* pool() const;
+
   /// Reassembles a partitioned corpus from the files Save() wrote. The shard
   /// count comes from shard 0's manifest; every file's manifest is
   /// cross-checked (index, count, bounds, and that the global ids tile
@@ -117,30 +128,38 @@ class ShardedCorpus {
   double dist_norm_ = 0.0;
   std::string router_desc_;
   std::unique_ptr<ShardRouter> router_;  // Null after Load().
+  /// Lazy shared fan-out pool (see pool()); the mutex lives behind a
+  /// unique_ptr to keep the corpus movable.
+  size_t fanout_threads_ = 0;  // CorpusOptions::fanout_threads (0 = auto).
+  std::unique_ptr<std::mutex> pool_mu_ = std::make_unique<std::mutex>();
+  mutable bool pool_decided_ = false;
+  mutable std::unique_ptr<ThreadPool> pool_;  // Null: fan-outs run inline.
 };
 
 /// Parallel fan-out/merge top-k over a ShardedCorpus. Results are
 /// bit-identical to SetRTopKEngine over the same (unsharded) objects.
 ///
-/// Thread-safe: concurrent Query() calls share the worker pool.
+/// Thread-safe: concurrent Query() calls share the corpus's worker pool
+/// (also used by the sharded why-not oracle — one pool per corpus, not one
+/// per engine). The home shard is always searched on the calling thread;
+/// without a pool the thresholded fan-out runs inline, nearest shard first.
 class ShardedTopKEngine {
  public:
-  /// `num_threads` caps the pool that runs the thresholded non-home-shard
-  /// searches (0 = one per extra shard, bounded by the hardware
-  /// concurrency). The home shard is always searched on the calling thread;
-  /// with one shard no pool exists at all.
-  explicit ShardedTopKEngine(const ShardedCorpus& corpus,
-                             size_t num_threads = 0);
+  explicit ShardedTopKEngine(const ShardedCorpus& corpus);
 
   /// Exact top-k with global object ids. Stats are summed across shards.
   TopKResult Query(const Query& query, TopKStats* stats = nullptr) const;
 
   const ShardedCorpus& corpus() const { return *corpus_; }
 
+  /// The corpus's shared pool (null = inline fan-out); for the pool-reuse
+  /// assertion tests.
+  const ThreadPool* pool() const { return pool_; }
+
  private:
   const ShardedCorpus* corpus_;
   std::vector<SetRTopKEngine> engines_;  // One per shard, global dist norm.
-  std::unique_ptr<ThreadPool> pool_;     // Null when num_shards() == 1.
+  ThreadPool* pool_;                     // Borrowed from the corpus.
 };
 
 }  // namespace yask

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// ShardedWhyNotOracle: the WhyNotOracle seam implemented over a
+// ShardedCorpus, making the why-not stack — explanations, preference
+// adjustment, keyword adaption — exact on the scale-out layout.
+//
+// Every oracle primitive fans out over the corpus's shared worker pool (the
+// same pool ShardedTopKEngine uses for /query) and merges with the same
+// discipline that made sharded top-k bit-identical:
+//   * scores use the GLOBAL SDist normaliser and the shared vocabulary, so
+//     an object's score is the same doubles-arithmetic in both layouts;
+//   * tie orders compare GLOBAL ids everywhere;
+//   * outscoring counts SUM across shards (disjoint partition of one
+//     predicate), crossing-weight candidate sets UNION (then sort + dedupe),
+//     and per-candidate KcR rank intervals sum elementwise — each shard's
+//     [lo, hi] is its exact contribution's bounds, so the summed interval is
+//     admissible and collapses to the global exact count.
+// The why-not algorithms run unchanged over this oracle, so a sharded
+// service answers /whynot bit-identically to an unsharded replica
+// (property-tested at 1/2/4/8 shards; bench_whynot_sharded gates on it).
+
+#ifndef YASK_CORPUS_SHARDED_WHYNOT_ORACLE_H_
+#define YASK_CORPUS_SHARDED_WHYNOT_ORACLE_H_
+
+#include "src/corpus/sharded_corpus.h"
+#include "src/whynot/whynot_oracle.h"
+
+namespace yask {
+
+/// The corpus must outlive the oracle. ProbeRank (keyword adaption)
+/// requires every shard to have been built with its KcR-tree.
+class ShardedWhyNotOracle : public ContextWhyNotOracle {
+ public:
+  explicit ShardedWhyNotOracle(const ShardedCorpus& corpus);
+
+  const SpatialObject& Object(ObjectId global_id) const override {
+    return corpus_->Object(global_id);
+  }
+  TopKResult TopK(const Query& query, TopKStats* stats) const override;
+
+  const ShardedCorpus& corpus() const { return *corpus_; }
+
+ private:
+  const ShardedCorpus* corpus_;
+  ShardedTopKEngine topk_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_CORPUS_SHARDED_WHYNOT_ORACLE_H_

@@ -4,16 +4,6 @@
 
 namespace yask {
 
-namespace {
-
-/// Tie-aware "ranks above target" predicate for a scored object.
-bool OutranksTarget(double score, ObjectId id, double target_score,
-                    ObjectId target_id) {
-  return score > target_score || (score == target_score && id < target_id);
-}
-
-}  // namespace
-
 size_t ComputeRankScan(const ObjectStore& store, const Query& query,
                        ObjectId target) {
   Scorer scorer(store, query);
@@ -26,10 +16,12 @@ size_t ComputeRankScan(const ObjectStore& store, const Query& query,
   return above + 1;
 }
 
-size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
-                   const Query& query, ObjectId target, RankStats* stats) {
-  Scorer scorer(store, query);
-  const double target_score = scorer.Score(target);
+size_t CountOutscoring(const ObjectStore& store, const SetRTree& tree,
+                       const Scorer& scorer, double target_score,
+                       ObjectId target_global,
+                       const std::vector<ObjectId>* to_global,
+                       RankStats* stats) {
+  (void)store;  // The scorer already binds it; kept for symmetry and checks.
   size_t above = 0;
 
   std::vector<SetRTree::NodeId> stack{tree.root()};
@@ -51,9 +43,11 @@ size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
     }
     if (node.is_leaf) {
       for (const auto& e : node.entries) {
-        if (e.id == target) continue;
+        const ObjectId gid = to_global != nullptr ? (*to_global)[e.id] : e.id;
+        if (gid == target_global) continue;
         if (stats != nullptr) ++stats->objects_scored;
-        if (OutranksTarget(scorer.Score(e.id), e.id, target_score, target)) {
+        if (OutranksTarget(scorer.Score(e.id), gid, target_score,
+                           target_global)) {
           ++above;
         }
       }
@@ -61,7 +55,15 @@ size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
       for (const auto& e : node.entries) stack.push_back(e.id);
     }
   }
-  return above + 1;
+  return above;
+}
+
+size_t ComputeRank(const ObjectStore& store, const SetRTree& tree,
+                   const Query& query, ObjectId target, RankStats* stats) {
+  Scorer scorer(store, query);
+  return CountOutscoring(store, tree, scorer, scorer.Score(target), target,
+                         /*to_global=*/nullptr, stats) +
+         1;
 }
 
 size_t LowestRank(const ObjectStore& store, const SetRTree& tree,

@@ -30,9 +30,32 @@ struct RankStats {
   size_t nodes_counted_wholesale = 0;  // Subtrees resolved by bounds alone.
 };
 
+/// THE tie-aware "outranks the target" predicate (D6) — the single source of
+/// the rank order every engine, oracle and merge rule must agree on. Ids are
+/// compared as GLOBAL ids; the whole cross-layout bit-identity argument of
+/// the sharded why-not stack rests on every site using this one rule.
+inline bool OutranksTarget(double score, ObjectId id, double target_score,
+                           ObjectId target_id) {
+  return score > target_score || (score == target_score && id < target_id);
+}
+
 /// Exact rank by full scan; the reference implementation.
 size_t ComputeRankScan(const ObjectStore& store, const Query& query,
                        ObjectId target);
+
+/// Tie-aware count of objects in `store` (indexed by `tree`) that outrank a
+/// target scoring `target_score`: score strictly greater, or equal with
+/// global id below `target_global` (D6). `scorer` carries the query and the
+/// SDist normaliser (a sharded corpus passes the GLOBAL diagonal). When
+/// `to_global` is non-null it maps the store's local ids to global ids (the
+/// sharded layout; the target itself need not live in this store); null
+/// means ids are already global. This is the partition-sum primitive behind
+/// distributed rank: R(o, q) = 1 + Σ over shards of this count.
+size_t CountOutscoring(const ObjectStore& store, const SetRTree& tree,
+                       const Scorer& scorer, double target_score,
+                       ObjectId target_global,
+                       const std::vector<ObjectId>* to_global,
+                       RankStats* stats = nullptr);
 
 /// Exact rank using SetR-tree score bounds: subtrees whose upper bound falls
 /// below the target score are skipped, subtrees whose lower bound exceeds it

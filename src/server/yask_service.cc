@@ -71,7 +71,7 @@ YaskService::YaskService(const ShardedCorpus& corpus,
                          YaskServiceOptions options)
     : YaskService(options) {
   sharded_ = &corpus;
-  sharded_engine_.emplace(corpus);
+  engine_.emplace(corpus);
 }
 
 Status YaskService::Start() { return server_.Start(); }
@@ -104,8 +104,16 @@ ObjectId YaskService::FindByName(const std::string& name) const {
 }
 
 TopKResult YaskService::RunTopK(const Query& query) const {
-  return corpus_ != nullptr ? engine_->TopK(query)
-                            : sharded_engine_->Query(query);
+  // The engine's oracle fans out over the shards in sharded mode.
+  return engine_->TopK(query);
+}
+
+bool YaskService::HasKcr() const {
+  if (corpus_ != nullptr) return corpus_->has_kcr();
+  for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+    if (!sharded_->shard(s).has_kcr()) return false;
+  }
+  return true;
 }
 
 // --- Query cache (LRU) -------------------------------------------------------
@@ -205,12 +213,13 @@ JsonValue PenaltyToJson(const PenaltyBreakdown& p) {
 }  // namespace
 
 HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
-  if (corpus_ == nullptr) {
-    // The refinement models need the global indexes (weight-plane sweep,
-    // KcR-tree bounds); they run on an unsharded replica, not on the
-    // fan-out shards. See docs/architecture.md.
+  if (!HasKcr()) {
+    // Keyword adaption runs on the KcR-tree(s); a corpus deliberately built
+    // without them (top-k-only deployments) cannot answer why-not. Fail the
+    // request cleanly instead of letting the oracle hit a missing index.
     return HttpResponse::Error(
-        501, "why-not answering requires an unsharded corpus replica");
+        501, "why-not answering requires the corpus to be built with its "
+             "KcR-tree(s)");
   }
   auto parsed = JsonValue::Parse(req.body);
   if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());

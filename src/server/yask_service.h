@@ -6,10 +6,11 @@
 // 'why-not' questions"), and keeps the query log of Panel 5.
 //
 // Serving state comes from the corpus layer (src/corpus/): either one
-// Corpus (the full-featured replica: top-k + why-not) or a ShardedCorpus
-// (the scale-out layout: top-k queries fan out across the shards in
-// parallel; why-not refinement needs the global indexes of an unsharded
-// replica and answers 501 here — see docs/architecture.md).
+// Corpus (a single full replica) or a ShardedCorpus (the scale-out layout:
+// top-k queries AND why-not questions fan out across the shards in parallel
+// through the WhyNotOracle seam and merge bit-identically to the unsharded
+// engine — see docs/architecture.md, "Distributed why-not"). The full HTTP
+// contract is served in both modes.
 //
 // Per §3.2, the client never supplies the weight vector: "the system ...
 // leaves the weighting vector w as a system parameter on the server. In the
@@ -83,7 +84,8 @@ class YaskService {
   /// Full-featured replica over one corpus (requires corpus.has_kcr()).
   explicit YaskService(const Corpus& corpus, YaskServiceOptions options = {});
 
-  /// Scale-out mode: top-k fans out over the shards; /whynot answers 501.
+  /// Scale-out mode: top-k and why-not both fan out over the shards (every
+  /// shard must have its KcR-tree; ShardedCorpus builds them by default).
   explicit YaskService(const ShardedCorpus& corpus,
                        YaskServiceOptions options = {});
 
@@ -116,6 +118,9 @@ class YaskService {
   const SpatialObject& ObjectAt(ObjectId global_id) const;
   ObjectId FindByName(const std::string& name) const;
   TopKResult RunTopK(const Query& query) const;
+  /// Whether every shard (or the one corpus) carries its KcR-tree — the
+  /// prerequisite for answering /whynot.
+  bool HasKcr() const;
 
   JsonValue ResultToJson(const TopKResult& result) const;
 
@@ -126,8 +131,9 @@ class YaskService {
 
   const Corpus* corpus_ = nullptr;            // Exactly one of these two
   const ShardedCorpus* sharded_ = nullptr;    // is non-null.
-  std::optional<WhyNotEngine> engine_;        // Corpus mode only.
-  std::optional<ShardedTopKEngine> sharded_engine_;  // Sharded mode only.
+  /// Serves both modes: its oracle is local or sharded to match the corpus
+  /// (the sharded oracle runs /query and /whynot over the corpus pool).
+  std::optional<WhyNotEngine> engine_;
   YaskServiceOptions options_;
   HttpServer server_;
   QueryLog log_;

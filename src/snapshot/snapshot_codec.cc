@@ -703,6 +703,18 @@ Result<SnapshotReport> InspectSnapshot(const std::string& path) {
     }
     report.sections.push_back(std::move(row));
   }
+
+  // The shard manifest is a few hundred bytes; decode it in full so the
+  // inspection reports the shard layout (index/count, router, global ids)
+  // instead of skipping past it. A corrupt manifest stays nullopt — the
+  // section row above already flags the damaged payload.
+  if (reader->Has(SectionId::kShardManifest)) {
+    Result<BufReader> section = reader->OpenSection(SectionId::kShardManifest);
+    if (section.ok()) {
+      Result<ShardManifest> manifest = LoadShardManifest(&section.value());
+      if (manifest.ok()) report.shard = std::move(manifest).value();
+    }
+  }
   return report;
 }
 

@@ -21,6 +21,7 @@
 #define YASK_SNAPSHOT_SNAPSHOT_CODEC_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -126,10 +127,15 @@ struct SnapshotReport {
   uint32_t format_version = 0;
   uint64_t file_size = 0;
   std::vector<SnapshotSectionReport> sections;
+  /// The decoded shard_manifest section — engaged when the file is one shard
+  /// of a partitioned corpus and the section decodes cleanly (`dataset_tool
+  /// inspect-snapshot` prints it: shard index/count, router, object ids).
+  std::optional<ShardManifest> shard;
 };
 
 /// Validates the container and summarises every section without
-/// materialising the store or the trees.
+/// materialising the store or the trees. The shard manifest (when present)
+/// is small and is decoded in full.
 Result<SnapshotReport> InspectSnapshot(const std::string& path);
 
 }  // namespace yask

@@ -7,6 +7,7 @@
 #include "src/query/ranking.h"
 #include "src/query/scoring.h"
 #include "src/query/topk_engine.h"
+#include "src/whynot/whynot_oracle.h"
 
 namespace yask {
 
@@ -42,16 +43,16 @@ const char* RefinementRecommendationToString(RefinementRecommendation r) {
 
 namespace {
 
-std::string DescribeObject(const ObjectStore& store, ObjectId id) {
-  const SpatialObject& o = store.Get(id);
+std::string DescribeObject(const WhyNotOracle& oracle, ObjectId global_id) {
+  const SpatialObject& o = oracle.Object(global_id);
   if (!o.name.empty()) return o.name;
-  return "object #" + std::to_string(id);
+  return "object #" + std::to_string(global_id);
 }
 
-std::string BuildText(const ObjectStore& store,
+std::string BuildText(const WhyNotOracle& oracle,
                       const MissingObjectExplanation& e, uint32_t k) {
   char buf[512];
-  const std::string who = DescribeObject(store, e.id);
+  const std::string who = DescribeObject(oracle, e.id);
   switch (e.reason) {
     case MissingReason::kInResult:
       std::snprintf(buf, sizeof(buf),
@@ -99,43 +100,44 @@ std::string BuildText(const ObjectStore& store,
 }  // namespace
 
 Result<std::vector<MissingObjectExplanation>> ExplainMissing(
-    const ObjectStore& store, const SetRTree& tree, const Query& query,
+    const WhyNotOracle& oracle, const Query& query,
     const std::vector<ObjectId>& missing) {
   if (Status s = query.Validate(); !s.ok()) return s;
   if (missing.empty()) {
     return Status::InvalidArgument("missing object set must be non-empty");
   }
   for (ObjectId id : missing) {
-    if (id >= store.size()) {
+    if (id >= oracle.size()) {
       return Status::NotFound("missing object id " + std::to_string(id) +
                               " is not in the database");
     }
   }
 
-  Scorer scorer(store, query);
-  SetRTopKEngine engine(store, tree);
-  const TopKResult topk = engine.Query(query);
+  const double dist_norm = oracle.dist_norm();
+  const TopKResult topk = oracle.TopK(query);
   // The current k-th result frames the comparison; an empty result (k = 0 or
   // empty store) cannot happen here because Validate() requires k >= 1 and
   // missing ids exist.
   const ScoredObject kth = topk.back();
-  const SpatialObject& kth_obj = store.Get(kth.id);
-  const double kth_sdist = scorer.SDist(kth_obj.loc);
-  const double kth_tsim = scorer.TSim(kth_obj.doc);
+  const ObjectScoreParts kth_parts =
+      ScorePartsOf(query, dist_norm, oracle.Object(kth.id));
+  const double kth_sdist = kth_parts.sdist;
+  const double kth_tsim = kth_parts.tsim;
 
   std::vector<MissingObjectExplanation> out;
   out.reserve(missing.size());
   for (ObjectId id : missing) {
     MissingObjectExplanation e;
     e.id = id;
-    const SpatialObject& o = store.Get(id);
-    e.score = scorer.Score(o);
-    e.sdist = scorer.SDist(o.loc);
-    e.tsim = scorer.TSim(o.doc);
+    const ObjectScoreParts parts =
+        ScorePartsOf(query, dist_norm, oracle.Object(id));
+    e.score = parts.score;
+    e.sdist = parts.sdist;
+    e.tsim = parts.tsim;
     e.kth_score = kth.score;
     e.kth_sdist = kth_sdist;
     e.kth_tsim = kth_tsim;
-    e.rank = ComputeRank(store, tree, query, id);
+    e.rank = oracle.Rank(query, id);
 
     const bool spatial_deficit = e.sdist > kth_sdist;
     const bool textual_deficit = e.tsim < kth_tsim;
@@ -156,10 +158,17 @@ Result<std::vector<MissingObjectExplanation>> ExplainMissing(
       e.reason = MissingReason::kKeywordMismatch;
       e.recommendation = RefinementRecommendation::kKeywordAdaption;
     }
-    e.text = BuildText(store, e, query.k);
+    e.text = BuildText(oracle, e, query.k);
     out.push_back(std::move(e));
   }
   return out;
+}
+
+Result<std::vector<MissingObjectExplanation>> ExplainMissing(
+    const ObjectStore& store, const SetRTree& tree, const Query& query,
+    const std::vector<ObjectId>& missing) {
+  const LocalWhyNotOracle oracle(store, &tree, /*kcr=*/nullptr);
+  return ExplainMissing(oracle, query, missing);
 }
 
 }  // namespace yask

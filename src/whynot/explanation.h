@@ -20,6 +20,8 @@
 
 namespace yask {
 
+class WhyNotOracle;  // src/whynot/whynot_oracle.h
+
 /// Why an expected object failed to enter the top-k.
 enum class MissingReason {
   kInResult,          // Not actually missing.
@@ -55,6 +57,15 @@ struct MissingObjectExplanation {
   RefinementRecommendation recommendation = RefinementRecommendation::kNone;
   std::string text;         // Human-readable explanation sentence.
 };
+
+/// Analyses each missing object against the initial query over any corpus
+/// layout behind the oracle seam: the top-k frontier, the per-object ranks
+/// (partition-sums of per-shard outscoring counts) and the score components
+/// are all layout-independent, so the explanations — texts included — are
+/// bit-identical across layouts.
+Result<std::vector<MissingObjectExplanation>> ExplainMissing(
+    const WhyNotOracle& oracle, const Query& query,
+    const std::vector<ObjectId>& missing);
 
 /// Analyses each missing object against the initial query. Uses the
 /// SetR-tree for pruned rank computation and the top-k engine for the

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "src/query/scoring.h"
+#include "src/whynot/whynot_oracle.h"
 
 namespace yask {
 
@@ -37,109 +39,6 @@ void ForEachCombination(size_t n, size_t r, Fn fn) {
   }
 }
 
-/// Tie-aware exact count of objects outscoring `target_score` (the rank-1
-/// count of the target object) by full scan.
-size_t CountAboveScanExact(const ObjectStore& store, const Scorer& scorer,
-                           ObjectId target, double target_score,
-                           KeywordAdaptStats* stats) {
-  size_t above = 0;
-  for (const SpatialObject& o : store.objects()) {
-    if (o.id == target) continue;
-    const double s = scorer.Score(o);
-    if (s > target_score || (s == target_score && o.id < target)) ++above;
-  }
-  stats->objects_scored += store.size();
-  return above;
-}
-
-/// Per-(candidate, missing-object) progressive rank interval over the
-/// KcR-tree: exact counts from resolved leaves plus per-frontier-node
-/// CountBounds.
-class RankRefiner {
- public:
-  RankRefiner(const ObjectStore& store, const KcRTree& tree,
-              const Scorer& scorer, ObjectId target,
-              KeywordAdaptStats* stats)
-      : store_(&store),
-        tree_(&tree),
-        scorer_(&scorer),
-        target_(target),
-        target_score_(scorer.Score(target)),
-        stats_(stats) {
-    const auto& root = tree.node(tree.root());
-    PushNode(tree.root(), root);
-  }
-
-  size_t lower() const { return exact_ + sum_lower_ + 1; }  // Rank bounds.
-  size_t upper() const { return exact_ + sum_upper_ + 1; }
-  bool resolved() const { return frontier_.empty() || sum_lower_ == sum_upper_; }
-
-  /// Descends the whole frontier one tree level ("when traversing the
-  /// KcR-tree downwards, we get tighter bounds", §3.3): every frontier node
-  /// is replaced by its children's bounds, leaves by exact tie-aware counts.
-  /// No-op when resolved.
-  void RefineLevel() {
-    if (frontier_.empty()) return;
-    std::vector<Frontier> previous;
-    previous.swap(frontier_);
-    sum_lower_ = 0;
-    sum_upper_ = 0;
-    for (const Frontier& f : previous) {
-      const auto& node = tree_->node(f.node);
-      ++stats_->kcr_nodes_expanded;
-      if (node.is_leaf) {
-        for (const auto& e : node.entries) {
-          if (e.id == target_) continue;
-          const double s = scorer_->Score(e.id);
-          ++stats_->objects_scored;
-          if (s > target_score_ ||
-              (s == target_score_ && e.id < target_)) {
-            ++exact_;
-          }
-        }
-      } else {
-        for (const auto& e : node.entries) {
-          PushNode(e.id, tree_->node(e.id));
-        }
-      }
-    }
-  }
-
- private:
-  struct Frontier {
-    KcRTree::NodeId node;
-    CountBounds bounds;
-  };
-
-  void PushNode(KcRTree::NodeId id, const KcRTree::Node& node) {
-    if (node.summary.cnt == 0) return;
-    const CountBounds b =
-        BoundOutscoringCount(*scorer_, node.rect, node.summary, target_score_);
-    if (b.upper == 0) return;  // Nothing below can outrank: drop.
-    if (b.lower == b.upper) {
-      exact_ += b.lower;  // Pinned without descending.
-      // Note: the target itself is never counted by the lower bound (its own
-      // score cannot strictly exceed itself), so this is tie-safe.
-      return;
-    }
-    frontier_.push_back(Frontier{id, b});
-    sum_lower_ += b.lower;
-    sum_upper_ += b.upper;
-  }
-
-  const ObjectStore* store_;
-  const KcRTree* tree_;
-  const Scorer* scorer_;
-  ObjectId target_;
-  double target_score_;
-  KeywordAdaptStats* stats_;
-  std::vector<Frontier> frontier_;
-  size_t exact_ = 0;
-  size_t sum_lower_ = 0;
-  size_t sum_upper_ = 0;
-  uint32_t max_gap_ = 0;
-};
-
 }  // namespace
 
 std::vector<KeywordSet> GenerateCandidatesAtDistance(
@@ -166,7 +65,7 @@ std::vector<KeywordSet> GenerateCandidatesAtDistance(
 }
 
 Result<RefinedKeywordQuery> AdaptKeywords(
-    const ObjectStore& store, const KcRTree& tree, const Query& query,
+    const WhyNotOracle& oracle, const Query& query,
     const std::vector<ObjectId>& missing,
     const KeywordAdaptOptions& options) {
   if (Status s = query.Validate(); !s.ok()) return s;
@@ -180,7 +79,7 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   std::sort(m_ids.begin(), m_ids.end());
   m_ids.erase(std::unique(m_ids.begin(), m_ids.end()), m_ids.end());
   for (ObjectId id : m_ids) {
-    if (id >= store.size()) {
+    if (id >= oracle.size()) {
       return Status::NotFound("missing object id " + std::to_string(id) +
                               " is not in the database");
     }
@@ -195,7 +94,7 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   // M.doc = union of the missing objects' documents; the normaliser of ∆doc.
   KeywordSet m_doc;
   for (ObjectId id : m_ids) {
-    m_doc = KeywordSet::Union(m_doc, store.Get(id).doc);
+    m_doc = KeywordSet::Union(m_doc, oracle.Object(id).doc);
   }
   const KeywordSet universe = KeywordSet::Union(query.doc, m_doc);
   const KeywordSet insertable = KeywordSet::Difference(m_doc, query.doc);
@@ -206,12 +105,9 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   // and measurement shows the KcR bounds prune too weakly for popular query
   // keywords to beat it (the bounds earn their keep pruning *candidates*,
   // where no exact rank is needed at all — see EXPERIMENTS.md E8/E10). ---
-  Scorer base_scorer(store, query);
   size_t r0 = 0;
   for (ObjectId id : m_ids) {
-    const double s = base_scorer.Score(id);
-    r0 = std::max(r0,
-                  CountAboveScanExact(store, base_scorer, id, s, &stats) + 1);
+    r0 = std::max(r0, oracle.OutscoringCount(query, id, &stats) + 1);
   }
   out.original_rank = r0;
   if (r0 <= query.k) {
@@ -226,9 +122,14 @@ Result<RefinedKeywordQuery> AdaptKeywords(
     size_t rank;
     PenaltyBreakdown penalty;
     size_t delta_doc;
+    // Whether `rank` is the exact R(M, q'). A candidate's penalty can pin
+    // (∆k interval collapsed at 0) while its rank interval is still open;
+    // the winner's exact rank is recomputed once at the end so the reported
+    // refined_rank never depends on how the bounds happened to tighten.
+    bool rank_exact;
   };
   Best best{query.doc, r0, KeywordPenalty(lambda, query, 0, doc_norm, r0, r0),
-            0};
+            0, true};
 
   const double norm_k = static_cast<double>(r0) - query.k;  // > 0 here.
   auto penalty_from_rank = [&](size_t delta_doc, size_t rank) {
@@ -246,13 +147,13 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   // Deterministic preference among equal penalties: smaller ∆doc, then
   // lexicographically smaller keyword id vector.
   auto offer_best = [&](const KeywordSet& doc, size_t rank, size_t delta_doc,
-                        const PenaltyBreakdown& pen) {
+                        const PenaltyBreakdown& pen, bool rank_exact) {
     const bool better =
         pen.value < best.penalty.value ||
         (pen.value == best.penalty.value &&
          (delta_doc < best.delta_doc ||
           (delta_doc == best.delta_doc && doc.ids() < best.doc.ids())));
-    if (better) best = Best{doc, rank, pen, delta_doc};
+    if (better) best = Best{doc, rank, pen, delta_doc, rank_exact};
   };
 
   // --- Enumerate candidates by increasing ∆doc. ---
@@ -281,40 +182,43 @@ Result<RefinedKeywordQuery> AdaptKeywords(
 
       Query cand_query = query;
       cand_query.doc = cand;
-      Scorer scorer(store, cand_query);
 
       if (!use_tree) {
         // Basic: exact ranks by full scans.
         size_t rank = 0;
         for (ObjectId id : m_ids) {
-          const double s = scorer.Score(id);
           rank = std::max(
-              rank, CountAboveScanExact(store, scorer, id, s, &stats) + 1);
+              rank, oracle.OutscoringCount(cand_query, id, &stats) + 1);
         }
         ++stats.candidates_resolved;
-        offer_best(cand, rank, e, penalty_from_rank(e, rank));
+        offer_best(cand, rank, e, penalty_from_rank(e, rank),
+                   /*rank_exact=*/true);
         continue;
       }
 
-      // Bound-and-prune: per-missing-object progressive rank intervals.
-      std::vector<RankRefiner> refiners;
-      refiners.reserve(m_ids.size());
+      // Bound-and-prune: per-missing-object progressive rank intervals
+      // (each probe sums per-shard KcR count intervals behind the seam).
+      std::vector<std::unique_ptr<RankProbe>> probes;
+      probes.reserve(m_ids.size());
       for (ObjectId id : m_ids) {
-        refiners.emplace_back(store, tree, scorer, id, &stats);
+        probes.push_back(oracle.ProbeRank(cand_query, id, &stats));
       }
-      bool pruned = false;
       while (true) {
         size_t rank_lb = 0;
         size_t rank_ub = 0;
-        for (const RankRefiner& r : refiners) {
-          rank_lb = std::max(rank_lb, r.lower());
-          rank_ub = std::max(rank_ub, r.upper());
+        for (const auto& p : probes) {
+          rank_lb = std::max(rank_lb, p->lower());
+          rank_ub = std::max(rank_ub, p->upper());
         }
-        // Penalty interval from the rank interval.
+        // Penalty interval from the rank interval. The cut is STRICT: a
+        // candidate whose penalty lower bound merely ties the best keeps
+        // refining until the ∆k pins, so exact-tie candidates always reach
+        // offer_best and its layout-independent tie order — bounds tighten
+        // differently over different shard layouts, and a >= cut here would
+        // let that difference decide ties.
         const double pen_lb = k_term_of_rank_lb(rank_lb) + floor;
-        if (pen_lb >= best.penalty.value) {
+        if (pen_lb > best.penalty.value) {
           ++stats.candidates_pruned_bounds;
-          pruned = true;
           break;
         }
         const size_t dk_lb = rank_lb > query.k ? rank_lb - query.k : 0;
@@ -322,26 +226,43 @@ Result<RefinedKeywordQuery> AdaptKeywords(
         if (dk_lb == dk_ub) {
           // Penalty pinned exactly (∆k equal at both ends).
           ++stats.candidates_resolved;
-          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub));
+          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
+                     /*rank_exact=*/rank_lb == rank_ub);
           break;
         }
         // Refine the missing object driving the upper rank the hardest by
         // one tree level.
-        RankRefiner* widest = nullptr;
-        for (RankRefiner& r : refiners) {
-          if (r.resolved()) continue;
-          if (widest == nullptr || r.upper() > widest->upper()) widest = &r;
+        RankProbe* widest = nullptr;
+        for (const auto& p : probes) {
+          if (p->resolved()) continue;
+          if (widest == nullptr || p->upper() > widest->upper()) {
+            widest = p.get();
+          }
         }
         if (widest == nullptr) {
           // All resolved yet ∆k interval not collapsed: ranks are exact now.
           ++stats.candidates_resolved;
-          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub));
+          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
+                     /*rank_exact=*/true);
           break;
         }
         widest->RefineLevel();
       }
-      (void)pruned;
     }
+  }
+
+  if (!best.rank_exact) {
+    // The winner's ∆k pinned at 0 before its rank interval collapsed (the
+    // candidate revives M inside the original k). Resolve the exact rank so
+    // refined_rank is the true R(M, q') in every layout.
+    Query best_query = query;
+    best_query.doc = best.doc;
+    size_t rank = 0;
+    for (ObjectId id : m_ids) {
+      rank = std::max(rank,
+                      oracle.OutscoringCount(best_query, id, &stats) + 1);
+    }
+    best.rank = rank;
   }
 
   out.refined.doc = best.doc;
@@ -350,6 +271,14 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   out.refined_rank = best.rank;
   out.penalty = best.penalty;
   return out;
+}
+
+Result<RefinedKeywordQuery> AdaptKeywords(
+    const ObjectStore& store, const KcRTree& tree, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const KeywordAdaptOptions& options) {
+  const LocalWhyNotOracle oracle(store, /*setr=*/nullptr, &tree);
+  return AdaptKeywords(oracle, query, missing, options);
 }
 
 }  // namespace yask

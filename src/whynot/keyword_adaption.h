@@ -35,6 +35,8 @@
 
 namespace yask {
 
+class WhyNotOracle;  // src/whynot/whynot_oracle.h
+
 /// Algorithm selector for AdaptKeywords.
 enum class KwAdaptMode {
   kBasic,         // Exact rank by full scan per candidate.
@@ -73,6 +75,17 @@ struct RefinedKeywordQuery {
   bool already_in_result = false;  // M ⊆ top-k(q): nothing to refine.
   KeywordAdaptStats stats;
 };
+
+/// Solves Definition 3 over any corpus layout behind the oracle seam. The
+/// search offers a candidate to the running best exactly when its true
+/// penalty is at most the best so far (bound pruning only ever cuts
+/// candidates that are strictly worse), so the refined query — including the
+/// deterministic tie order: smaller ∆doc, then lexicographically smaller
+/// keyword ids — is bit-identical across layouts.
+Result<RefinedKeywordQuery> AdaptKeywords(
+    const WhyNotOracle& oracle, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const KeywordAdaptOptions& options = {});
 
 /// Solves Definition 3 over a KcR-tree built on `store`.
 Result<RefinedKeywordQuery> AdaptKeywords(

@@ -4,9 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <optional>
 
 #include "src/query/scoring.h"
+#include "src/whynot/whynot_oracle.h"
 
 namespace yask {
 
@@ -23,19 +23,6 @@ constexpr double kMaxW = 1.0 - 1e-9;
 // beyond that zone is used rather than one ulp. The returned refinement is
 // therefore optimal up to this ∆w resolution (penalty slack < 2e-7).
 constexpr double kStepPastCrossing = 1e-7;
-
-/// Tie-aware count of points outscoring `anchor` at weight `w`, by scan.
-size_t CountAboveScan(const std::vector<PlanePoint>& pts,
-                      const PlanePoint& anchor, double w) {
-  const double threshold = anchor.ScoreAt(w);
-  size_t above = 0;
-  for (const PlanePoint& p : pts) {
-    if (p.id == anchor.id) continue;
-    const double s = p.ScoreAt(w);
-    if (s > threshold || (s == threshold && p.id < anchor.id)) ++above;
-  }
-  return above;
-}
 
 /// Running best candidate with deterministic tie-breaking: lower penalty,
 /// then smaller |w - w0|, then smaller w.
@@ -71,19 +58,26 @@ class BestCandidate {
 }  // namespace
 
 std::vector<PlanePoint> BuildPlanePoints(const ObjectStore& store,
-                                         const Query& query) {
-  Scorer scorer(store, query);
+                                         const Query& query, double dist_norm,
+                                         const std::vector<ObjectId>* to_global) {
+  Scorer scorer(store, query, dist_norm);
   std::vector<PlanePoint> pts;
   pts.reserve(store.size());
   for (const SpatialObject& o : store.objects()) {
-    pts.push_back(PlanePoint{1.0 - scorer.SDist(o.loc),
-                             scorer.TSim(o.doc), o.id});
+    const ObjectId gid = to_global != nullptr ? (*to_global)[o.id] : o.id;
+    pts.push_back(MakePlanePoint(scorer, o, gid));
   }
   return pts;
 }
 
+std::vector<PlanePoint> BuildPlanePoints(const ObjectStore& store,
+                                         const Query& query) {
+  return BuildPlanePoints(store, query, store.BoundsDiagonal(),
+                          /*to_global=*/nullptr);
+}
+
 Result<RefinedPreferenceQuery> AdjustPreference(
-    const ObjectStore& store, const Query& query,
+    const WhyNotOracle& oracle, const Query& query,
     const std::vector<ObjectId>& missing,
     const PreferenceAdjustOptions& options) {
   if (Status s = query.Validate(); !s.ok()) return s;
@@ -97,7 +91,7 @@ Result<RefinedPreferenceQuery> AdjustPreference(
   std::sort(m_ids.begin(), m_ids.end());
   m_ids.erase(std::unique(m_ids.begin(), m_ids.end()), m_ids.end());
   for (ObjectId id : m_ids) {
-    if (id >= store.size()) {
+    if (id >= oracle.size()) {
       return Status::NotFound("missing object id " + std::to_string(id) +
                               " is not in the database");
     }
@@ -109,28 +103,21 @@ Result<RefinedPreferenceQuery> AdjustPreference(
 
   const double lambda = options.lambda;
   const double w0 = query.w.ws;
-  const bool optimized = options.mode == PrefAdjustMode::kOptimized;
 
-  // Step 0: map every object to its score-plane point (O(n), shared by both
-  // modes; the initial top-k processing already computed these quantities in
-  // the live system).
-  const std::vector<PlanePoint> pts = BuildPlanePoints(store, query);
+  // Step 0: the per-query score-plane state — every object's (1 − SDist,
+  // TSim) point, index-organised in optimized mode. Behind the oracle this
+  // is per-shard state built in parallel; the counts and crossings it serves
+  // are exact partition-sums/unions, so everything downstream is
+  // layout-independent.
+  const std::unique_ptr<ScorePlaneSession> session =
+      oracle.PrepareScorePlane(query, options.mode);
   std::vector<PlanePoint> anchors;
   anchors.reserve(m_ids.size());
-  for (ObjectId id : m_ids) anchors.push_back(pts[id]);
-
-  std::optional<ScorePlaneIndex> index;
-  if (optimized) index.emplace(pts);
+  for (ObjectId id : m_ids) anchors.push_back(session->Anchor(id));
 
   // Tie-aware rank-minus-one of anchor at weight w, mode-appropriate.
   auto count_above = [&](double w, const PlanePoint& anchor) -> size_t {
-    if (optimized) {
-      const size_t c = index->CountAbove(w, anchor.ScoreAt(w), anchor.id);
-      stats.index_nodes_visited += index->last_nodes_visited();
-      return c;
-    }
-    ++stats.full_rescans;
-    return CountAboveScan(pts, anchor, w);
+    return session->CountAbove(w, anchor, &stats);
   };
 
   // --- Step 1: R(M, q) under the original weights. ---
@@ -166,25 +153,13 @@ Result<RefinedPreferenceQuery> AdjustPreference(
   const double whi = std::min(kMaxW, w0 + delta_max);
 
   // --- Step 3: collect crossing weights of missing objects' lines with all
-  // other lines inside [wlo, whi] ("the two range queries" of ref [5]). ---
+  // other lines inside [wlo, whi] ("the two range queries" of ref [5]). The
+  // merged event set is the union over shards; sorting + deduplicating makes
+  // the sequence identical in every layout (each crossing weight is computed
+  // from the same two doubles wherever it is found). ---
   std::vector<double> events;
-  auto consider = [&](uint32_t mi, const PlanePoint& p) {
-    const PlanePoint& m = anchors[mi];
-    if (p.id == m.id) return;
-    const double slope = (p.x - m.x) - (p.y - m.y);
-    if (slope == 0.0) return;  // Parallel (or identical) lines: no crossing.
-    const double wx = (m.y - p.y) / slope;
-    if (!(wx >= wlo && wx <= whi)) return;
-    events.push_back(wx);
-  };
-  for (uint32_t mi = 0; mi < anchors.size(); ++mi) {
-    if (optimized) {
-      index->ForEachCrossing(anchors[mi], wlo, whi,
-                             [&](const PlanePoint& p) { consider(mi, p); });
-      stats.index_nodes_visited += index->last_nodes_visited();
-    } else {
-      for (const PlanePoint& p : pts) consider(mi, p);
-    }
+  for (const PlanePoint& anchor : anchors) {
+    session->CollectCrossings(anchor, wlo, whi, &events, &stats);
   }
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
@@ -228,6 +203,16 @@ Result<RefinedPreferenceQuery> AdjustPreference(
   out.refined_rank = best.rank();
   out.penalty = best.penalty();
   return out;
+}
+
+Result<RefinedPreferenceQuery> AdjustPreference(
+    const ObjectStore& store, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const PreferenceAdjustOptions& options) {
+  // The weight sweep needs neither tree; the local oracle serves it from the
+  // store alone.
+  const LocalWhyNotOracle oracle(store, /*setr=*/nullptr, /*kcr=*/nullptr);
+  return AdjustPreference(oracle, query, missing, options);
 }
 
 }  // namespace yask

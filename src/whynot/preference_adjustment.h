@@ -43,10 +43,13 @@
 #include "src/common/status.h"
 #include "src/index/score_plane_index.h"
 #include "src/query/query.h"
+#include "src/query/scoring.h"
 #include "src/storage/object_store.h"
 #include "src/whynot/penalty.h"
 
 namespace yask {
+
+class WhyNotOracle;  // src/whynot/whynot_oracle.h
 
 /// Algorithm selector for AdjustPreference.
 enum class PrefAdjustMode {
@@ -78,13 +81,35 @@ struct RefinedPreferenceQuery {
   PreferenceAdjustStats stats;
 };
 
+/// One object's score-plane point — the single expression both layouts use,
+/// so a given object maps to bit-identical coordinates everywhere.
+inline PlanePoint MakePlanePoint(const Scorer& scorer, const SpatialObject& o,
+                                 ObjectId global_id) {
+  return PlanePoint{1.0 - scorer.SDist(o.loc), scorer.TSim(o.doc), global_id};
+}
+
 /// Maps every object to its score-plane point (1 − SDist, TSim) for `query`.
 /// Index i of the result corresponds to ObjectId i.
 std::vector<PlanePoint> BuildPlanePoints(const ObjectStore& store,
                                          const Query& query);
 
-/// Solves Definition 2. Errors: invalid query, empty/duplicate-only/unknown
-/// missing ids.
+/// Shard-aware variant: normalises SDist by `dist_norm` (a sharded corpus
+/// passes the GLOBAL dataset diagonal) and stamps each point with its global
+/// id via `to_global` (null = local ids are global).
+std::vector<PlanePoint> BuildPlanePoints(const ObjectStore& store,
+                                         const Query& query, double dist_norm,
+                                         const std::vector<ObjectId>* to_global);
+
+/// Solves Definition 2 over any corpus layout behind the oracle seam. The
+/// search is layout-independent: every candidate weight's rank is an exact
+/// partition-sum, so the refinement is bit-identical across layouts.
+Result<RefinedPreferenceQuery> AdjustPreference(
+    const WhyNotOracle& oracle, const Query& query,
+    const std::vector<ObjectId>& missing,
+    const PreferenceAdjustOptions& options = {});
+
+/// Solves Definition 2 over one unsharded store. Errors: invalid query,
+/// empty/duplicate-only/unknown missing ids.
 Result<RefinedPreferenceQuery> AdjustPreference(
     const ObjectStore& store, const Query& query,
     const std::vector<ObjectId>& missing,

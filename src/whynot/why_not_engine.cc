@@ -1,15 +1,25 @@
 #include "src/whynot/why_not_engine.h"
 
+#include "src/corpus/sharded_whynot_oracle.h"
 #include "src/query/ranking.h"
 
 namespace yask {
+
+WhyNotEngine::WhyNotEngine(const Corpus& corpus)
+    : oracle_(std::make_unique<LocalWhyNotOracle>(corpus)) {}
+
+WhyNotEngine::WhyNotEngine(const ShardedCorpus& corpus)
+    : oracle_(std::make_unique<ShardedWhyNotOracle>(corpus)) {}
+
+WhyNotEngine::WhyNotEngine(std::unique_ptr<const WhyNotOracle> oracle)
+    : oracle_(std::move(oracle)) {}
 
 Result<WhyNotAnswer> WhyNotEngine::Answer(
     const Query& query, const std::vector<ObjectId>& missing,
     const WhyNotOptions& options) const {
   WhyNotAnswer answer;
 
-  auto explanations = ExplainMissing(*store_, *setr_, query, missing);
+  auto explanations = ExplainMissing(*oracle_, query, missing);
   if (!explanations.ok()) return explanations.status();
   answer.explanations = std::move(explanations).value();
 
@@ -17,7 +27,7 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     PreferenceAdjustOptions po;
     po.lambda = options.lambda;
     po.mode = options.pref_mode;
-    auto refined = AdjustPreference(*store_, query, missing, po);
+    auto refined = AdjustPreference(*oracle_, query, missing, po);
     if (!refined.ok()) return refined.status();
     answer.preference = std::move(refined).value();
   }
@@ -25,7 +35,7 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     KeywordAdaptOptions ko;
     ko.lambda = options.lambda;
     ko.mode = options.kw_mode;
-    auto refined = AdaptKeywords(*store_, *kcr_, query, missing, ko);
+    auto refined = AdaptKeywords(*oracle_, query, missing, ko);
     if (!refined.ok()) return refined.status();
     answer.keyword = std::move(refined).value();
   }
@@ -51,13 +61,13 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
 
   switch (answer.recommended) {
     case RefinementModel::kPreference:
-      answer.refined_result = topk_.Query(answer.preference->refined);
+      answer.refined_result = oracle_->TopK(answer.preference->refined);
       break;
     case RefinementModel::kKeyword:
-      answer.refined_result = topk_.Query(answer.keyword->refined);
+      answer.refined_result = oracle_->TopK(answer.keyword->refined);
       break;
     case RefinementModel::kNone:
-      answer.refined_result = topk_.Query(query);
+      answer.refined_result = oracle_->TopK(query);
       break;
   }
   return answer;
@@ -75,9 +85,9 @@ Result<CombinedRefinement> WhyNotEngine::CombineRefinements(
 
   // Order A: preference first, keyword adaption on the adjusted query.
   auto run_pref_first = [&]() -> Result<CombinedRefinement> {
-    auto pref = AdjustPreference(*store_, query, missing, po);
+    auto pref = AdjustPreference(*oracle_, query, missing, po);
     if (!pref.ok()) return pref.status();
-    auto kw = AdaptKeywords(*store_, *kcr_, pref->refined, missing, ko);
+    auto kw = AdaptKeywords(*oracle_, pref->refined, missing, ko);
     if (!kw.ok()) return kw.status();
     CombinedRefinement out;
     out.refined = kw->refined;
@@ -91,9 +101,9 @@ Result<CombinedRefinement> WhyNotEngine::CombineRefinements(
   };
   // Order B: keyword adaption first, preference adjustment after.
   auto run_kw_first = [&]() -> Result<CombinedRefinement> {
-    auto kw = AdaptKeywords(*store_, *kcr_, query, missing, ko);
+    auto kw = AdaptKeywords(*oracle_, query, missing, ko);
     if (!kw.ok()) return kw.status();
-    auto pref = AdjustPreference(*store_, kw->refined, missing, po);
+    auto pref = AdjustPreference(*oracle_, kw->refined, missing, po);
     if (!pref.ok()) return pref.status();
     CombinedRefinement out;
     out.refined = pref->refined;

@@ -1,33 +1,41 @@
 // Copyright (c) 2026 The YASK reproduction authors.
 // The why-not question answering engine (§3.1, Fig. 1): the facade that the
-// server (and library users) talk to. It owns nothing; it runs over a
-// Corpus — the store with the SetR-tree (top-k + explanations) and the
-// KcR-tree (keyword adaption) — and orchestrates the three modules:
+// server (and library users) talk to. It owns nothing but an oracle; it runs
+// over a WhyNotOracle — rank-of-object, outscoring counts, Eqn. (3) sample
+// points and Eqn. (4) candidate bounds over whatever corpus layout serves
+// them — and orchestrates the three modules:
 //   * explanation generator,
 //   * preference-adjusted refinement,
 //   * keyword-adapted refinement,
 // returning the explanations, both refined queries, and — as the demo lets
 // users "apply the two refinement functions simultaneously to find better
 // solutions" — a recommendation of the cheaper model.
+//
+// Construct it over a Corpus (one unsharded replica) or a ShardedCorpus (the
+// scale-out layout: every oracle call fans out over the shard pool and
+// merges exactly, so answers are bit-identical to the unsharded engine's —
+// see docs/architecture.md, "Distributed why-not").
 
 #ifndef YASK_WHYNOT_WHY_NOT_ENGINE_H_
 #define YASK_WHYNOT_WHY_NOT_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/corpus/corpus.h"
-#include "src/index/kcr_tree.h"
-#include "src/index/setr_tree.h"
 #include "src/query/query.h"
 #include "src/query/topk_engine.h"
 #include "src/storage/object_store.h"
 #include "src/whynot/explanation.h"
 #include "src/whynot/keyword_adaption.h"
 #include "src/whynot/preference_adjustment.h"
+#include "src/whynot/whynot_oracle.h"
 
 namespace yask {
+
+class ShardedCorpus;  // src/corpus/sharded_corpus.h
 
 /// Which refinement models to run.
 struct WhyNotOptions {
@@ -69,19 +77,22 @@ struct CombinedRefinement {
   size_t refined_rank = 0;       // R(M, final refined query).
 };
 
-/// The engine facade. The corpus must outlive the engine and must have been
-/// built with its KcR-tree (keyword adaption runs on it).
+/// The engine facade. The corpus behind the oracle must outlive the engine
+/// and must have been built with its KcR-tree(s) (keyword adaption runs on
+/// them).
 class WhyNotEngine {
  public:
-  explicit WhyNotEngine(const Corpus& corpus)
-      : store_(&corpus.store()),
-        setr_(&corpus.setr()),
-        kcr_(&corpus.kcr()),
-        topk_(corpus.store(), corpus.setr()) {}
+  /// Full-featured engine over one unsharded corpus replica.
+  explicit WhyNotEngine(const Corpus& corpus);
+  /// Distributed engine: oracle calls fan out over the shard pool; answers
+  /// are bit-identical to the unsharded engine over the same objects.
+  explicit WhyNotEngine(const ShardedCorpus& corpus);
+  /// Over any oracle implementation (tests, custom layouts).
+  explicit WhyNotEngine(std::unique_ptr<const WhyNotOracle> oracle);
 
   /// Runs the initial top-k query (the demo's query mode, Fig. 3).
   TopKResult TopK(const Query& query, TopKStats* stats = nullptr) const {
-    return topk_.Query(query, stats);
+    return oracle_->TopK(query, stats);
   }
 
   /// Answers a why-not question for the given missing objects (Fig. 4/5).
@@ -98,13 +109,10 @@ class WhyNotEngine {
       const Query& query, const std::vector<ObjectId>& missing,
       const WhyNotOptions& options = {}) const;
 
-  const ObjectStore& store() const { return *store_; }
+  const WhyNotOracle& oracle() const { return *oracle_; }
 
  private:
-  const ObjectStore* store_;
-  const SetRTree* setr_;
-  const KcRTree* kcr_;
-  SetRTopKEngine topk_;
+  std::unique_ptr<const WhyNotOracle> oracle_;
 };
 
 }  // namespace yask

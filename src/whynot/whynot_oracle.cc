@@ -1,0 +1,479 @@
+#include "src/whynot/whynot_oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <latch>
+
+#include "src/common/timer.h"
+#include "src/corpus/corpus.h"
+#include "src/query/ranking.h"
+
+namespace yask {
+
+namespace {
+
+/// Runs fn(s) for the given shard indices — on the pool when the context
+/// has one and more than one shard is involved (the caller blocks until all
+/// complete), inline otherwise — accumulating per-shard busy time when the
+/// bench instrumentation is on. Pool tasks are leaves (they never
+/// re-submit), so a caller waiting on the latch cannot deadlock the pool.
+void ForShards(const OracleContext& ctx, const std::vector<size_t>& shards,
+               const std::function<void(size_t)>& fn) {
+  auto timed = [&](size_t s) {
+    if (ctx.shard_busy_ms == nullptr) {
+      fn(s);
+      return;
+    }
+    Timer timer;
+    fn(s);
+    (*ctx.shard_busy_ms)[s] += timer.ElapsedMillis();
+  };
+  if (ctx.pool == nullptr || shards.size() <= 1) {
+    for (size_t s : shards) timed(s);
+    return;
+  }
+  std::latch latch(static_cast<ptrdiff_t>(shards.size()));
+  for (size_t s : shards) {
+    ctx.pool->Submit([&timed, &latch, s] {
+      timed(s);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+}
+
+/// ForShards over every shard view (the context caches the index list).
+void ForEachShard(const OracleContext& ctx,
+                  const std::function<void(size_t)>& fn) {
+  assert(ctx.all_shards.size() == ctx.views.size());
+  ForShards(ctx, ctx.all_shards, fn);
+}
+
+/// Tie-aware scan count of objects in one shard outscoring the target:
+/// score > target_score, or == with global id < target_global (D6). The
+/// target itself (present in exactly one shard) is skipped by global id.
+size_t ScanOutscoring(const OracleShardView& view, const Scorer& scorer,
+                      double target_score, ObjectId target_global) {
+  size_t above = 0;
+  for (const SpatialObject& o : view.store->objects()) {
+    const ObjectId gid =
+        view.to_global != nullptr ? (*view.to_global)[o.id] : o.id;
+    if (gid == target_global) continue;
+    if (OutranksTarget(scorer.Score(o), gid, target_score, target_global)) {
+      ++above;
+    }
+  }
+  return above;
+}
+
+// --- Score-plane session -----------------------------------------------------
+
+/// Appends the crossing weight of the anchor's line with p's line when it
+/// exists and falls inside [wlo, whi] — the shared re-filter both layouts
+/// run, so a crossing's weight is the same double wherever it is computed.
+void AppendCrossingWeight(const PlanePoint& m, const PlanePoint& p,
+                          double wlo, double whi,
+                          std::vector<double>* events) {
+  if (p.id == m.id) return;
+  const double slope = (p.x - m.x) - (p.y - m.y);
+  if (slope == 0.0) return;  // Parallel (or identical) lines: no crossing.
+  const double wx = (m.y - p.y) / slope;
+  if (!(wx >= wlo && wx <= whi)) return;
+  events->push_back(wx);
+}
+
+/// Tie-aware count of points outscoring `anchor` at weight `w`, by scan
+/// (basic mode; the paper's baseline).
+size_t CountAboveScan(const std::vector<PlanePoint>& pts,
+                      const PlanePoint& anchor, double w) {
+  const double threshold = anchor.ScoreAt(w);
+  size_t above = 0;
+  for (const PlanePoint& p : pts) {
+    if (p.id == anchor.id) continue;
+    if (OutranksTarget(p.ScoreAt(w), p.id, threshold, anchor.id)) ++above;
+  }
+  return above;
+}
+
+/// The one ScorePlaneSession implementation: per-shard plane points (basic)
+/// or per-shard score-plane indexes (optimized), merged by partition-sum /
+/// partition-union. One shard with a null mapping reproduces the original
+/// unsharded data path bit for bit.
+class MultiShardScorePlaneSession : public ScorePlaneSession {
+ public:
+  MultiShardScorePlaneSession(const OracleContext* ctx,
+                              const WhyNotOracle* oracle, const Query* query,
+                              PrefAdjustMode mode)
+      : ctx_(ctx),
+        oracle_(oracle),
+        query_(query),
+        optimized_(mode == PrefAdjustMode::kOptimized) {
+    const size_t n = ctx_->views.size();
+    pts_.resize(n);
+    if (optimized_) index_.resize(n);
+    ForEachShard(*ctx_, [&](size_t s) {
+      const OracleShardView& view = ctx_->views[s];
+      std::vector<PlanePoint> pts = BuildPlanePoints(
+          *view.store, *query_, ctx_->dist_norm, view.to_global);
+      if (optimized_) {
+        index_[s] = std::make_unique<ScorePlaneIndex>(std::move(pts));
+      } else {
+        pts_[s] = std::move(pts);
+      }
+    });
+  }
+
+  PlanePoint Anchor(ObjectId global_id) const override {
+    // Computed from the object with the exact arithmetic BuildPlanePoints
+    // uses, so the anchor is the same point in every layout.
+    const ObjectScoreParts parts =
+        ScorePartsOf(*query_, ctx_->dist_norm, oracle_->Object(global_id));
+    return PlanePoint{1.0 - parts.sdist, parts.tsim, global_id};
+  }
+
+  size_t CountAbove(double w, const PlanePoint& anchor,
+                    PreferenceAdjustStats* stats) const override {
+    const size_t n = ctx_->views.size();
+    const double threshold = anchor.ScoreAt(w);
+
+    // This sits on the weight sweep's innermost loop (one call per crossing
+    // event per anchor): the single-shard layout — every legacy caller —
+    // must stay allocation-free like the code it replaced, and the
+    // multi-shard fan-out reuses per-session scratch.
+    if (n == 1) {
+      size_t count;
+      if (ctx_->shard_busy_ms == nullptr) {
+        count = CountAboveShard(0, w, threshold, anchor, stats);
+      } else {
+        Timer timer;
+        count = CountAboveShard(0, w, threshold, anchor, stats);
+        (*ctx_->shard_busy_ms)[0] += timer.ElapsedMillis();
+      }
+      if (!optimized_) ++stats->full_rescans;
+      return count;
+    }
+
+    count_scratch_.assign(n, 0);
+    node_scratch_.assign(n, 0);
+    ForEachShard(*ctx_, [&](size_t s) {
+      if (optimized_) {
+        count_scratch_[s] = index_[s]->CountAbove(w, threshold, anchor.id);
+        node_scratch_[s] = index_[s]->last_nodes_visited();
+      } else {
+        count_scratch_[s] = CountAboveScan(pts_[s], anchor, w);
+      }
+    });
+    size_t total = 0;
+    for (size_t s = 0; s < n; ++s) {
+      total += count_scratch_[s];
+      stats->index_nodes_visited += node_scratch_[s];
+    }
+    if (!optimized_) ++stats->full_rescans;  // One logical dataset rescan.
+    return total;
+  }
+
+  void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
+                        std::vector<double>* events,
+                        PreferenceAdjustStats* stats) const override {
+    const size_t n = ctx_->views.size();
+    std::vector<std::vector<double>> parts(n);
+    std::vector<size_t> nodes(n, 0);
+    ForEachShard(*ctx_, [&](size_t s) {
+      if (optimized_) {
+        index_[s]->ForEachCrossing(anchor, wlo, whi, [&](const PlanePoint& p) {
+          AppendCrossingWeight(anchor, p, wlo, whi, &parts[s]);
+        });
+        nodes[s] = index_[s]->last_nodes_visited();
+      } else {
+        for (const PlanePoint& p : pts_[s]) {
+          AppendCrossingWeight(anchor, p, wlo, whi, &parts[s]);
+        }
+      }
+    });
+    // Union in shard order; the caller sorts + deduplicates the merged set,
+    // so the final event sequence is layout-independent.
+    for (size_t s = 0; s < n; ++s) {
+      events->insert(events->end(), parts[s].begin(), parts[s].end());
+      stats->index_nodes_visited += nodes[s];
+    }
+  }
+
+ private:
+  /// One shard's tie-aware above-threshold count, stats accumulated.
+  size_t CountAboveShard(size_t s, double w, double threshold,
+                         const PlanePoint& anchor,
+                         PreferenceAdjustStats* stats) const {
+    if (optimized_) {
+      const size_t c = index_[s]->CountAbove(w, threshold, anchor.id);
+      stats->index_nodes_visited += index_[s]->last_nodes_visited();
+      return c;
+    }
+    return CountAboveScan(pts_[s], anchor, w);
+  }
+
+  const OracleContext* ctx_;
+  const WhyNotOracle* oracle_;
+  const Query* query_;
+  bool optimized_;
+  std::vector<std::vector<PlanePoint>> pts_;  // Basic mode only.
+  std::vector<std::unique_ptr<ScorePlaneIndex>> index_;  // Optimized only.
+  // Fan-out scratch (a session serves one algorithm invocation on one
+  // thread; only the per-shard tasks inside one fan-out run concurrently,
+  // each touching its own slot).
+  mutable std::vector<size_t> count_scratch_;
+  mutable std::vector<size_t> node_scratch_;
+};
+
+// --- Rank probe --------------------------------------------------------------
+
+/// Per-shard progressive outscoring-count interval over that shard's
+/// KcR-tree: exact counts from resolved leaves plus per-frontier-node
+/// CountBounds. Tie-breaks compare GLOBAL ids, so the interval is the
+/// shard's exact contribution to the global rank.
+class ShardRankRefiner {
+ public:
+  ShardRankRefiner(const OracleShardView& view, const Scorer& scorer,
+                   ObjectId target_global, double target_score,
+                   KeywordAdaptStats* stats)
+      : view_(&view),
+        scorer_(&scorer),
+        target_(target_global),
+        target_score_(target_score),
+        stats_(stats) {
+    const KcRTree& tree = *view.kcr;
+    PushNode(tree.root(), tree.node(tree.root()));
+  }
+
+  size_t count_lower() const { return exact_ + sum_lower_; }
+  size_t count_upper() const { return exact_ + sum_upper_; }
+  bool resolved() const {
+    return frontier_.empty() || sum_lower_ == sum_upper_;
+  }
+
+  /// Descends the whole frontier one tree level ("when traversing the
+  /// KcR-tree downwards, we get tighter bounds", §3.3): every frontier node
+  /// is replaced by its children's bounds, leaves by exact tie-aware counts.
+  /// No-op when resolved.
+  void RefineLevel() {
+    if (frontier_.empty()) return;
+    const KcRTree& tree = *view_->kcr;
+    std::vector<Frontier> previous;
+    previous.swap(frontier_);
+    sum_lower_ = 0;
+    sum_upper_ = 0;
+    for (const Frontier& f : previous) {
+      const auto& node = tree.node(f.node);
+      ++stats_->kcr_nodes_expanded;
+      if (node.is_leaf) {
+        for (const auto& e : node.entries) {
+          const ObjectId gid = view_->to_global != nullptr
+                                   ? (*view_->to_global)[e.id]
+                                   : e.id;
+          if (gid == target_) continue;
+          ++stats_->objects_scored;
+          if (OutranksTarget(scorer_->Score(e.id), gid, target_score_,
+                             target_)) {
+            ++exact_;
+          }
+        }
+      } else {
+        for (const auto& e : node.entries) {
+          PushNode(e.id, tree.node(e.id));
+        }
+      }
+    }
+  }
+
+ private:
+  struct Frontier {
+    KcRTree::NodeId node;
+    CountBounds bounds;
+  };
+
+  void PushNode(KcRTree::NodeId id, const KcRTree::Node& node) {
+    if (node.summary.cnt == 0) return;
+    const CountBounds b =
+        BoundOutscoringCount(*scorer_, node.rect, node.summary, target_score_);
+    if (b.upper == 0) return;  // Nothing below can outrank: drop.
+    if (b.lower == b.upper) {
+      exact_ += b.lower;  // Pinned without descending.
+      // Note: the target itself is never counted by the lower bound (its own
+      // score cannot strictly exceed itself), so this is tie-safe.
+      return;
+    }
+    frontier_.push_back(Frontier{id, b});
+    sum_lower_ += b.lower;
+    sum_upper_ += b.upper;
+  }
+
+  const OracleShardView* view_;
+  const Scorer* scorer_;
+  ObjectId target_;
+  double target_score_;
+  KeywordAdaptStats* stats_;
+  std::vector<Frontier> frontier_;
+  size_t exact_ = 0;
+  size_t sum_lower_ = 0;
+  size_t sum_upper_ = 0;
+};
+
+/// The RankProbe over N shard refiners: rank interval = 1 + elementwise sum
+/// of the shard count intervals; RefineLevel descends every unresolved
+/// shard one level (in parallel on the pool). Owns a copy of the candidate
+/// query (the per-shard scorers point into it), so it must never be moved —
+/// it lives behind the unique_ptr ProbeRank returns.
+class KcrRankProbe : public RankProbe {
+ public:
+  KcrRankProbe(const OracleContext* ctx, Query candidate,
+               ObjectId target_global, double target_score,
+               KeywordAdaptStats* stats)
+      : ctx_(ctx), query_(std::move(candidate)), stats_(stats) {
+    const size_t n = ctx_->views.size();
+    shard_stats_.resize(n);
+    scorers_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      scorers_.emplace_back(*ctx_->views[s].store, query_, ctx_->dist_norm);
+    }
+    // Built inline: per-shard construction is one root-node bound
+    // computation, far below the pool's dispatch + latch cost (probes are
+    // created once per candidate per missing object — a hot loop).
+    refiners_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      assert(ctx_->views[s].kcr != nullptr &&
+             "ProbeRank requires the KcR-tree on every shard");
+      refiners_.push_back(std::make_unique<ShardRankRefiner>(
+          ctx_->views[s], scorers_[s], target_global, target_score,
+          &shard_stats_[s]));
+    }
+  }
+
+  KcrRankProbe(const KcrRankProbe&) = delete;
+  KcrRankProbe& operator=(const KcrRankProbe&) = delete;
+
+  ~KcrRankProbe() override {
+    for (const KeywordAdaptStats& s : shard_stats_) {
+      stats_->kcr_nodes_expanded += s.kcr_nodes_expanded;
+      stats_->objects_scored += s.objects_scored;
+    }
+  }
+
+  size_t lower() const override {
+    size_t sum = 0;
+    for (const auto& r : refiners_) sum += r->count_lower();
+    return sum + 1;
+  }
+  size_t upper() const override {
+    size_t sum = 0;
+    for (const auto& r : refiners_) sum += r->count_upper();
+    return sum + 1;
+  }
+  bool resolved() const override {
+    for (const auto& r : refiners_) {
+      if (!r->resolved()) return false;
+    }
+    return true;
+  }
+  void RefineLevel() override {
+    // Only the shards with open frontiers do work; dispatching resolved
+    // ones would spend pool scheduling on no-ops in the hottest /whynot
+    // loop (one call per candidate per refinement level).
+    std::vector<size_t> unresolved;
+    for (size_t s = 0; s < refiners_.size(); ++s) {
+      if (!refiners_[s]->resolved()) unresolved.push_back(s);
+    }
+    ForShards(*ctx_, unresolved,
+              [&](size_t s) { refiners_[s]->RefineLevel(); });
+  }
+
+ private:
+  const OracleContext* ctx_;
+  Query query_;
+  std::vector<Scorer> scorers_;  // One per shard, bound to query_.
+  std::vector<std::unique_ptr<ShardRankRefiner>> refiners_;
+  std::vector<KeywordAdaptStats> shard_stats_;  // Flushed into stats_ at end.
+  KeywordAdaptStats* stats_;
+};
+
+}  // namespace
+
+// --- ContextWhyNotOracle -----------------------------------------------------
+
+size_t ContextWhyNotOracle::size() const {
+  size_t total = 0;
+  for (const OracleShardView& v : ctx_.views) total += v.store->size();
+  return total;
+}
+
+size_t ContextWhyNotOracle::Rank(const Query& query,
+                                 ObjectId global_id) const {
+  const double target_score =
+      ScorePartsOf(query, ctx_.dist_norm, Object(global_id)).score;
+  const size_t n = ctx_.views.size();
+  std::vector<size_t> counts(n, 0);
+  ForEachShard(ctx_, [&](size_t s) {
+    const OracleShardView& view = ctx_.views[s];
+    assert(view.setr != nullptr && "Rank requires the SetR-tree");
+    const Scorer scorer(*view.store, query, ctx_.dist_norm);
+    counts[s] = CountOutscoring(*view.store, *view.setr, scorer, target_score,
+                                global_id, view.to_global);
+  });
+  size_t above = 0;
+  for (size_t c : counts) above += c;
+  return above + 1;
+}
+
+size_t ContextWhyNotOracle::OutscoringCount(const Query& query,
+                                            ObjectId global_id,
+                                            KeywordAdaptStats* stats) const {
+  const double target_score =
+      ScorePartsOf(query, ctx_.dist_norm, Object(global_id)).score;
+  const size_t n = ctx_.views.size();
+  std::vector<size_t> counts(n, 0);
+  ForEachShard(ctx_, [&](size_t s) {
+    const Scorer scorer(*ctx_.views[s].store, query, ctx_.dist_norm);
+    counts[s] = ScanOutscoring(ctx_.views[s], scorer, target_score, global_id);
+  });
+  size_t above = 0;
+  for (size_t s = 0; s < n; ++s) {
+    above += counts[s];
+    stats->objects_scored += ctx_.views[s].store->size();
+  }
+  return above;
+}
+
+std::unique_ptr<ScorePlaneSession> ContextWhyNotOracle::PrepareScorePlane(
+    const Query& query, PrefAdjustMode mode) const {
+  return std::make_unique<MultiShardScorePlaneSession>(&ctx_, this, &query,
+                                                       mode);
+}
+
+std::unique_ptr<RankProbe> ContextWhyNotOracle::ProbeRank(
+    const Query& candidate, ObjectId global_id,
+    KeywordAdaptStats* stats) const {
+  const double target_score =
+      ScorePartsOf(candidate, ctx_.dist_norm, Object(global_id)).score;
+  return std::make_unique<KcrRankProbe>(&ctx_, candidate, global_id,
+                                        target_score, stats);
+}
+
+// --- LocalWhyNotOracle -------------------------------------------------------
+
+LocalWhyNotOracle::LocalWhyNotOracle(const ObjectStore& store,
+                                     const SetRTree* setr, const KcRTree* kcr)
+    : store_(&store) {
+  ctx_.views.push_back(OracleShardView{&store, setr, kcr, nullptr});
+  ctx_.all_shards.push_back(0);
+  ctx_.dist_norm = store.BoundsDiagonal();
+  if (setr != nullptr) topk_.emplace(store, *setr);
+}
+
+LocalWhyNotOracle::LocalWhyNotOracle(const Corpus& corpus)
+    : LocalWhyNotOracle(corpus.store(), &corpus.setr(),
+                        corpus.has_kcr() ? &corpus.kcr() : nullptr) {}
+
+TopKResult LocalWhyNotOracle::TopK(const Query& query, TopKStats* stats) const {
+  assert(topk_.has_value() && "TopK requires the SetR-tree");
+  return topk_->Query(query, stats);
+}
+
+}  // namespace yask
