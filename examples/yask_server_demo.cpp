@@ -17,10 +17,17 @@
 // answers), and `--snapshot <prefix>` persists/boots one file per shard.
 // The scripted client below runs the same workflow in both modes.
 //
+// With `--remote-shards host:port,host:port,...` the server is instead a
+// COORDINATOR over running `yask_shard_server` processes: it holds no
+// objects or indexes itself — top-k and why-not fan out over the wire
+// through the same oracle seam and answer byte-identically to the
+// in-process layouts (docs/architecture.md, "Remote deployment").
+//
 // With `--serve` the process skips the scripted client and keeps serving
 // until killed, so real clients (curl, a browser) can talk to it.
 //
 //   $ ./yask_server_demo [--snapshot state.snap] [--serve] [--shards N]
+//                        [--remote-shards host:port,...]
 
 #include <chrono>
 #include <cstdio>
@@ -30,8 +37,10 @@
 #include <string>
 #include <thread>
 
+#include "src/common/string_util.h"
 #include "src/common/timer.h"
 #include "src/corpus/corpus.h"
+#include "src/corpus/remote_corpus.h"
 #include "src/corpus/sharded_corpus.h"
 #include "src/server/yask_service.h"
 #include "src/storage/hotel_generator.h"
@@ -57,6 +66,7 @@ JsonValue MustParse(const Result<std::string>& body) {
 
 int main(int argc, char** argv) {
   std::string snapshot_path;
+  std::string remote_shards;
   bool serve = false;
   size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
@@ -68,9 +78,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (shards == 0) shards = 1;
+    } else if (arg == "--remote-shards" && i + 1 < argc) {
+      remote_shards = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--snapshot <path>] [--serve] [--shards N]\n",
+                   "usage: %s [--snapshot <path>] [--serve] [--shards N] "
+                   "[--remote-shards host:port,...]\n",
                    argv[0]);
       return 2;
     }
@@ -79,9 +92,30 @@ int main(int argc, char** argv) {
   // --- Server side (Fig. 1): the corpus layer owns store + indexes. ---
   // Warm state comes from the snapshot when one exists (fast cold start);
   // otherwise it is built from the dataset and persisted for the next boot.
+  // With --remote-shards there is no local state at all: the coordinator
+  // connects to running yask_shard_server processes.
   std::optional<Corpus> corpus;
   std::optional<ShardedCorpus> sharded;
-  if (shards > 1) {
+  std::optional<RemoteCorpus> remote;
+  if (!remote_shards.empty()) {
+    Timer timer;
+    auto connected = RemoteCorpus::Connect(Split(remote_shards, ','));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot connect remote shards: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    remote = std::move(connected).value();
+    std::printf(
+        "connected %zu remote shard(s), %zu objects, vocab %zu in %.0f ms\n",
+        remote->num_shards(), remote->size(), remote->vocab().size(),
+        timer.ElapsedMillis());
+    if (!remote->has_kcr()) {
+      std::fprintf(stderr,
+                   "warning: some remote shards lack their KcR-tree — "
+                   "/whynot will answer 501 (see /health for which)\n");
+    }
+  } else if (shards > 1) {
     if (!snapshot_path.empty()) {
       Timer timer;
       auto loaded = ShardedCorpus::Load(snapshot_path);
@@ -157,15 +191,22 @@ int main(int argc, char** argv) {
   // The demo is a local admin playground; a production deployment would
   // leave the override off and snapshot only to its configured path.
   service_options.allow_snapshot_path_override = true;
-  std::unique_ptr<YaskService> service =
-      corpus.has_value()
-          ? std::make_unique<YaskService>(*corpus, service_options)
-          : std::make_unique<YaskService>(*sharded, service_options);
+  std::unique_ptr<YaskService> service;
+  if (remote.has_value()) {
+    service = std::make_unique<YaskService>(*remote, service_options);
+  } else if (corpus.has_value()) {
+    service = std::make_unique<YaskService>(*corpus, service_options);
+  } else {
+    service = std::make_unique<YaskService>(*sharded, service_options);
+  }
   if (Status s = service->Start(); !s.ok()) {
     std::fprintf(stderr, "cannot start service: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("YASK service listening on 127.0.0.1:%u\n\n", service->port());
+  // Scripts parse the port from redirected stdout; flush before the serve
+  // loop never returns.
+  std::fflush(stdout);
 
   if (serve) {
     // Plain server mode: no scripted client, just serve until killed.

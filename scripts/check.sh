@@ -4,18 +4,28 @@
 #
 #   scripts/check.sh              # configure + build + ctest
 #   scripts/check.sh --bench      # additionally run bench_snapshot,
-#                                 # bench_sharded and bench_whynot_sharded,
-#                                 # leaving BENCH_*.json in the build dir
-#                                 # (each sharded bench fails the run on any
-#                                 # divergence from the unsharded answers)
+#                                 # bench_sharded, bench_whynot_sharded and
+#                                 # bench_remote_shards, leaving
+#                                 # BENCH_*.json in the build dir (each
+#                                 # sharded/remote bench fails the run on
+#                                 # any divergence from the unsharded
+#                                 # answers)
 #   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
 #                                 # <repo>/build-sanitize + ctest under the
 #                                 # sanitizers (use for the concurrency and
 #                                 # shutdown tests; pair with TSAN_OPTIONS/
 #                                 # a TSan toolchain for race hunting)
+#   scripts/check.sh --ci         # machine-readable per-phase summaries:
+#                                 # every phase emits one line
+#                                 #   CHECK-RESULT {"phase":...,"status":
+#                                 #   "pass"|"fail","seconds":N}
+#                                 # before the run exits non-zero on the
+#                                 # first failure — what
+#                                 # .github/workflows/ci.yml greps.
 #
-# The distributed suite alone: (cd build && ctest -L sharded); the sanitize
-# run below covers it too (full ctest includes every `sharded`-labelled
+# The distributed suite alone: (cd build && ctest -L sharded) — that label
+# covers the in-process sharding tests AND the remote shard tier; the
+# sanitize run below covers it too (full ctest includes every labelled
 # test).
 set -euo pipefail
 
@@ -24,35 +34,64 @@ build_dir="${repo_root}/build"
 
 run_bench=0
 run_sanitize=0
+ci_mode=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --sanitize) run_sanitize=1 ;;
-    *) echo "usage: $0 [--bench] [--sanitize]" >&2; exit 2 ;;
+    --ci) ci_mode=1 ;;
+    *) echo "usage: $0 [--bench] [--sanitize] [--ci]" >&2; exit 2 ;;
   esac
 done
+
+# run_phase <name> <cmd...>: runs the command; in --ci mode emits one
+# CHECK-RESULT line per phase. The first failing phase ends the run (later
+# phases depend on its outputs) — after reporting.
+run_phase() {
+  local name="$1"
+  shift
+  local start end status
+  start=$(date +%s)
+  if "$@"; then
+    status=pass
+  else
+    status=fail
+  fi
+  end=$(date +%s)
+  if [[ "$ci_mode" -eq 1 ]]; then
+    echo "CHECK-RESULT {\"phase\":\"${name}\",\"status\":\"${status}\",\"seconds\":$((end - start))}"
+  fi
+  if [[ "$status" == fail ]]; then
+    echo "check.sh: phase '${name}' FAILED" >&2
+    exit 1
+  fi
+}
 
 if [[ "$run_sanitize" -eq 1 ]]; then
   sanitize_dir="${repo_root}/build-sanitize"
   sanitize_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  cmake -B "$sanitize_dir" -S "$repo_root" \
+  run_phase sanitize-configure cmake -B "$sanitize_dir" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="$sanitize_flags" \
     -DCMAKE_EXE_LINKER_FLAGS="$sanitize_flags"
-  cmake --build "$sanitize_dir" -j "$(nproc)"
-  (cd "$sanitize_dir" && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-    ctest --output-on-failure -j "$(nproc)")
+  run_phase sanitize-build cmake --build "$sanitize_dir" -j "$(nproc)"
+  run_phase sanitize-ctest env -C "$sanitize_dir" \
+    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --output-on-failure --no-tests=error -j "$(nproc)"
   echo "check.sh: sanitize OK"
 fi
 
-cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j "$(nproc)"
-(cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+run_phase configure cmake -B "$build_dir" -S "$repo_root"
+run_phase build cmake --build "$build_dir" -j "$(nproc)"
+# --no-tests=error: test registration is conditional on finding gtest, so a
+# runner image without it must FAIL the gate, not green-light zero tests.
+run_phase ctest env -C "$build_dir" ctest --output-on-failure --no-tests=error -j "$(nproc)"
 
 if [[ "$run_bench" -eq 1 ]]; then
-  (cd "$build_dir" && ./bench_snapshot --json=BENCH_snapshot.json)
-  (cd "$build_dir" && ./bench_sharded --json=BENCH_sharded.json)
-  (cd "$build_dir" && ./bench_whynot_sharded --json=BENCH_whynot_sharded.json)
+  run_phase bench-snapshot env -C "$build_dir" ./bench_snapshot --json=BENCH_snapshot.json
+  run_phase bench-sharded env -C "$build_dir" ./bench_sharded --json=BENCH_sharded.json
+  run_phase bench-whynot-sharded env -C "$build_dir" ./bench_whynot_sharded --json=BENCH_whynot_sharded.json
+  run_phase bench-remote-shards env -C "$build_dir" ./bench_remote_shards --json=BENCH_remote_shards.json
 fi
 
 echo "check.sh: OK"

@@ -1,0 +1,480 @@
+#include "src/corpus/remote_corpus.h"
+
+#include <algorithm>
+#include <latch>
+#include <optional>
+#include <thread>
+
+#include "src/common/geometry.h"
+#include "src/common/string_util.h"
+#include "src/snapshot/snapshot_codec.h"
+
+namespace yask {
+
+// --- RemoteShard -------------------------------------------------------------
+
+RemoteShard::RemoteShard(std::string host, uint16_t port,
+                         RemoteShardOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Result<std::string> RemoteShard::Call(const std::string& method,
+                                      const std::string& path,
+                                      std::string_view body) {
+  // Issues the RPC on one connection; on success pools the connection and
+  // fills `*done` with the final result. False = transport failure (the
+  // connection is dropped and the caller tries another).
+  auto attempt_on = [&](std::unique_ptr<HttpClientConnection> conn,
+                        Status* transport_error,
+                        std::optional<Result<std::string>>* done) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    int http_status = 0;
+    Result<std::string> resp = conn->Call(method, path, body,
+                                          options_.call_deadline_ms,
+                                          &http_status);
+    if (!resp.ok()) {
+      *transport_error = resp.status();
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      idle_.push_back(std::move(conn));
+    }
+    if (http_status == 200) {
+      *done = std::move(resp);
+      return true;
+    }
+    // Semantic error: surface immediately (a retry would just repeat it).
+    const std::string detail = "shard " + host_ + ":" +
+                               std::to_string(port_) + " " + path + " -> " +
+                               std::to_string(http_status) + " " + *resp;
+    switch (http_status) {
+      case 404: *done = Status::NotFound(detail); break;
+      case 501: *done = Status::FailedPrecondition(detail); break;
+      default: *done = Status::Unavailable(detail); break;
+    }
+    return true;
+  };
+
+  Status last = Status::Unavailable("no attempt made");
+  std::optional<Result<std::string>> done;
+
+  // Pooled connections first. The server recycles idle keep-alive
+  // connections, so a pooled socket failing on first use is EXPECTED — it
+  // must not consume the fresh-dial retry budget (a burst could otherwise
+  // burn every attempt on equally-stale sockets and 503 a healthy shard).
+  // The loop is bounded by the pool's size: failed connections are dropped,
+  // not returned.
+  while (true) {
+    std::unique_ptr<HttpClientConnection> conn;
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (idle_.empty()) break;
+      conn = std::move(idle_.back());
+      idle_.pop_back();
+    }
+    if (!conn->connected()) continue;
+    if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
+  }
+
+  // Fresh dials, up to the retry budget.
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    auto conn = std::make_unique<HttpClientConnection>();
+    if (Status s = conn->Connect(host_, port_, options_.connect_timeout_ms);
+        !s.ok()) {
+      last = s;
+      continue;
+    }
+    if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
+  }
+  return Status::Unavailable("shard " + host_ + ":" + std::to_string(port_) +
+                             " unreachable: " + last.message());
+}
+
+// --- RemoteCorpus ------------------------------------------------------------
+
+Result<RemoteCorpus> RemoteCorpus::Connect(
+    const std::vector<std::string>& endpoints,
+    const RemoteShardOptions& options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("no shard endpoints given");
+  }
+
+  // Dial every endpoint and fetch its identity.
+  std::vector<std::unique_ptr<RemoteShard>> dialed;
+  std::vector<shardrpc::ShardMeta> metas;
+  for (const std::string& endpoint : endpoints) {
+    const size_t colon = endpoint.rfind(':');
+    uint64_t port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !ParseUint64(endpoint.substr(colon + 1), &port) || port == 0 ||
+        port > 65535) {
+      return Status::InvalidArgument("bad shard endpoint '" + endpoint +
+                                     "' (want host:port)");
+    }
+    auto shard = std::make_unique<RemoteShard>(
+        endpoint.substr(0, colon), static_cast<uint16_t>(port), options);
+    Result<std::string> raw = shard->Call("GET", shardrpc::kMetaPath, "");
+    if (!raw.ok()) return raw.status();
+    BufReader in(raw->data(), raw->size());
+    Result<shardrpc::ShardMeta> meta = shardrpc::GetShardMeta(&in);
+    if (!meta.ok()) {
+      return Status::InvalidArgument(endpoint + ": bad shard meta: " +
+                                     meta.status().message());
+    }
+    if (meta->protocol_version != shardrpc::kProtocolVersion) {
+      return Status::FailedPrecondition(
+          endpoint + " speaks shard protocol version " +
+          std::to_string(meta->protocol_version) + ", coordinator speaks " +
+          std::to_string(shardrpc::kProtocolVersion));
+    }
+    dialed.push_back(std::move(shard));
+    metas.push_back(std::move(meta).value());
+  }
+
+  // Reassemble by manifest identity, exactly one shard per index.
+  const uint32_t shard_count = metas[0].shard_count;
+  if (shard_count != endpoints.size()) {
+    return Status::InvalidArgument(
+        endpoints[0] + " belongs to a " + std::to_string(shard_count) +
+        "-shard corpus, but " + std::to_string(endpoints.size()) +
+        " endpoints were given");
+  }
+  RemoteCorpus corpus;
+  corpus.shards_.resize(shard_count);
+  corpus.metas_.resize(shard_count);
+  for (size_t i = 0; i < dialed.size(); ++i) {
+    const shardrpc::ShardMeta& meta = metas[i];
+    if (meta.shard_count != shard_count) {
+      return Status::InvalidArgument(endpoints[i] + " claims " +
+                                     std::to_string(meta.shard_count) +
+                                     " shards, expected " +
+                                     std::to_string(shard_count));
+    }
+    if (meta.shard_index >= shard_count ||
+        corpus.shards_[meta.shard_index] != nullptr) {
+      return Status::InvalidArgument(
+          endpoints[i] + " claims shard index " +
+          std::to_string(meta.shard_index) +
+          (meta.shard_index < shard_count ? ", already served by another "
+                                            "endpoint"
+                                          : ", out of range"));
+    }
+    if (!(meta.global_bounds == metas[0].global_bounds)) {
+      return Status::InvalidArgument(endpoints[i] +
+                                     " disagrees on the global bounds");
+    }
+    if (meta.dist_norm != metas[0].dist_norm) {
+      return Status::InvalidArgument(
+          endpoints[i] + " disagrees on the SDist normaliser (" +
+          std::to_string(meta.dist_norm) + " vs " +
+          std::to_string(metas[0].dist_norm) +
+          ") — shard snapshots from different builds?");
+    }
+    corpus.shards_[meta.shard_index] = std::move(dialed[i]);
+    corpus.metas_[meta.shard_index] = meta;
+  }
+
+  // Global ids must tile 0..total-1 exactly (same check as ShardedCorpus::
+  // Load): a missing or doubled object would silently corrupt results.
+  uint64_t total = 0;
+  for (const shardrpc::ShardMeta& meta : corpus.metas_) {
+    total += meta.object_count;
+  }
+  constexpr auto kUnset = static_cast<uint32_t>(-1);
+  corpus.shard_of_.assign(static_cast<size_t>(total), kUnset);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    const shardrpc::ShardMeta& meta = corpus.metas_[s];
+    if (meta.global_ids.empty()) {
+      // Identity mapping is only coherent for a standalone single shard.
+      if (shard_count != 1) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            " reports an identity id map inside a multi-shard corpus");
+      }
+      std::fill(corpus.shard_of_.begin(), corpus.shard_of_.end(), 0u);
+      break;
+    }
+    for (const ObjectId global : meta.global_ids) {
+      if (global >= total || corpus.shard_of_[global] != kUnset) {
+        return Status::InvalidArgument(
+            "shard metas disagree: global object id " +
+            std::to_string(global) + " is out of range or duplicated");
+      }
+      corpus.shard_of_[global] = s;
+    }
+  }
+
+  corpus.bounds_ = metas[0].global_bounds;
+  corpus.dist_norm_ = metas[0].dist_norm;
+  corpus.has_kcr_ = true;
+  for (const shardrpc::ShardMeta& meta : corpus.metas_) {
+    corpus.has_kcr_ = corpus.has_kcr_ && meta.has_kcr;
+  }
+
+  // The shared vocabulary: fetched once — every shard serialises the same
+  // instance (the partitioner shares it), so shard 0's copy is THE copy.
+  {
+    Result<std::string> raw =
+        corpus.shards_[0]->Call("GET", shardrpc::kVocabPath, "");
+    if (!raw.ok()) return raw.status();
+    BufReader in(raw->data(), raw->size());
+    auto vocab = std::make_unique<Vocabulary>();
+    if (Status s = LoadVocabulary(&in, vocab.get()); !s.ok()) {
+      return Status::InvalidArgument("bad shard vocabulary: " + s.message());
+    }
+    corpus.vocab_ = std::move(vocab);
+  }
+
+  // Coordinator fan-out pool, sized like ShardedCorpus::pool().
+  if (shard_count > 1) {
+    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    size_t threads = options.fanout_threads;
+    if (threads == 0) threads = hw <= 1 ? 0 : hw;
+    threads = std::min(threads, static_cast<size_t>(shard_count));
+    if (threads > 0) corpus.pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return corpus;
+}
+
+std::vector<uint32_t> RemoteCorpus::shards_without_kcr() const {
+  std::vector<uint32_t> missing;
+  for (uint32_t s = 0; s < metas_.size(); ++s) {
+    if (!metas_[s].has_kcr) missing.push_back(s);
+  }
+  return missing;
+}
+
+void RemoteCorpus::ForEachShard(const std::function<void(size_t)>& fn) const {
+  const size_t n = shards_.size();
+  if (pool_ == nullptr || n <= 1) {
+    for (size_t s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  std::latch latch(static_cast<ptrdiff_t>(n));
+  for (size_t s = 0; s < n; ++s) {
+    pool_->Submit([&fn, &latch, s] {
+      fn(s);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+}
+
+Status RemoteCorpus::last_error() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->last;
+}
+
+void RemoteCorpus::RecordError(const Status& status) const {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->last = status;
+  }
+  state_->error_epoch.fetch_add(1);
+}
+
+uint64_t RemoteCorpus::total_requests() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->requests();
+  return total;
+}
+
+const SpatialObject& RemoteCorpus::Object(ObjectId global_id) const {
+  static const SpatialObject kEmpty{};
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    const auto it = cache_->map.find(global_id);
+    if (it != cache_->map.end()) return *it->second;
+  }
+  if (global_id >= shard_of_.size()) {
+    RecordError(Status::NotFound("object " + std::to_string(global_id) +
+                                 " out of range"));
+    return kEmpty;
+  }
+  Prefetch({global_id});
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  const auto it = cache_->map.find(global_id);
+  return it != cache_->map.end() ? *it->second : kEmpty;
+}
+
+void RemoteCorpus::Prefetch(const std::vector<ObjectId>& global_ids) const {
+  // Group the ids not yet cached by owning shard.
+  std::vector<std::vector<ObjectId>> wanted(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    for (const ObjectId global : global_ids) {
+      if (global >= shard_of_.size()) continue;
+      if (cache_->map.find(global) != cache_->map.end()) continue;
+      wanted[shard_of_[global]].push_back(global);
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (wanted[s].empty()) continue;
+    std::sort(wanted[s].begin(), wanted[s].end());
+    wanted[s].erase(std::unique(wanted[s].begin(), wanted[s].end()),
+                    wanted[s].end());
+    BufWriter req;
+    req.PutVarU64(wanted[s].size());
+    for (const ObjectId global : wanted[s]) req.PutU32(global);
+    Result<std::string> raw =
+        shards_[s]->Call("POST", shardrpc::kObjectsPath, req.data());
+    if (!raw.ok()) {
+      RecordError(raw.status());
+      continue;
+    }
+    BufReader in(raw->data(), raw->size());
+    const uint64_t count = in.GetVarU64();
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    for (uint64_t i = 0; i < count && in.ok(); ++i) {
+      SpatialObject o = shardrpc::GetObject(&in);
+      if (!in.ok()) break;
+      const ObjectId global = o.id;
+      cache_->map[global] = std::make_unique<SpatialObject>(std::move(o));
+    }
+    if (!in.ok()) {
+      RecordError(Status::InvalidArgument("bad /shard/objects response"));
+    }
+  }
+}
+
+ObjectId RemoteCorpus::FindByName(const std::string& name) const {
+  BufWriter req;
+  req.PutString(name);
+  std::vector<ObjectId> found(shards_.size(), kInvalidObject);
+  ForEachShard([&](size_t s) {
+    Result<std::string> raw =
+        shards_[s]->Call("POST", shardrpc::kFindPath, req.data());
+    if (!raw.ok()) {
+      RecordError(raw.status());
+      return;
+    }
+    BufReader in(raw->data(), raw->size());
+    found[s] = in.GetU32();
+    if (!in.ok()) found[s] = kInvalidObject;
+  });
+  // The smallest matching global id across shards IS the global first match
+  // (within a shard, local order is global order restricted to the shard).
+  ObjectId best = kInvalidObject;
+  for (const ObjectId id : found) {
+    if (id != kInvalidObject && (best == kInvalidObject || id < best)) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+// --- RemoteTopKClient --------------------------------------------------------
+
+namespace {
+
+/// One /shard/topk call. Returns false (and records the error) on failure.
+bool ShardTopK(const RemoteCorpus& corpus, size_t s, const Query& query,
+               double prune_below, TopKResult* rows, TopKStats* stats) {
+  BufWriter req;
+  shardrpc::PutQuery(&req, query);
+  req.PutF64(prune_below);
+  Result<std::string> raw =
+      corpus.shard(s).Call("POST", shardrpc::kTopKPath, req.data());
+  if (!raw.ok()) {
+    corpus.RecordError(raw.status());
+    return false;
+  }
+  BufReader in(raw->data(), raw->size());
+  *rows = shardrpc::GetScoredRows(&in);
+  stats->nodes_popped += in.GetU64();
+  stats->objects_scored += in.GetU64();
+  if (!in.ok()) {
+    corpus.RecordError(
+        Status::InvalidArgument("bad /shard/topk response"));
+    rows->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TopKResult RemoteTopKClient::Query(const ::yask::Query& query,
+                                   TopKStats* stats) const {
+  if (query.k == 0) return {};  // Same guard as the in-process engines.
+  const size_t n = corpus_->num_shards();
+  std::vector<TopKResult> parts(n);
+  std::vector<TopKStats> part_stats(n);
+
+  // Phase 1: the home shard — nearest SetR root MBR, the same choice the
+  // in-process ShardedTopKEngine makes from the trees themselves (the MBRs
+  // travelled in the shard metas).
+  size_t home = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < n; ++s) {
+    const shardrpc::ShardMeta& meta = corpus_->meta(s);
+    if (meta.setr_empty) continue;
+    const double d = meta.setr_root_mbr.MinDistance(query.loc);
+    if (d < best_distance) {
+      best_distance = d;
+      home = s;
+    }
+  }
+  ShardTopK(*corpus_, home, query,
+            -std::numeric_limits<double>::infinity(), &parts[home],
+            &part_stats[home]);
+
+  // Identical merge discipline to ShardedTopKEngine (rows already carry
+  // global ids): sort under the ScoredObject order, truncate to k.
+  TopKResult merged;
+  auto merge_part = [&](size_t s) {
+    merged.insert(merged.end(), parts[s].begin(), parts[s].end());
+    std::sort(merged.begin(), merged.end());
+    if (merged.size() > query.k) merged.resize(query.k);
+  };
+  merge_part(home);
+
+  auto threshold = [&] {
+    return merged.size() == query.k
+               ? merged.back().score
+               : -std::numeric_limits<double>::infinity();
+  };
+
+  // Phase 2: the remaining shards, thresholded — broadcast in parallel on
+  // the pool, or sequentially nearest-first with a re-tightened threshold.
+  if (n > 1 && corpus_->pool() != nullptr) {
+    const double prune_below = threshold();
+    std::latch latch(static_cast<ptrdiff_t>(n - 1));
+    for (size_t s = 0; s < n; ++s) {
+      if (s == home) continue;
+      corpus_->pool()->Submit([&, s] {
+        ShardTopK(*corpus_, s, query, prune_below, &parts[s], &part_stats[s]);
+        latch.count_down();
+      });
+    }
+    latch.wait();
+    for (size_t s = 0; s < n; ++s) {
+      if (s != home) merge_part(s);
+    }
+  } else if (n > 1) {
+    std::vector<std::pair<double, size_t>> order;
+    for (size_t s = 0; s < n; ++s) {
+      if (s == home) continue;
+      const shardrpc::ShardMeta& meta = corpus_->meta(s);
+      const double d = meta.setr_empty
+                           ? std::numeric_limits<double>::infinity()
+                           : meta.setr_root_mbr.MinDistance(query.loc);
+      order.emplace_back(d, s);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [distance, s] : order) {
+      ShardTopK(*corpus_, s, query, threshold(), &parts[s], &part_stats[s]);
+      merge_part(s);
+    }
+  }
+
+  if (stats != nullptr) {
+    for (const TopKStats& ps : part_stats) {
+      stats->nodes_popped += ps.nodes_popped;
+      stats->objects_scored += ps.objects_scored;
+    }
+  }
+  return merged;
+}
+
+}  // namespace yask

@@ -1,0 +1,188 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// RemoteCorpus + RemoteTopKClient: the coordinator's owned view of a corpus
+// whose shards live in other processes (yask_shard_server) — the remote
+// counterpart of ShardedCorpus.
+//
+// Connect() dials every endpoint, fetches each shard's meta (identity,
+// global bounds + SDist normaliser, local->global id map, index
+// availability, SetR root MBR) and the shared vocabulary, and cross-checks
+// the set exactly like ShardedCorpus::Load checks shard files: all shards
+// present exactly once, bounds agreed, global ids tiling 0..total-1. After
+// that the coordinator can route by global id, tokenise queries with the
+// same term ids the shards use, and pick top-k home shards — everything the
+// in-process fan-outs read from their ShardedCorpus, except the indexes,
+// which stay behind the wire.
+//
+// Transport: one pooled keep-alive connection set per shard with per-call
+// deadlines and retry-on-fresh-connection (transport errors only — HTTP
+// error statuses are semantic and surface immediately). Failures also bump
+// the corpus's error epoch, which YaskService samples around each request to
+// turn a mid-algorithm shard failure into a clean 503 (the why-not oracle
+// interface has no error channel of its own).
+
+#ifndef YASK_CORPUS_REMOTE_CORPUS_H_
+#define YASK_CORPUS_REMOTE_CORPUS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/common/vocabulary.h"
+#include "src/query/query.h"
+#include "src/query/topk_engine.h"
+#include "src/server/http_client.h"
+#include "src/server/shard_protocol.h"
+#include "src/storage/object.h"
+
+namespace yask {
+
+struct RemoteShardOptions {
+  int connect_timeout_ms = 2000;
+  /// Per-call wall deadline (send + wait + read).
+  int call_deadline_ms = 15000;
+  /// Extra attempts after a TRANSPORT failure, each on a fresh connection
+  /// (covers server-side keep-alive recycling of pooled idle connections).
+  int retries = 2;
+  /// Worker threads of the coordinator fan-out pool (0 = auto like
+  /// CorpusOptions::fanout_threads: one per shard, none on 1-core hosts).
+  size_t fanout_threads = 0;
+};
+
+/// One shard server as the coordinator talks to it: a connection pool plus
+/// the retry/deadline policy. Thread-safe; calls from concurrent fan-outs
+/// each check a connection out of the pool.
+class RemoteShard {
+ public:
+  RemoteShard(std::string host, uint16_t port, RemoteShardOptions options);
+
+  /// One RPC. Returns the response body on HTTP 200; a semantic HTTP error
+  /// becomes a Status with the mapped code (404 -> NotFound, 501 ->
+  /// FailedPrecondition, else Unavailable) and is NOT retried; transport
+  /// errors retry per the options, then surface as Unavailable.
+  Result<std::string> Call(const std::string& method, const std::string& path,
+                           std::string_view body);
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  /// Wire requests issued (attempts count one each) — the round-trip meter
+  /// bench_remote_shards gates on.
+  uint64_t requests() const { return requests_.load(); }
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  RemoteShardOptions options_;
+  std::atomic<uint64_t> requests_{0};
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<HttpClientConnection>> idle_;
+};
+
+/// The coordinator's serving-state view over N remote shards. Construct via
+/// Connect(). Logically const while serving; the mutable internals (object
+/// cache, connection pools, error epoch) are thread-safe.
+class RemoteCorpus {
+ public:
+  /// Dials `endpoints` ("host:port" each, one per shard, any order — shards
+  /// are indexed by their manifest identity) and validates the set.
+  static Result<RemoteCorpus> Connect(const std::vector<std::string>& endpoints,
+                                      const RemoteShardOptions& options = {});
+
+  RemoteCorpus(RemoteCorpus&&) = default;
+  RemoteCorpus& operator=(RemoteCorpus&&) = default;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const { return shard_of_.size(); }
+  const Vocabulary& vocab() const { return *vocab_; }
+  const Rect& bounds() const { return bounds_; }
+  double dist_norm() const { return dist_norm_; }
+  /// Every shard carries its KcR-tree (the /whynot prerequisite).
+  bool has_kcr() const { return has_kcr_; }
+  /// Shards lacking the KcR-tree (for precise error messages).
+  std::vector<uint32_t> shards_without_kcr() const;
+
+  const shardrpc::ShardMeta& meta(size_t shard) const { return metas_[shard]; }
+  RemoteShard& shard(size_t shard) const { return *shards_[shard]; }
+  uint32_t ShardOf(ObjectId global_id) const { return shard_of_[global_id]; }
+
+  /// The object with a global id, fetched over the wire on first use and
+  /// cached for the corpus lifetime (objects are immutable). The returned
+  /// object's `.id` is the global id. On fetch failure the error epoch bumps
+  /// and a static empty object is returned — callers surface the failure via
+  /// error_epoch(), exactly like every other mid-algorithm wire error.
+  const SpatialObject& Object(ObjectId global_id) const;
+
+  /// Warms the object cache with one batched fetch per owning shard.
+  void Prefetch(const std::vector<ObjectId>& global_ids) const;
+
+  /// First object whose name matches, as a global id (one fan-out);
+  /// kInvalidObject if none.
+  ObjectId FindByName(const std::string& name) const;
+
+  /// The coordinator fan-out pool (null = fan-outs run inline). Shared by
+  /// RemoteTopKClient and RemoteShardOracle, one pool per corpus.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Runs fn(shard_index) for every shard, on the pool when present.
+  void ForEachShard(const std::function<void(size_t)>& fn) const;
+
+  // --- Error channel (see file comment). ---
+  uint64_t error_epoch() const { return state_->error_epoch.load(); }
+  Status last_error() const;
+  void RecordError(const Status& status) const;
+
+  /// Total wire requests across all shards (bench instrumentation).
+  uint64_t total_requests() const;
+
+ private:
+  RemoteCorpus() = default;
+
+  /// Error state behind a stable allocation so the corpus stays movable.
+  struct ErrorState {
+    std::atomic<uint64_t> error_epoch{0};
+    std::mutex mu;
+    Status last;
+  };
+
+  std::vector<std::unique_ptr<RemoteShard>> shards_;
+  std::vector<shardrpc::ShardMeta> metas_;
+  std::unique_ptr<Vocabulary> vocab_;
+  Rect bounds_ = Rect::Empty();
+  double dist_norm_ = 0.0;
+  bool has_kcr_ = false;
+  std::vector<uint32_t> shard_of_;  // Global id -> shard index.
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ErrorState> state_ = std::make_unique<ErrorState>();
+
+  struct ObjectCache {
+    std::mutex mu;
+    // unique_ptr values: Object() hands out stable references.
+    std::unordered_map<ObjectId, std::unique_ptr<SpatialObject>> map;
+  };
+  std::unique_ptr<ObjectCache> cache_ = std::make_unique<ObjectCache>();
+};
+
+/// Threshold-broadcast fan-out top-k over remote shards — the wire twin of
+/// ShardedTopKEngine, merging bit-identically: home shard (nearest SetR root
+/// MBR) first, its k-th score broadcast as the prune threshold, per-shard
+/// rows re-sorted under the global ScoredObject order.
+class RemoteTopKClient {
+ public:
+  explicit RemoteTopKClient(const RemoteCorpus& corpus) : corpus_(&corpus) {}
+
+  /// Exact top-k with global ids. On a wire failure the corpus error epoch
+  /// bumps and the failed shard contributes nothing — callers surface the
+  /// epoch, never the partial result.
+  TopKResult Query(const Query& query, TopKStats* stats = nullptr) const;
+
+ private:
+  const RemoteCorpus* corpus_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_CORPUS_REMOTE_CORPUS_H_

@@ -1,0 +1,413 @@
+#include "src/corpus/remote_whynot_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/server/shard_protocol.h"
+
+namespace yask {
+
+namespace {
+
+/// Encodes one /shard/count request for the given specs (target scores are
+/// resolved coordinator-side — a spec's target need not live on the shard
+/// being asked).
+std::string EncodeCountRequest(const std::vector<OracleTargetSpec>& specs,
+                               const std::vector<double>& target_scores,
+                               uint8_t method) {
+  BufWriter req;
+  req.PutVarU64(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    shardrpc::PutQuery(&req, *specs[i].query);
+    req.PutU32(specs[i].target);
+    req.PutF64(target_scores[i]);
+    req.PutU8(method);
+  }
+  return req.data();
+}
+
+}  // namespace
+
+std::vector<size_t> RemoteShardOracle::CountFanout(
+    const std::vector<OracleTargetSpec>& specs, uint8_t method) const {
+  std::vector<double> target_scores;
+  target_scores.reserve(specs.size());
+  for (const OracleTargetSpec& spec : specs) {
+    target_scores.push_back(
+        ScorePartsOf(*spec.query, corpus_->dist_norm(), Object(spec.target))
+            .score);
+  }
+  const std::string body = EncodeCountRequest(specs, target_scores, method);
+
+  const size_t n = corpus_->num_shards();
+  std::vector<std::vector<size_t>> counts(n);
+  corpus_->ForEachShard([&](size_t s) {
+    Result<std::string> raw =
+        corpus_->shard(s).Call("POST", shardrpc::kCountPath, body);
+    if (!raw.ok()) {
+      corpus_->RecordError(raw.status());
+      return;
+    }
+    BufReader in(raw->data(), raw->size());
+    const uint64_t count = in.GetVarU64();
+    if (count != specs.size()) {
+      corpus_->RecordError(
+          Status::InvalidArgument("bad /shard/count response"));
+      return;
+    }
+    counts[s].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) counts[s].push_back(in.GetU64());
+    if (!in.ok()) {
+      corpus_->RecordError(in.status());
+      counts[s].clear();
+    }
+  });
+
+  std::vector<size_t> total(specs.size(), 0);
+  for (size_t s = 0; s < n; ++s) {
+    if (counts[s].empty()) continue;  // Failed shard: epoch already bumped.
+    for (size_t i = 0; i < specs.size(); ++i) total[i] += counts[s][i];
+  }
+  return total;
+}
+
+size_t RemoteShardOracle::Rank(const Query& query, ObjectId global_id) const {
+  const std::vector<OracleTargetSpec> specs{{&query, global_id}};
+  return CountFanout(specs,
+                     static_cast<uint8_t>(shardrpc::CountMethod::kSetR))[0] +
+         1;
+}
+
+size_t RemoteShardOracle::OutscoringCount(const Query& query,
+                                          ObjectId global_id,
+                                          KeywordAdaptStats* stats) const {
+  const std::vector<OracleTargetSpec> specs{{&query, global_id}};
+  return OutscoringCountBatch(specs, stats)[0];
+}
+
+std::vector<size_t> RemoteShardOracle::OutscoringCountBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  stats->objects_scored += corpus_->size() * specs.size();
+  return CountFanout(specs,
+                     static_cast<uint8_t>(shardrpc::CountMethod::kScan));
+}
+
+// --- Score-plane sessions ----------------------------------------------------
+
+namespace {
+
+class RemoteScorePlaneSession : public ScorePlaneSession {
+ public:
+  RemoteScorePlaneSession(const RemoteCorpus* corpus,
+                          const WhyNotOracle* oracle, const Query* query,
+                          PrefAdjustMode mode)
+      : corpus_(corpus),
+        oracle_(oracle),
+        query_(query),
+        optimized_(mode == PrefAdjustMode::kOptimized),
+        sessions_(corpus->num_shards(), 0) {
+    BufWriter req;
+    shardrpc::PutQuery(&req, *query);
+    req.PutU8(optimized_ ? 1 : 0);
+    const std::string body = req.data();
+    corpus_->ForEachShard([&](size_t s) {
+      Result<std::string> raw =
+          corpus_->shard(s).Call("POST", shardrpc::kPlaneOpenPath, body);
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      sessions_[s] = in.GetU64();
+      if (!in.ok()) corpus_->RecordError(in.status());
+    });
+  }
+
+  ~RemoteScorePlaneSession() override {
+    // Best-effort close; an unreachable shard's session falls to the
+    // server-side cap eventually.
+    for (size_t s = 0; s < sessions_.size(); ++s) {
+      if (sessions_[s] == 0) continue;
+      BufWriter req;
+      req.PutU64(sessions_[s]);
+      (void)corpus_->shard(s).Call("POST", shardrpc::kPlaneClosePath,
+                                   req.data());
+    }
+  }
+
+  PlanePoint Anchor(ObjectId global_id) const override {
+    const ObjectScoreParts parts = ScorePartsOf(*query_, corpus_->dist_norm(),
+                                                oracle_->Object(global_id));
+    return PlanePoint{1.0 - parts.sdist, parts.tsim, global_id};
+  }
+
+  size_t CountAbove(double w, const PlanePoint& anchor,
+                    PreferenceAdjustStats* stats) const override {
+    BufWriter req;
+    req.PutU64(0);  // Patched per shard below.
+    req.PutF64(w);
+    shardrpc::PutPlanePoint(&req, anchor);
+    const size_t n = sessions_.size();
+    std::vector<size_t> counts(n, 0);
+    std::vector<size_t> nodes(n, 0);
+    corpus_->ForEachShard([&](size_t s) {
+      // Open failed: the epoch is already bumped; re-asking with the 0
+      // sentinel would just burn one doomed round-trip per sweep event.
+      if (sessions_[s] == 0) return;
+      std::string body = req.data();
+      PatchSession(&body, sessions_[s]);
+      Result<std::string> raw =
+          corpus_->shard(s).Call("POST", shardrpc::kPlaneCountPath, body);
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      counts[s] = in.GetU64();
+      nodes[s] = in.GetU64();
+      if (!in.ok()) corpus_->RecordError(in.status());
+    });
+    size_t total = 0;
+    for (size_t s = 0; s < n; ++s) {
+      total += counts[s];
+      stats->index_nodes_visited += nodes[s];
+    }
+    if (!optimized_) ++stats->full_rescans;  // One logical dataset rescan.
+    return total;
+  }
+
+  void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
+                        std::vector<double>* events,
+                        PreferenceAdjustStats* stats) const override {
+    BufWriter req;
+    req.PutU64(0);  // Patched per shard below.
+    shardrpc::PutPlanePoint(&req, anchor);
+    req.PutF64(wlo);
+    req.PutF64(whi);
+    const size_t n = sessions_.size();
+    std::vector<std::vector<double>> parts(n);
+    std::vector<size_t> nodes(n, 0);
+    corpus_->ForEachShard([&](size_t s) {
+      if (sessions_[s] == 0) return;  // Open failed; epoch already bumped.
+      std::string body = req.data();
+      PatchSession(&body, sessions_[s]);
+      Result<std::string> raw =
+          corpus_->shard(s).Call("POST", shardrpc::kPlaneCrossingsPath, body);
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      const uint64_t count = in.GetVarU64();
+      if (!in.CheckCount(count, sizeof(double))) {
+        corpus_->RecordError(
+            Status::InvalidArgument("bad /shard/plane/crossings response"));
+        return;
+      }
+      parts[s].reserve(count);
+      for (uint64_t i = 0; i < count; ++i) parts[s].push_back(in.GetF64());
+      nodes[s] = in.GetU64();
+      if (!in.ok()) corpus_->RecordError(in.status());
+    });
+    // Union in shard order; the caller sorts + deduplicates the merged set.
+    for (size_t s = 0; s < n; ++s) {
+      events->insert(events->end(), parts[s].begin(), parts[s].end());
+      stats->index_nodes_visited += nodes[s];
+    }
+  }
+
+ private:
+  /// The first 8 bytes of every session request are the session id; requests
+  /// are encoded once and re-stamped per shard.
+  static void PatchSession(std::string* body, uint64_t session) {
+    std::memcpy(body->data(), &session, sizeof(session));
+  }
+
+  const RemoteCorpus* corpus_;
+  const WhyNotOracle* oracle_;
+  const Query* query_;
+  bool optimized_;
+  std::vector<uint64_t> sessions_;  // Per-shard server-side session ids.
+};
+
+// --- Rank-probe batches ------------------------------------------------------
+
+class RemoteRankProbeBatch : public RankProbeBatch {
+ public:
+  RemoteRankProbeBatch(const RemoteCorpus* corpus, const WhyNotOracle* oracle,
+                       const std::vector<OracleTargetSpec>& specs,
+                       KeywordAdaptStats* stats)
+      : corpus_(corpus), stats_(stats), members_(specs.size()) {
+    // Target scores resolve coordinator-side, then ONE open per shard
+    // creates every member's refiner there.
+    BufWriter req;
+    req.PutVarU64(specs.size());
+    for (const OracleTargetSpec& spec : specs) {
+      const double target_score =
+          ScorePartsOf(*spec.query, corpus_->dist_norm(),
+                       oracle->Object(spec.target))
+              .score;
+      shardrpc::PutQuery(&req, *spec.query);
+      req.PutU32(spec.target);
+      req.PutF64(target_score);
+    }
+    const std::string body = req.data();
+
+    const size_t n = corpus_->num_shards();
+    shards_.resize(n);
+    for (ShardState& shard : shards_) shard.members.resize(specs.size());
+    corpus_->ForEachShard([&](size_t s) {
+      Result<std::string> raw =
+          corpus_->shard(s).Call("POST", shardrpc::kProbeOpenPath, body);
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      shards_[s].session = in.GetU64();
+      for (MemberBounds& member : shards_[s].members) {
+        member.lower = in.GetU64();
+        member.upper = in.GetU64();
+        member.resolved = in.GetU8() != 0;
+      }
+      if (!in.ok()) {
+        corpus_->RecordError(in.status());
+        // Back to the pinned-zero defaults: a half-parsed member with
+        // resolved=false would make the refinement loop spin forever on a
+        // shard that can no longer answer (the request 503s via the epoch).
+        shards_[s].session = 0;
+        shards_[s].members.assign(shards_[s].members.size(), MemberBounds{});
+      }
+    });
+  }
+
+  ~RemoteRankProbeBatch() override {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].session == 0) continue;
+      BufWriter req;
+      req.PutU64(shards_[s].session);
+      (void)corpus_->shard(s).Call("POST", shardrpc::kProbeClosePath,
+                                   req.data());
+    }
+  }
+
+  size_t size() const override { return members_; }
+
+  size_t lower(size_t i) const override {
+    size_t sum = 0;
+    for (const ShardState& shard : shards_) sum += shard.members[i].lower;
+    return sum + 1;
+  }
+  size_t upper(size_t i) const override {
+    size_t sum = 0;
+    for (const ShardState& shard : shards_) sum += shard.members[i].upper;
+    return sum + 1;
+  }
+  bool resolved(size_t i) const override {
+    for (const ShardState& shard : shards_) {
+      if (!shard.members[i].resolved) return false;
+    }
+    return true;
+  }
+
+  void RefineLevel(const std::vector<size_t>& members) override {
+    const size_t n = shards_.size();
+    std::vector<uint64_t> kcr_deltas(n, 0);
+    std::vector<uint64_t> scored_deltas(n, 0);
+    corpus_->ForEachShard([&](size_t s) {
+      ShardState& shard = shards_[s];
+      if (shard.session == 0) return;  // Open failed; epoch already bumped.
+      // Only the members with an open frontier on THIS shard are sent.
+      std::vector<size_t> wanted;
+      for (size_t m : members) {
+        if (!shard.members[m].resolved) wanted.push_back(m);
+      }
+      if (wanted.empty()) return;
+      BufWriter req;
+      req.PutU64(shard.session);
+      req.PutVarU64(wanted.size());
+      for (size_t m : wanted) req.PutVarU32(static_cast<uint32_t>(m));
+      Result<std::string> raw =
+          corpus_->shard(s).Call("POST", shardrpc::kProbeRefinePath,
+                                 req.data());
+      // Any failure pins the asked members on this shard: bounds stop
+      // narrowing but resolved() becomes true, so the caller's refinement
+      // loop TERMINATES and the request surfaces the bumped epoch as a 503
+      // — instead of re-issuing a doomed RPC (or spinning) forever. This
+      // covers a restarted shard (lost session -> 404) and a server-side
+      // session eviction alike.
+      auto pin_wanted = [&] {
+        for (size_t m : wanted) shard.members[m].resolved = true;
+      };
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        pin_wanted();
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      const uint64_t count = in.GetVarU64();
+      if (count != wanted.size()) {
+        corpus_->RecordError(
+            Status::InvalidArgument("bad /shard/probe/refine response"));
+        pin_wanted();
+        return;
+      }
+      for (size_t m : wanted) {
+        shard.members[m].lower = in.GetU64();
+        shard.members[m].upper = in.GetU64();
+        shard.members[m].resolved = in.GetU8() != 0;
+      }
+      kcr_deltas[s] = in.GetU64();
+      scored_deltas[s] = in.GetU64();
+      if (!in.ok()) {
+        corpus_->RecordError(in.status());
+        pin_wanted();
+      }
+    });
+    for (size_t s = 0; s < n; ++s) {
+      stats_->kcr_nodes_expanded += kcr_deltas[s];
+      stats_->objects_scored += scored_deltas[s];
+    }
+  }
+
+ private:
+  struct MemberBounds {
+    uint64_t lower = 0;
+    uint64_t upper = 0;
+    bool resolved = true;  // A failed shard contributes a pinned zero.
+  };
+  struct ShardState {
+    uint64_t session = 0;
+    std::vector<MemberBounds> members;
+  };
+
+  const RemoteCorpus* corpus_;
+  KeywordAdaptStats* stats_;
+  size_t members_;
+  std::vector<ShardState> shards_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScorePlaneSession> RemoteShardOracle::PrepareScorePlane(
+    const Query& query, PrefAdjustMode mode) const {
+  return std::make_unique<RemoteScorePlaneSession>(corpus_, this, &query,
+                                                   mode);
+}
+
+std::unique_ptr<RankProbe> RemoteShardOracle::ProbeRank(
+    const Query& candidate, ObjectId global_id,
+    KeywordAdaptStats* stats) const {
+  const std::vector<OracleTargetSpec> specs{{&candidate, global_id}};
+  return std::make_unique<BatchOfOneProbe>(
+      std::make_unique<RemoteRankProbeBatch>(corpus_, this, specs, stats));
+}
+
+std::unique_ptr<RankProbeBatch> RemoteShardOracle::ProbeRankBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  return std::make_unique<RemoteRankProbeBatch>(corpus_, this, specs, stats);
+}
+
+}  // namespace yask

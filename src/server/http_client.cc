@@ -1,0 +1,199 @@
+#include "src/server/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace yask {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sets the socket's recv timeout so a dead peer cannot block past the tick.
+void SetRecvTimeout(int fd, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+HttpClientConnection::~HttpClientConnection() { Close(); }
+
+void HttpClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClientConnection::Connect(const std::string& host, uint16_t port,
+                                     int timeout_ms) {
+  Close();
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::Unavailable("cannot resolve host " + host);
+  }
+  sockaddr_in addr = *reinterpret_cast<sockaddr_in*>(res->ai_addr);
+  addr.sin_port = htons(port);
+  ::freeaddrinfo(res);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+
+  // Non-blocking connect so the dial honours the timeout.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Status::Unavailable("connect() to " + host + ":" +
+                               std::to_string(port) + " failed: " +
+                               std::strerror(errno));
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect() to " + host + ":" +
+                                 std::to_string(port) +
+                                 (ready <= 0 ? " timed out"
+                                             : std::string(" failed: ") +
+                                                   std::strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<std::string> HttpClientConnection::Call(const std::string& method,
+                                               const std::string& path,
+                                               std::string_view body,
+                                               int deadline_ms,
+                                               int* status_out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const int64_t deadline = NowMillis() + deadline_ms;
+  // Bound the send side too: a stalled peer must not block past the
+  // deadline once the kernel send buffer fills.
+  timeval send_tv{};
+  send_tv.tv_sec = deadline_ms / 1000;
+  send_tv.tv_usec = (deadline_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+
+  std::ostringstream req;
+  req << method << ' ' << path
+      << " HTTP/1.1\r\nHost: shard\r\nContent-Type: application/octet-stream"
+      << "\r\nContent-Length: " << body.size()
+      << "\r\nConnection: keep-alive\r\n\r\n";
+  std::string head = req.str();
+  head.append(body.data(), body.size());
+
+  size_t sent = 0;
+  while (sent < head.size()) {
+    const ssize_t n =
+        ::send(fd_, head.data() + sent, head.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      Close();
+      return Status::Unavailable("send failed: " + std::string(
+                                     n < 0 ? std::strerror(errno) : "closed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read one Content-Length framed response under the deadline.
+  std::string raw;
+  char buf[8192];
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  bool have_length = false;
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::istringstream hs(raw.substr(0, header_end));
+        std::string line;
+        while (std::getline(hs, line)) {
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          const std::string lower = ToLowerAscii(line);
+          if (StartsWith(lower, "content-length:")) {
+            uint64_t v = 0;
+            if (ParseUint64(Trim(line.substr(15)), &v)) {
+              content_length = static_cast<size_t>(v);
+              have_length = true;
+            }
+          }
+        }
+        if (!have_length) {
+          Close();
+          return Status::Unavailable("response without Content-Length");
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        raw.size() - (header_end + 4) >= content_length) {
+      break;
+    }
+    const int64_t remaining = deadline - NowMillis();
+    if (remaining <= 0) {
+      Close();  // The stale response would desynchronise the next call.
+      return Status::Unavailable("call to " + path + " timed out");
+    }
+    SetRecvTimeout(fd_, static_cast<int>(std::min<int64_t>(remaining, 500)));
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;  // Tick; the deadline check above bounds the total wait.
+    }
+    Close();
+    return Status::Unavailable("connection closed mid-response");
+  }
+
+  if (status_out != nullptr) {
+    *status_out = 0;
+    const size_t sp = raw.find(' ');
+    if (sp != std::string::npos) {
+      uint64_t code = 0;
+      if (ParseUint64(raw.substr(sp + 1, 3), &code)) {
+        *status_out = static_cast<int>(code);
+      }
+    }
+  }
+  return raw.substr(header_end + 4, content_length);
+}
+
+}  // namespace yask

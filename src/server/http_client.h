@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// A blocking HTTP/1.1 keep-alive client connection — the transport half of
+// the coordinator -> shard-server RPC path. One connection carries many
+// request/response pairs back to back (the shard protocol rides thousands of
+// small oracle calls per why-not question, so per-call TCP handshakes would
+// dominate); RemoteCorpus pools these per shard and retries a failed call on
+// a fresh connection.
+//
+// Scope: exactly what the shard protocol needs. Content-Length framed
+// responses only (which is all HttpServer emits), loopback/IPv4 hosts,
+// per-call deadlines enforced with a recv-timeout tick.
+
+#ifndef YASK_SERVER_HTTP_CLIENT_H_
+#define YASK_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace yask {
+
+/// One persistent client connection. Not thread-safe: a connection serves
+/// one in-flight call at a time (pool several for concurrency). Not
+/// copyable/movable — hold it behind a unique_ptr.
+class HttpClientConnection {
+ public:
+  HttpClientConnection() = default;
+  ~HttpClientConnection();
+
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+
+  /// Dials host:port (dotted-quad or resolvable name) within `timeout_ms`.
+  /// Reconnecting an open connection closes it first.
+  Status Connect(const std::string& host, uint16_t port, int timeout_ms);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// One request/response round-trip; the connection stays open for the
+  /// next call. `deadline_ms` bounds the whole call (send + wait + read).
+  /// Returns the response body; the HTTP status lands in `*status_out`.
+  /// On any transport error (peer gone, deadline, framing) the connection
+  /// is closed and a non-OK Status returned — the caller retries on a fresh
+  /// connection if it wants to.
+  Result<std::string> Call(const std::string& method, const std::string& path,
+                           std::string_view body, int deadline_ms,
+                           int* status_out);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_HTTP_CLIENT_H_

@@ -2,13 +2,17 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/server/http_client.h"
 #include "src/server/json.h"
 
 namespace yask {
@@ -18,8 +22,12 @@ HttpResponse HttpResponse::Error(int status, const std::string& message) {
                       "{\"error\":" + JsonEscape(message) + "}"};
 }
 
-HttpServer::HttpServer(uint16_t port, size_t num_workers)
-    : port_(port), num_workers_(num_workers == 0 ? 1 : num_workers) {}
+HttpServer::HttpServer(uint16_t port, size_t num_workers,
+                       int keep_alive_idle_ms)
+    : port_(port),
+      num_workers_(num_workers == 0 ? 1 : num_workers),
+      keep_alive_idle_ms_(keep_alive_idle_ms < 500 ? 500
+                                                   : keep_alive_idle_ms) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -121,57 +129,170 @@ void HttpServer::WorkerLoop() {
 
 namespace {
 
-/// Reads until the full header block plus Content-Length body is available.
-bool ReadRequest(int fd, std::string* raw, size_t* header_end_out) {
-  raw->clear();
+/// Hard limits the shard endpoints rely on between nodes: a peer cannot make
+/// a worker buffer unbounded header or body bytes.
+constexpr size_t kMaxHeaderBytes = 1u << 20;
+constexpr size_t kMaxBodyBytes = 32u << 20;
+/// recv() poll tick: how often a blocked worker re-checks running_.
+constexpr int kRecvTickMs = 500;
+/// How long a request may stall mid-transfer before the connection drops.
+constexpr int kRequestStallMs = 10000;
+
+enum class ReadOutcome {
+  kComplete,        // One full request parsed off the connection.
+  kClosed,          // Peer closed / idle timeout / server stopping.
+  kMalformed,       // Unparseable framing: answer 400 and drop.
+  kHeadersTooLarge, // Header block over the limit: answer 431 and drop.
+  kBodyTooLarge,    // Declared Content-Length over the limit: 413 and drop.
+};
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Reads one full request (header block + Content-Length body) from `fd`
+/// into `*buffer`, which carries pipelined leftover bytes between calls.
+/// On kComplete the request's bytes are consumed from the buffer and the
+/// parsed request is in `*req` / `*keep_alive`. The socket must have a
+/// kRecvTickMs SO_RCVTIMEO; `idle_ms` bounds the wait for the FIRST byte of
+/// the next request, and a WALL-CLOCK kRequestStallMs deadline bounds the
+/// whole transfer after that — a peer dripping bytes cannot refill it.
+/// `backlog` reports whether other connections are queued for a worker; an
+/// idle keep-alive connection yields to them instead of sitting on its
+/// worker for the full idle window.
+ReadOutcome ReadOneRequest(int fd, std::string* buffer,
+                           const std::atomic<bool>& running, int idle_ms,
+                           const std::function<bool()>& backlog,
+                           HttpRequest* req, bool* keep_alive) {
   char buf[4096];
+  int idle_waited_ms = 0;  // Reset by any received byte.
+  int64_t request_deadline = 0;  // Set when the request's first byte lands.
+  if (!buffer->empty()) {
+    // Pipelined leftover counts as an in-progress request.
+    request_deadline = NowMillis() + kRequestStallMs;
+  }
+  // Incremental parse state: the header block is located and parsed ONCE,
+  // and the terminator search only covers newly appended bytes — a 32 MiB
+  // body must not rescan the buffer per 4 KiB chunk.
+  size_t scanned = 0;
   size_t header_end = std::string::npos;
   size_t content_length = 0;
   bool have_length = false;
+  std::string request_line;
+  std::string connection;
+
   while (true) {
-    if (header_end == std::string::npos) {
-      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-      if (n <= 0) return false;
-      raw->append(buf, static_cast<size_t>(n));
-      header_end = raw->find("\r\n\r\n");
-      if (header_end == std::string::npos) {
-        if (raw->size() > 1 << 20) return false;  // Header too large.
-        continue;
-      }
-      // Parse Content-Length from the header block.
-      std::string headers = raw->substr(0, header_end);
-      std::istringstream hs(headers);
-      std::string line;
-      while (std::getline(hs, line)) {
+    if (header_end == std::string::npos &&
+        buffer->size() > scanned) {
+      // Resume the terminator search 3 bytes back: "\r\n\r\n" may straddle
+      // the previous chunk boundary.
+      const size_t from = scanned < 3 ? 0 : scanned - 3;
+      header_end = buffer->find("\r\n\r\n", from);
+      scanned = buffer->size();
+      if (header_end != std::string::npos) {
+        std::istringstream hs(buffer->substr(0, header_end));
+        std::string line;
+        std::getline(hs, line);
         if (!line.empty() && line.back() == '\r') line.pop_back();
-        const std::string lower = ToLowerAscii(line);
-        if (StartsWith(lower, "content-length:")) {
-          uint64_t v = 0;
-          if (ParseUint64(Trim(line.substr(15)), &v)) {
-            content_length = static_cast<size_t>(v);
-            have_length = true;
+        request_line = line;
+        while (std::getline(hs, line)) {
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          const std::string lower = ToLowerAscii(line);
+          if (StartsWith(lower, "content-length:")) {
+            uint64_t v = 0;
+            if (ParseUint64(Trim(line.substr(15)), &v)) {
+              content_length = static_cast<size_t>(v);
+              have_length = true;
+            }
+          } else if (StartsWith(lower, "connection:")) {
+            connection = Trim(lower.substr(11));
           }
         }
+        if (content_length > kMaxBodyBytes) return ReadOutcome::kBodyTooLarge;
+      } else if (buffer->size() > kMaxHeaderBytes) {
+        return ReadOutcome::kHeadersTooLarge;
       }
-      if (content_length > (32u << 20)) return false;  // Body too large.
     }
-    const size_t body_have = raw->size() - (header_end + 4);
-    if (!have_length || body_have >= content_length) break;
+
+    if (header_end != std::string::npos) {
+      const size_t body_have = buffer->size() - (header_end + 4);
+      if (!have_length || body_have >= content_length) {
+        // Request line: METHOD SP TARGET SP VERSION.
+        std::vector<std::string> parts = SplitWhitespace(request_line);
+        if (parts.size() < 2) return ReadOutcome::kMalformed;
+        *req = HttpRequest{};
+        req->method = parts[0];
+        std::string target = parts[1];
+        const size_t qpos = target.find('?');
+        if (qpos != std::string::npos) {
+          const std::string qs = target.substr(qpos + 1);
+          target = target.substr(0, qpos);
+          for (const std::string& kv : Split(qs, '&')) {
+            const size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+              req->query_params[UrlDecode(kv)] = "";
+            } else {
+              req->query_params[UrlDecode(kv.substr(0, eq))] =
+                  UrlDecode(kv.substr(eq + 1));
+            }
+          }
+        }
+        req->path = UrlDecode(target);
+        const size_t body_len = have_length ? content_length : 0;
+        req->body = buffer->substr(header_end + 4, body_len);
+        buffer->erase(0, header_end + 4 + body_len);
+        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+        const bool http11 = parts.size() < 3 || parts[2] == "HTTP/1.1";
+        *keep_alive = http11 ? connection != "close"
+                             : connection == "keep-alive";
+        return ReadOutcome::kComplete;
+      }
+    }
+
+    if (request_deadline != 0 && NowMillis() >= request_deadline) {
+      return ReadOutcome::kClosed;  // Stalled/dripping transfer.
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
-    raw->append(buf, static_cast<size_t>(n));
+    if (n > 0) {
+      if (request_deadline == 0) {
+        request_deadline = NowMillis() + kRequestStallMs;
+      }
+      buffer->append(buf, static_cast<size_t>(n));
+      idle_waited_ms = 0;
+      continue;
+    }
+    if (n == 0) return ReadOutcome::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (!running.load()) return ReadOutcome::kClosed;
+      if (buffer->empty() && request_deadline == 0) {
+        // Between requests: recycle an idle keep-alive connection — at the
+        // idle timeout, or immediately when other connections are waiting
+        // for a worker (idle peers must not starve the accept queue).
+        idle_waited_ms += kRecvTickMs;
+        if (idle_waited_ms >= idle_ms || backlog()) {
+          return ReadOutcome::kClosed;
+        }
+      }
+      continue;
+    }
+    return ReadOutcome::kClosed;
   }
-  *header_end_out = header_end;
-  return true;
 }
 
-void SendAll(int fd, const std::string& data) {
+/// False when the peer stopped reading (or vanished): the caller must close
+/// the connection — a partially-written response would desynchronise any
+/// later keep-alive exchange.
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return;
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;  // Includes an SO_SNDTIMEO expiry (EAGAIN).
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 const char* StatusText(int status) {
@@ -181,8 +302,11 @@ const char* StatusText(int status) {
     case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     default: return "OK";
   }
 }
@@ -190,59 +314,77 @@ const char* StatusText(int status) {
 }  // namespace
 
 void HttpServer::HandleConnection(int fd) {
-  std::string raw;
-  size_t header_end = 0;
-  HttpResponse resp;
-  HttpRequest req;
-  bool parsed = false;
+  // The recv tick lets the worker observe Stop() and enforce the keep-alive
+  // deadlines without a poller thread; TCP_NODELAY matters because the
+  // remote-shard RPC path rides many small request/response pairs on one
+  // connection.
+  timeval tv{};
+  tv.tv_sec = kRecvTickMs / 1000;
+  tv.tv_usec = (kRecvTickMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // A peer that stops READING must not pin a worker either: once the kernel
+  // send buffer fills, send() blocks — bound it like the read side.
+  timeval send_tv{};
+  send_tv.tv_sec = kRequestStallMs / 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-  if (ReadRequest(fd, &raw, &header_end)) {
-    // Request line: METHOD SP TARGET SP VERSION.
-    const size_t line_end = raw.find("\r\n");
-    const std::string request_line = raw.substr(0, line_end);
-    std::vector<std::string> parts = SplitWhitespace(request_line);
-    if (parts.size() >= 2) {
-      req.method = parts[0];
-      std::string target = parts[1];
-      const size_t qpos = target.find('?');
-      if (qpos != std::string::npos) {
-        const std::string qs = target.substr(qpos + 1);
-        target = target.substr(0, qpos);
-        for (const std::string& kv : Split(qs, '&')) {
-          const size_t eq = kv.find('=');
-          if (eq == std::string::npos) {
-            req.query_params[UrlDecode(kv)] = "";
-          } else {
-            req.query_params[UrlDecode(kv.substr(0, eq))] =
-                UrlDecode(kv.substr(eq + 1));
+  const auto backlog = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !pending_.empty();
+  };
+  std::string buffer;
+  while (running_.load()) {
+    HttpRequest req;
+    bool keep_alive = false;
+    const ReadOutcome outcome = ReadOneRequest(fd, &buffer, running_,
+                                               keep_alive_idle_ms_, backlog,
+                                               &req, &keep_alive);
+    if (outcome == ReadOutcome::kClosed) break;
+
+    HttpResponse resp;
+    bool close_after = true;
+    switch (outcome) {
+      case ReadOutcome::kMalformed:
+        resp = HttpResponse::Error(400, "bad request");
+        break;
+      case ReadOutcome::kHeadersTooLarge:
+        resp = HttpResponse::Error(431, "header block too large");
+        break;
+      case ReadOutcome::kBodyTooLarge:
+        resp = HttpResponse::Error(413, "request body too large");
+        break;
+      default: {
+        auto it = routes_.find({req.method, req.path});
+        if (it != routes_.end()) {
+          resp = it->second(req);
+        } else {
+          // Distinguish an unknown resource from a known one addressed with
+          // the wrong method.
+          bool path_known = false;
+          for (const auto& [key, handler] : routes_) {
+            if (key.second == req.path) {
+              path_known = true;
+              break;
+            }
           }
+          resp = path_known ? HttpResponse::Error(405, "method not allowed")
+                            : HttpResponse::Error(404, "no such endpoint");
         }
+        close_after = !keep_alive;
+        break;
       }
-      req.path = UrlDecode(target);
-      req.body = raw.substr(header_end + 4);
-      parsed = true;
     }
-  }
 
-  if (!parsed) {
-    resp = HttpResponse{400, "application/json", "{\"error\":\"bad request\"}"};
-  } else {
-    auto it = routes_.find({req.method, req.path});
-    if (it == routes_.end()) {
-      resp = HttpResponse{404, "application/json",
-                          "{\"error\":\"no such endpoint\"}"};
-    } else {
-      resp = it->second(req);
-    }
+    std::ostringstream out;
+    out << "HTTP/1.1 " << resp.status << ' ' << StatusText(resp.status)
+        << "\r\nContent-Type: " << resp.content_type
+        << "\r\nContent-Length: " << resp.body.size() << "\r\nConnection: "
+        << (close_after ? "close" : "keep-alive") << "\r\n\r\n"
+        << resp.body;
+    if (!SendAll(fd, out.str()) || close_after) break;
   }
-
-  std::ostringstream out;
-  out << "HTTP/1.1 " << resp.status << ' ' << StatusText(resp.status)
-      << "\r\nContent-Type: " << resp.content_type
-      << "\r\nContent-Length: " << resp.body.size()
-      << "\r\nConnection: close\r\n\r\n"
-      << resp.body;
-  SendAll(fd, out.str());
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
 }
@@ -274,47 +416,15 @@ std::string UrlDecode(std::string_view s) {
 Result<std::string> HttpFetch(uint16_t port, const std::string& method,
                               const std::string& path_and_query,
                               const std::string& body, int* status_out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::Unavailable("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Status::Unavailable("connect() failed");
+  // One connect + one Call of the persistent client, closed on return —
+  // exactly one implementation of HTTP response framing in the tree.
+  HttpClientConnection conn;
+  if (Status s = conn.Connect("127.0.0.1", port, /*timeout_ms=*/5000);
+      !s.ok()) {
+    return s;
   }
-  std::ostringstream req;
-  req << method << ' ' << path_and_query
-      << " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " << body.size()
-      << "\r\nConnection: close\r\n\r\n"
-      << body;
-  SendAll(fd, req.str());
-
-  std::string raw;
-  char buf[4096];
-  while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    raw.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    return Status::Unavailable("malformed HTTP response");
-  }
-  if (status_out != nullptr) {
-    *status_out = 0;
-    const size_t sp = raw.find(' ');
-    if (sp != std::string::npos) {
-      uint64_t code = 0;
-      if (ParseUint64(raw.substr(sp + 1, 3), &code)) {
-        *status_out = static_cast<int>(code);
-      }
-    }
-  }
-  return raw.substr(header_end + 4);
+  return conn.Call(method, path_and_query, body, /*deadline_ms=*/30000,
+                   status_out);
 }
 
 }  // namespace yask

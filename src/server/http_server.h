@@ -5,11 +5,21 @@
 // POST, routes by exact path, and answers with Content-Length framed bodies.
 //
 // Design: one accept thread plus a fixed worker pool consuming a connection
-// queue; each connection handles one request (Connection: close). This is
-// deliberately simple — the YASK engines, not the transport, are the point —
-// but it is a real TCP server the examples and integration tests exercise
-// end-to-end over loopback. A tiny blocking client (HttpRequest) is included
-// for those tests.
+// queue; a worker serves a connection's requests back to back (HTTP/1.1
+// keep-alive — the coordinator->shard RPC path of the remote tier reuses one
+// connection for thousands of small oracle calls) until the peer closes,
+// asks for Connection: close, sends a malformed request, or goes idle past
+// the keep-alive timeout. This is deliberately simple — the YASK engines,
+// not the transport, are the point — but it is a real TCP server the
+// examples and integration tests exercise end-to-end over loopback. A tiny
+// blocking one-shot client (HttpFetch) is included for those tests; the
+// persistent client lives in src/server/http_client.h.
+//
+// Hardening (the shard endpoints make this server internet-facing between
+// nodes): oversized header blocks (> 1 MiB) and declared bodies (> 32 MiB)
+// are rejected with 431/413 and the connection dropped; unparseable request
+// lines get 400; a known path with the wrong method gets 405; requests that
+// stall mid-transfer are dropped on a deadline.
 
 #ifndef YASK_SERVER_HTTP_SERVER_H_
 #define YASK_SERVER_HTTP_SERVER_H_
@@ -54,7 +64,12 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   /// `port` 0 picks an ephemeral port (see bound_port() after Start()).
-  explicit HttpServer(uint16_t port = 0, size_t num_workers = 4);
+  /// `keep_alive_idle_ms` bounds how long a worker waits for the next
+  /// request on an idle keep-alive connection before recycling it (clients
+  /// reconnect transparently); it also bounds Stop() latency together with
+  /// the internal 500 ms poll tick.
+  explicit HttpServer(uint16_t port = 0, size_t num_workers = 4,
+                      int keep_alive_idle_ms = 5000);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -84,6 +99,7 @@ class HttpServer {
 
   uint16_t port_;
   size_t num_workers_;
+  int keep_alive_idle_ms_;
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};

@@ -7,6 +7,7 @@
 #include "src/common/string_util.h"
 #include "src/common/text.h"
 #include "src/common/timer.h"
+#include "src/corpus/remote_whynot_oracle.h"
 
 namespace yask {
 
@@ -74,6 +75,13 @@ YaskService::YaskService(const ShardedCorpus& corpus,
   engine_.emplace(corpus);
 }
 
+YaskService::YaskService(const RemoteCorpus& corpus,
+                         YaskServiceOptions options)
+    : YaskService(options) {
+  remote_ = &corpus;
+  engine_.emplace(std::make_unique<RemoteShardOracle>(corpus));
+}
+
 Status YaskService::Start() { return server_.Start(); }
 
 void YaskService::Stop() { server_.Stop(); }
@@ -86,34 +94,59 @@ size_t YaskService::cached_queries() const {
 // --- Corpus-layout-independent accessors -------------------------------------
 
 size_t YaskService::ObjectCount() const {
-  return corpus_ != nullptr ? corpus_->size() : sharded_->size();
+  if (corpus_ != nullptr) return corpus_->size();
+  if (sharded_ != nullptr) return sharded_->size();
+  return remote_->size();
 }
 
 const Vocabulary& YaskService::vocab() const {
-  return corpus_ != nullptr ? corpus_->vocab() : sharded_->vocab();
+  if (corpus_ != nullptr) return corpus_->vocab();
+  if (sharded_ != nullptr) return sharded_->vocab();
+  return remote_->vocab();
 }
 
 const SpatialObject& YaskService::ObjectAt(ObjectId global_id) const {
-  return corpus_ != nullptr ? corpus_->store().Get(global_id)
-                            : sharded_->Object(global_id);
+  if (corpus_ != nullptr) return corpus_->store().Get(global_id);
+  if (sharded_ != nullptr) return sharded_->Object(global_id);
+  return remote_->Object(global_id);
 }
 
 ObjectId YaskService::FindByName(const std::string& name) const {
-  return corpus_ != nullptr ? corpus_->store().FindByName(name)
-                            : sharded_->FindByName(name);
+  if (corpus_ != nullptr) return corpus_->store().FindByName(name);
+  if (sharded_ != nullptr) return sharded_->FindByName(name);
+  return remote_->FindByName(name);
 }
 
 TopKResult YaskService::RunTopK(const Query& query) const {
-  // The engine's oracle fans out over the shards in sharded mode.
+  // The engine's oracle fans out over the shards in sharded/remote mode.
   return engine_->TopK(query);
 }
 
 bool YaskService::HasKcr() const {
   if (corpus_ != nullptr) return corpus_->has_kcr();
+  if (remote_ != nullptr) return remote_->has_kcr();
   for (size_t s = 0; s < sharded_->num_shards(); ++s) {
     if (!sharded_->shard(s).has_kcr()) return false;
   }
   return true;
+}
+
+uint64_t YaskService::RemoteEpoch() const {
+  return remote_ != nullptr ? remote_->error_epoch() : 0;
+}
+
+std::optional<HttpResponse> YaskService::RemoteFailure(uint64_t before) const {
+  if (remote_ == nullptr || remote_->error_epoch() == before) {
+    return std::nullopt;
+  }
+  // The epoch is corpus-global, so a concurrent request's failure can fail
+  // this one too. That conservatism is deliberate: every data-path request
+  // fans out to every shard anyway (a flapping shard legitimately fails
+  // them all), a false 503 is safely retryable, and the alternative —
+  // threading a per-request error slot through every oracle callback — buys
+  // little for the plumbing it costs.
+  return HttpResponse::Error(
+      503, "remote shard failure: " + remote_->last_error().message());
 }
 
 // --- Query cache (LRU) -------------------------------------------------------
@@ -143,6 +176,13 @@ std::optional<Query> YaskService::LookupCachedQuery(uint64_t id) {
 // --- Handlers ----------------------------------------------------------------
 
 JsonValue YaskService::ResultToJson(const TopKResult& result) const {
+  if (remote_ != nullptr) {
+    // One batched fetch per owning shard instead of a round-trip per row.
+    std::vector<ObjectId> ids;
+    ids.reserve(result.size());
+    for (const ScoredObject& so : result) ids.push_back(so.id);
+    remote_->Prefetch(ids);
+  }
   JsonValue arr = JsonValue::MakeArray();
   for (const ScoredObject& so : result) {
     const SpatialObject& o = ObjectAt(so.id);
@@ -159,6 +199,7 @@ JsonValue YaskService::ResultToJson(const TopKResult& result) const {
 }
 
 HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
+  const uint64_t epoch = RemoteEpoch();
   auto parsed = JsonValue::Parse(req.body);
   if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
   const JsonValue& in = parsed.value();
@@ -183,17 +224,23 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
   const TopKResult result = RunTopK(q);
   const double millis = timer.ElapsedMillis();
 
-  const uint64_t id = CacheQuery(q);
-  log_.Append("topk", q.ToString(vocab()), millis);
-
   JsonValue out = JsonValue::MakeObject();
-  out.Set("query_id", JsonValue(static_cast<size_t>(id)));
   out.Set("k", JsonValue(static_cast<size_t>(q.k)));
   out.Set("ws", JsonValue(q.w.ws));
   out.Set("wt", JsonValue(q.w.wt));
   out.Set("keywords", JsonValue(q.doc.ToString(vocab())));
   out.Set("results", ResultToJson(result));
   out.Set("response_millis", JsonValue(millis));
+  // After ResultToJson: the remote object fetches that render the rows are
+  // part of the request too, and a failure there must 503, not emit rows
+  // with empty names.
+  if (auto failure = RemoteFailure(epoch); failure.has_value()) {
+    return *failure;
+  }
+
+  const uint64_t id = CacheQuery(q);
+  log_.Append("topk", q.ToString(vocab()), millis);
+  out.Set("query_id", JsonValue(static_cast<size_t>(id)));
   return HttpResponse::Json(out.Dump());
 }
 
@@ -213,13 +260,26 @@ JsonValue PenaltyToJson(const PenaltyBreakdown& p) {
 }  // namespace
 
 HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
+  const uint64_t epoch = RemoteEpoch();
   if (!HasKcr()) {
     // Keyword adaption runs on the KcR-tree(s); a corpus deliberately built
     // without them (top-k-only deployments) cannot answer why-not. Fail the
     // request cleanly instead of letting the oracle hit a missing index.
-    return HttpResponse::Error(
-        501, "why-not answering requires the corpus to be built with its "
-             "KcR-tree(s)");
+    std::string detail =
+        "why-not answering requires the corpus to be built with its "
+        "KcR-tree(s)";
+    if (remote_ != nullptr) {
+      detail = "why-not answering requires every remote shard to carry its "
+               "KcR-tree; shards without one:";
+      for (const uint32_t s : remote_->shards_without_kcr()) {
+        detail += " " + std::to_string(s) + " (" +
+                  remote_->shard(s).host() + ":" +
+                  std::to_string(remote_->shard(s).port()) + ")";
+      }
+      detail += " — rebuild those shard snapshots with their KcR section or "
+                "restart yask_shard_server with --rebuild-indexes";
+    }
+    return HttpResponse::Error(501, detail);
   }
   auto parsed = JsonValue::Parse(req.body);
   if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
@@ -283,6 +343,9 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     out.Set("refined_results",
             ResultToJson(engine_->TopK(combined->refined)));
     out.Set("response_millis", JsonValue(millis));
+    if (auto failure = RemoteFailure(epoch); failure.has_value()) {
+      return *failure;
+    }
     log_.Append("whynot-combined", q.ToString(vocab()), millis,
                 combined->total_penalty);
     return HttpResponse::Json(out.Dump());
@@ -363,6 +426,9 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   }
   out.Set("refined_results", ResultToJson(a.refined_result));
   out.Set("response_millis", JsonValue(millis));
+  if (auto failure = RemoteFailure(epoch); failure.has_value()) {
+    return *failure;
+  }
 
   log_.Append("whynot",
               q.ToString(vocab()) + " missing=" +
@@ -372,6 +438,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
 }
 
 HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
+  const uint64_t epoch = RemoteEpoch();
   size_t limit = 100;
   auto it = req.query_params.find("limit");
   if (it != req.query_params.end()) {
@@ -380,6 +447,11 @@ HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
   }
   JsonValue arr = JsonValue::MakeArray();
   const size_t n = std::min(limit, ObjectCount());
+  if (remote_ != nullptr) {
+    std::vector<ObjectId> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<ObjectId>(i);
+    remote_->Prefetch(ids);
+  }
   for (size_t i = 0; i < n; ++i) {
     const SpatialObject& o = ObjectAt(static_cast<ObjectId>(i));
     JsonValue row = JsonValue::MakeObject();
@@ -389,6 +461,9 @@ HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
     row.Set("y", JsonValue(o.loc.y));
     row.Set("keywords", JsonValue(o.doc.ToString(vocab())));
     arr.Append(std::move(row));
+  }
+  if (auto failure = RemoteFailure(epoch); failure.has_value()) {
+    return *failure;
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("total", JsonValue(ObjectCount()));
@@ -445,10 +520,37 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
   if (sharded_ != nullptr) {
     out.Set("shards", JsonValue(sharded_->num_shards()));
   }
+  if (remote_ != nullptr) {
+    out.Set("shards", JsonValue(remote_->num_shards()));
+    JsonValue shards = JsonValue::MakeArray();
+    for (size_t s = 0; s < remote_->num_shards(); ++s) {
+      JsonValue row = JsonValue::MakeObject();
+      row.Set("endpoint", JsonValue(remote_->shard(s).host() + ":" +
+                                    std::to_string(remote_->shard(s).port())));
+      row.Set("objects", JsonValue(static_cast<size_t>(
+                             remote_->meta(s).object_count)));
+      row.Set("kcr", JsonValue(remote_->meta(s).has_kcr));
+      shards.Append(std::move(row));
+    }
+    out.Set("remote_shards", std::move(shards));
+  }
+  // Index availability — what this deployment can actually answer. /whynot
+  // needs the KcR-tree on every shard; a false here explains the 501 before
+  // anyone hits it.
+  JsonValue indexes = JsonValue::MakeObject();
+  indexes.Set("setr", JsonValue(true));
+  indexes.Set("kcr", JsonValue(HasKcr()));
+  out.Set("indexes", std::move(indexes));
+  out.Set("whynot", JsonValue(HasKcr()));
   return HttpResponse::Json(out.Dump());
 }
 
 HttpResponse YaskService::HandleSnapshot(const HttpRequest& req) {
+  if (remote_ != nullptr) {
+    return HttpResponse::Error(
+        501, "a coordinator holds no serving state to snapshot; snapshot "
+             "the shard servers' files instead");
+  }
   std::string path = options_.snapshot_path;
   if (!req.body.empty()) {
     auto parsed = JsonValue::Parse(req.body);

@@ -5,12 +5,14 @@
 // initial spatial keyword queries until users give up asking follow-up
 // 'why-not' questions"), and keeps the query log of Panel 5.
 //
-// Serving state comes from the corpus layer (src/corpus/): either one
-// Corpus (a single full replica) or a ShardedCorpus (the scale-out layout:
-// top-k queries AND why-not questions fan out across the shards in parallel
-// through the WhyNotOracle seam and merge bit-identically to the unsharded
-// engine — see docs/architecture.md, "Distributed why-not"). The full HTTP
-// contract is served in both modes.
+// Serving state comes from the corpus layer (src/corpus/): one Corpus (a
+// single full replica), a ShardedCorpus (the in-process scale-out layout),
+// or a RemoteCorpus (the coordinator role: shards live in yask_shard_server
+// processes and every top-k / why-not fan-out goes over the wire through the
+// same oracle seam — see docs/architecture.md, "Remote deployment"). The
+// full HTTP contract is served in all modes and answers are bit-identical
+// across them; in remote mode a shard failure mid-request surfaces as 503
+// (the corpus error epoch is sampled around each request).
 //
 // Per §3.2, the client never supplies the weight vector: "the system ...
 // leaves the weighting vector w as a system parameter on the server. In the
@@ -46,6 +48,7 @@
 #include <unordered_map>
 
 #include "src/corpus/corpus.h"
+#include "src/corpus/remote_corpus.h"
 #include "src/corpus/sharded_corpus.h"
 #include "src/server/http_server.h"
 #include "src/server/json.h"
@@ -89,6 +92,12 @@ class YaskService {
   explicit YaskService(const ShardedCorpus& corpus,
                        YaskServiceOptions options = {});
 
+  /// Coordinator mode: the shards are yask_shard_server processes behind a
+  /// RemoteCorpus; /whynot additionally requires every remote shard to
+  /// carry its KcR-tree (otherwise it answers 501 naming the shards).
+  explicit YaskService(const RemoteCorpus& corpus,
+                       YaskServiceOptions options = {});
+
   /// Starts serving; returns the bound port via port().
   Status Start();
   void Stop();
@@ -124,13 +133,20 @@ class YaskService {
 
   JsonValue ResultToJson(const TopKResult& result) const;
 
+  /// Remote mode: the corpus error-epoch snapshot (0 in local modes).
+  uint64_t RemoteEpoch() const;
+  /// Remote mode: an engaged 503 when the epoch moved past `before` — a
+  /// shard failed mid-request, so the computed payload cannot be trusted.
+  std::optional<HttpResponse> RemoteFailure(uint64_t before) const;
+
   /// Caches `query`, evicting the LRU entry beyond max_cached_queries.
   uint64_t CacheQuery(const Query& query);
   /// Looks a cached query up and marks it most-recently used.
   std::optional<Query> LookupCachedQuery(uint64_t id);
 
-  const Corpus* corpus_ = nullptr;            // Exactly one of these two
+  const Corpus* corpus_ = nullptr;            // Exactly one of these three
   const ShardedCorpus* sharded_ = nullptr;    // is non-null.
+  const RemoteCorpus* remote_ = nullptr;
   /// Serves both modes: its oracle is local or sharded to match the corpus
   /// (the sharded oracle runs /query and /whynot over the corpus pool).
   std::optional<WhyNotEngine> engine_;

@@ -104,11 +104,19 @@ Result<RefinedKeywordQuery> AdaptKeywords(
   // used in both modes: exact ranking of one object is cache-friendly O(n),
   // and measurement shows the KcR bounds prune too weakly for popular query
   // keywords to beat it (the bounds earn their keep pruning *candidates*,
-  // where no exact rank is needed at all — see EXPERIMENTS.md E8/E10). ---
-  size_t r0 = 0;
-  for (ObjectId id : m_ids) {
-    r0 = std::max(r0, oracle.OutscoringCount(query, id, &stats) + 1);
-  }
+  // where no exact rank is needed at all — see EXPERIMENTS.md E8/E10).
+  // All missing objects go through one batched fan-out. ---
+  auto exact_rank_of = [&](const Query& q) {
+    std::vector<OracleTargetSpec> specs;
+    specs.reserve(m_ids.size());
+    for (ObjectId id : m_ids) specs.push_back(OracleTargetSpec{&q, id});
+    size_t rank = 0;
+    for (size_t count : oracle.OutscoringCountBatch(specs, &stats)) {
+      rank = std::max(rank, count + 1);
+    }
+    return rank;
+  };
+  const size_t r0 = exact_rank_of(query);
   out.original_rank = r0;
   if (r0 <= query.k) {
     out.refined_rank = r0;
@@ -156,6 +164,159 @@ Result<RefinedKeywordQuery> AdaptKeywords(
     if (better) best = Best{doc, rank, pen, delta_doc, rank_exact};
   };
 
+  // --- Candidate evaluators. Both offer a candidate to the running best
+  // exactly when its true penalty is at most the best so far, and every cut
+  // is strict, so the final winner is independent of the evaluation
+  // schedule — which is what lets the batched path regroup the work without
+  // changing the answer. ---
+
+  // Per-candidate bound-and-prune (the per-probe legacy path, kept for the
+  // before/after round-trip comparison of bench_remote_shards): one rank
+  // probe per missing object, refining the widest probe one level per
+  // oracle call.
+  auto evaluate_with_probes = [&](const KeywordSet& cand,
+                                  const Query& cand_query, size_t e,
+                                  double floor) {
+    std::vector<std::unique_ptr<RankProbe>> probes;
+    probes.reserve(m_ids.size());
+    for (ObjectId id : m_ids) {
+      probes.push_back(oracle.ProbeRank(cand_query, id, &stats));
+    }
+    while (true) {
+      size_t rank_lb = 0;
+      size_t rank_ub = 0;
+      for (const auto& p : probes) {
+        rank_lb = std::max(rank_lb, p->lower());
+        rank_ub = std::max(rank_ub, p->upper());
+      }
+      // Penalty interval from the rank interval. The cut is STRICT: a
+      // candidate whose penalty lower bound merely ties the best keeps
+      // refining until the ∆k pins, so exact-tie candidates always reach
+      // offer_best and its layout-independent tie order — bounds tighten
+      // differently over different shard layouts, and a >= cut here would
+      // let that difference decide ties.
+      const double pen_lb = k_term_of_rank_lb(rank_lb) + floor;
+      if (pen_lb > best.penalty.value) {
+        ++stats.candidates_pruned_bounds;
+        return;
+      }
+      const size_t dk_lb = rank_lb > query.k ? rank_lb - query.k : 0;
+      const size_t dk_ub = rank_ub > query.k ? rank_ub - query.k : 0;
+      if (dk_lb == dk_ub) {
+        // Penalty pinned exactly (∆k equal at both ends).
+        ++stats.candidates_resolved;
+        offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
+                   /*rank_exact=*/rank_lb == rank_ub);
+        return;
+      }
+      // Refine the missing object driving the upper rank the hardest by
+      // one tree level.
+      RankProbe* widest = nullptr;
+      for (const auto& p : probes) {
+        if (p->resolved()) continue;
+        if (widest == nullptr || p->upper() > widest->upper()) {
+          widest = p.get();
+        }
+      }
+      if (widest == nullptr) {
+        // All resolved yet ∆k interval not collapsed: ranks are exact now.
+        ++stats.candidates_resolved;
+        offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
+                   /*rank_exact=*/true);
+        return;
+      }
+      widest->RefineLevel();
+      ++stats.probe_fanouts;
+      ++stats.refine_levels;
+    }
+  };
+
+  // Batched bound-and-prune over one chunk of candidates: a single
+  // ProbeRankBatch covers every (candidate, missing object) pair, and every
+  // refinement level is ONE oracle fan-out across all still-live candidates
+  // — one round-trip per shard per level on a remote oracle, instead of one
+  // per probe per level.
+  auto evaluate_chunk_batched = [&](std::vector<KeywordSet>& chunk, size_t e,
+                                    double floor) {
+    const size_t m = m_ids.size();
+    std::vector<Query> cand_queries;
+    cand_queries.reserve(chunk.size());
+    for (KeywordSet& cand : chunk) {
+      Query cand_query = query;
+      cand_query.doc = cand;
+      cand_queries.push_back(std::move(cand_query));
+    }
+    std::vector<OracleTargetSpec> specs;
+    specs.reserve(cand_queries.size() * m);
+    for (const Query& cq : cand_queries) {
+      for (ObjectId id : m_ids) specs.push_back(OracleTargetSpec{&cq, id});
+    }
+
+    if (!use_tree) {
+      // Basic: exact ranks by (batched) full scans.
+      const std::vector<size_t> counts =
+          oracle.OutscoringCountBatch(specs, &stats);
+      for (size_t c = 0; c < cand_queries.size(); ++c) {
+        size_t rank = 0;
+        for (size_t j = 0; j < m; ++j) {
+          rank = std::max(rank, counts[c * m + j] + 1);
+        }
+        ++stats.candidates_resolved;
+        offer_best(cand_queries[c].doc, rank, e, penalty_from_rank(e, rank),
+                   /*rank_exact=*/true);
+      }
+      return;
+    }
+
+    auto batch = oracle.ProbeRankBatch(specs, &stats);
+    std::vector<char> live(cand_queries.size(), 1);
+    size_t live_count = cand_queries.size();
+    std::vector<size_t> to_refine;
+    while (live_count > 0) {
+      to_refine.clear();
+      for (size_t c = 0; c < cand_queries.size(); ++c) {
+        if (!live[c]) continue;
+        size_t rank_lb = 0;
+        size_t rank_ub = 0;
+        bool all_resolved = true;
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = c * m + j;
+          rank_lb = std::max(rank_lb, batch->lower(i));
+          rank_ub = std::max(rank_ub, batch->upper(i));
+          all_resolved = all_resolved && batch->resolved(i);
+        }
+        // Same strict cut / exact-pin rules as the per-probe path (see the
+        // comment there); only the regrouping of the refinement differs.
+        const double pen_lb = k_term_of_rank_lb(rank_lb) + floor;
+        if (pen_lb > best.penalty.value) {
+          ++stats.candidates_pruned_bounds;
+          live[c] = 0;
+          --live_count;
+          continue;
+        }
+        const size_t dk_lb = rank_lb > query.k ? rank_lb - query.k : 0;
+        const size_t dk_ub = rank_ub > query.k ? rank_ub - query.k : 0;
+        if (dk_lb == dk_ub || all_resolved) {
+          ++stats.candidates_resolved;
+          offer_best(cand_queries[c].doc, rank_ub, e,
+                     penalty_from_rank(e, rank_ub),
+                     /*rank_exact=*/rank_lb == rank_ub);
+          live[c] = 0;
+          --live_count;
+          continue;
+        }
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = c * m + j;
+          if (!batch->resolved(i)) to_refine.push_back(i);
+        }
+      }
+      if (live_count == 0 || to_refine.empty()) break;
+      batch->RefineLevel(to_refine);
+      ++stats.probe_fanouts;
+      ++stats.refine_levels;
+    }
+  };
+
   // --- Enumerate candidates by increasing ∆doc. ---
   const size_t max_distance_pool = query.doc.size() + insertable.size();
   size_t e_cap = options.max_edit_distance == 0
@@ -163,10 +324,21 @@ Result<RefinedKeywordQuery> AdaptKeywords(
                      : std::min(options.max_edit_distance, max_distance_pool);
 
   bool done = false;
+  std::vector<KeywordSet> chunk;
   for (size_t e = 1; e <= e_cap && !done; ++e) {
-    if (floor_of(e) >= best.penalty.value) break;  // Whole level cut.
-    for (KeywordSet& cand : GenerateCandidatesAtDistance(query.doc,
-                                                         insertable, e)) {
+    // Whole-level cut. >= is safe HERE (unlike the per-candidate floor cut
+    // below): at a level's start `best` came from a smaller ∆doc, so a
+    // level-e candidate tying it loses the ∆doc tie-break anyway.
+    if (floor_of(e) >= best.penalty.value) break;
+    std::vector<KeywordSet> level_candidates =
+        GenerateCandidatesAtDistance(query.doc, insertable, e);
+    chunk.clear();
+    auto flush_chunk = [&] {
+      if (chunk.empty()) return;
+      evaluate_chunk_batched(chunk, e, floor_of(e));
+      chunk.clear();
+    };
+    for (KeywordSet& cand : level_candidates) {
       if (options.max_candidates != 0 &&
           stats.candidates_generated >= options.max_candidates) {
         stats.truncated = true;
@@ -175,80 +347,43 @@ Result<RefinedKeywordQuery> AdaptKeywords(
       }
       ++stats.candidates_generated;
       const double floor = floor_of(e);
-      if (floor >= best.penalty.value) {
+      // STRICT, like every other cut: a candidate whose floor merely TIES
+      // the best may still win offer_best's deterministic tie order
+      // (smaller ∆doc, then smaller keyword ids), so it must be evaluated.
+      // A >= cut here would let evaluation order decide exact ties — the
+      // per-probe and batched schedules would return different (equally
+      // optimal) refinements.
+      if (floor > best.penalty.value) {
         ++stats.candidates_pruned_floor;
         continue;
       }
 
-      Query cand_query = query;
-      cand_query.doc = cand;
-
-      if (!use_tree) {
-        // Basic: exact ranks by full scans.
-        size_t rank = 0;
-        for (ObjectId id : m_ids) {
-          rank = std::max(
-              rank, oracle.OutscoringCount(cand_query, id, &stats) + 1);
+      if (!options.batch_probes) {
+        Query cand_query = query;
+        cand_query.doc = cand;
+        if (!use_tree) {
+          // Basic: exact ranks by full scans.
+          size_t rank = 0;
+          for (ObjectId id : m_ids) {
+            rank = std::max(
+                rank, oracle.OutscoringCount(cand_query, id, &stats) + 1);
+          }
+          ++stats.candidates_resolved;
+          offer_best(cand, rank, e, penalty_from_rank(e, rank),
+                     /*rank_exact=*/true);
+        } else {
+          evaluate_with_probes(cand, cand_query, e, floor);
         }
-        ++stats.candidates_resolved;
-        offer_best(cand, rank, e, penalty_from_rank(e, rank),
-                   /*rank_exact=*/true);
         continue;
       }
 
-      // Bound-and-prune: per-missing-object progressive rank intervals
-      // (each probe sums per-shard KcR count intervals behind the seam).
-      std::vector<std::unique_ptr<RankProbe>> probes;
-      probes.reserve(m_ids.size());
-      for (ObjectId id : m_ids) {
-        probes.push_back(oracle.ProbeRank(cand_query, id, &stats));
-      }
-      while (true) {
-        size_t rank_lb = 0;
-        size_t rank_ub = 0;
-        for (const auto& p : probes) {
-          rank_lb = std::max(rank_lb, p->lower());
-          rank_ub = std::max(rank_ub, p->upper());
-        }
-        // Penalty interval from the rank interval. The cut is STRICT: a
-        // candidate whose penalty lower bound merely ties the best keeps
-        // refining until the ∆k pins, so exact-tie candidates always reach
-        // offer_best and its layout-independent tie order — bounds tighten
-        // differently over different shard layouts, and a >= cut here would
-        // let that difference decide ties.
-        const double pen_lb = k_term_of_rank_lb(rank_lb) + floor;
-        if (pen_lb > best.penalty.value) {
-          ++stats.candidates_pruned_bounds;
-          break;
-        }
-        const size_t dk_lb = rank_lb > query.k ? rank_lb - query.k : 0;
-        const size_t dk_ub = rank_ub > query.k ? rank_ub - query.k : 0;
-        if (dk_lb == dk_ub) {
-          // Penalty pinned exactly (∆k equal at both ends).
-          ++stats.candidates_resolved;
-          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
-                     /*rank_exact=*/rank_lb == rank_ub);
-          break;
-        }
-        // Refine the missing object driving the upper rank the hardest by
-        // one tree level.
-        RankProbe* widest = nullptr;
-        for (const auto& p : probes) {
-          if (p->resolved()) continue;
-          if (widest == nullptr || p->upper() > widest->upper()) {
-            widest = p.get();
-          }
-        }
-        if (widest == nullptr) {
-          // All resolved yet ∆k interval not collapsed: ranks are exact now.
-          ++stats.candidates_resolved;
-          offer_best(cand, rank_ub, e, penalty_from_rank(e, rank_ub),
-                     /*rank_exact=*/true);
-          break;
-        }
-        widest->RefineLevel();
+      chunk.push_back(std::move(cand));
+      if (options.probe_batch_size != 0 &&
+          chunk.size() >= options.probe_batch_size) {
+        flush_chunk();
       }
     }
+    flush_chunk();
   }
 
   if (!best.rank_exact) {
@@ -257,12 +392,7 @@ Result<RefinedKeywordQuery> AdaptKeywords(
     // refined_rank is the true R(M, q') in every layout.
     Query best_query = query;
     best_query.doc = best.doc;
-    size_t rank = 0;
-    for (ObjectId id : m_ids) {
-      rank = std::max(rank,
-                      oracle.OutscoringCount(best_query, id, &stats) + 1);
-    }
-    best.rank = rank;
+    best.rank = exact_rank_of(best_query);
   }
 
   out.refined.doc = best.doc;

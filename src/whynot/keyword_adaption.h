@@ -53,9 +53,21 @@ struct KeywordAdaptOptions {
   /// result is the best among the generated candidates and
   /// `stats.truncated` is set.
   size_t max_candidates = 500000;
+  /// Level-synchronous batched search (default): the candidates of one edit
+  /// distance share ONE rank-probe batch, refined with one oracle fan-out
+  /// per refinement level across all live candidates — the round-trip shape
+  /// that makes remote shards affordable. Off = the per-probe search (one
+  /// oracle call per candidate per level), kept for comparison benchmarks.
+  /// The refined query is bit-identical either way: the search only ever
+  /// cuts candidates whose penalty lower bound strictly exceeds the best, so
+  /// the winner does not depend on the probing schedule.
+  bool batch_probes = true;
+  /// Candidates per probe batch (bounds batch memory: each in-flight
+  /// candidate holds per-shard refiner frontiers). 0 = unbounded.
+  size_t probe_batch_size = 128;
 };
 
-/// Work counters (benchmarks E8/E9/E10).
+/// Work counters (benchmarks E8/E9/E10 and the remote round-trip gate).
 struct KeywordAdaptStats {
   size_t candidates_generated = 0;
   size_t candidates_pruned_floor = 0;   // Cut by the ∆doc floor alone.
@@ -63,6 +75,14 @@ struct KeywordAdaptStats {
   size_t candidates_resolved = 0;       // Evaluated to an exact penalty.
   size_t kcr_nodes_expanded = 0;
   size_t objects_scored = 0;            // Exact score evaluations.
+  /// Rank-probe refinement fan-outs issued (each is one RankProbeBatch::
+  /// RefineLevel — one round-trip per shard on a remote oracle). Unbatched,
+  /// every per-probe RefineLevel counts one.
+  size_t probe_fanouts = 0;
+  /// Refinement levels processed. Batched search issues exactly one fan-out
+  /// per level (probe_fanouts == refine_levels); the per-probe search issues
+  /// one per live probe per level.
+  size_t refine_levels = 0;
   bool truncated = false;               // max_candidates hit.
 };
 

@@ -1,0 +1,144 @@
+#include "src/whynot/shard_primitives.h"
+
+#include "src/query/ranking.h"
+#include "src/whynot/preference_adjustment.h"
+
+namespace yask {
+
+namespace {
+
+/// Appends the crossing weight of the anchor's line with p's line when it
+/// exists and falls inside [wlo, whi] — the shared re-filter every layout
+/// runs, so a crossing's weight is the same double wherever it is computed.
+void AppendCrossingWeight(const PlanePoint& m, const PlanePoint& p, double wlo,
+                          double whi, std::vector<double>* events) {
+  if (p.id == m.id) return;
+  const double slope = (p.x - m.x) - (p.y - m.y);
+  if (slope == 0.0) return;  // Parallel (or identical) lines: no crossing.
+  const double wx = (m.y - p.y) / slope;
+  if (!(wx >= wlo && wx <= whi)) return;
+  events->push_back(wx);
+}
+
+}  // namespace
+
+size_t ShardScanOutscoring(const OracleShardView& view, const Scorer& scorer,
+                           double target_score, ObjectId target_global) {
+  size_t above = 0;
+  for (const SpatialObject& o : view.store->objects()) {
+    const ObjectId gid =
+        view.to_global != nullptr ? (*view.to_global)[o.id] : o.id;
+    if (gid == target_global) continue;
+    if (OutranksTarget(scorer.Score(o), gid, target_score, target_global)) {
+      ++above;
+    }
+  }
+  return above;
+}
+
+// --- ShardPlane --------------------------------------------------------------
+
+ShardPlane::ShardPlane(const OracleShardView& view, const Query& query,
+                       double dist_norm, bool optimized)
+    : optimized_(optimized) {
+  std::vector<PlanePoint> pts =
+      BuildPlanePoints(*view.store, query, dist_norm, view.to_global);
+  if (optimized_) {
+    index_ = std::make_unique<ScorePlaneIndex>(std::move(pts));
+  } else {
+    pts_ = std::move(pts);
+  }
+}
+
+size_t ShardPlane::CountAbove(double w, double threshold,
+                              const PlanePoint& anchor,
+                              size_t* nodes_visited) const {
+  if (optimized_) {
+    const size_t count = index_->CountAbove(w, threshold, anchor.id);
+    *nodes_visited += index_->last_nodes_visited();
+    return count;
+  }
+  size_t above = 0;
+  for (const PlanePoint& p : pts_) {
+    if (p.id == anchor.id) continue;
+    if (OutranksTarget(p.ScoreAt(w), p.id, threshold, anchor.id)) ++above;
+  }
+  return above;
+}
+
+void ShardPlane::CollectCrossings(const PlanePoint& anchor, double wlo,
+                                  double whi, std::vector<double>* events,
+                                  size_t* nodes_visited) const {
+  if (optimized_) {
+    index_->ForEachCrossing(anchor, wlo, whi, [&](const PlanePoint& p) {
+      AppendCrossingWeight(anchor, p, wlo, whi, events);
+    });
+    *nodes_visited += index_->last_nodes_visited();
+    return;
+  }
+  for (const PlanePoint& p : pts_) {
+    AppendCrossingWeight(anchor, p, wlo, whi, events);
+  }
+}
+
+// --- ShardRankRefiner --------------------------------------------------------
+
+ShardRankRefiner::ShardRankRefiner(const OracleShardView& view,
+                                   const Scorer& scorer,
+                                   ObjectId target_global, double target_score,
+                                   KeywordAdaptStats* stats)
+    : view_(&view),
+      scorer_(&scorer),
+      target_(target_global),
+      target_score_(target_score),
+      stats_(stats) {
+  const KcRTree& tree = *view.kcr;
+  PushNode(tree.root(), tree.node(tree.root()));
+}
+
+void ShardRankRefiner::RefineLevel() {
+  if (frontier_.empty()) return;
+  const KcRTree& tree = *view_->kcr;
+  std::vector<Frontier> previous;
+  previous.swap(frontier_);
+  sum_lower_ = 0;
+  sum_upper_ = 0;
+  for (const Frontier& f : previous) {
+    const auto& node = tree.node(f.node);
+    ++stats_->kcr_nodes_expanded;
+    if (node.is_leaf) {
+      for (const auto& e : node.entries) {
+        const ObjectId gid =
+            view_->to_global != nullptr ? (*view_->to_global)[e.id] : e.id;
+        if (gid == target_) continue;
+        ++stats_->objects_scored;
+        if (OutranksTarget(scorer_->Score(e.id), gid, target_score_,
+                           target_)) {
+          ++exact_;
+        }
+      }
+    } else {
+      for (const auto& e : node.entries) {
+        PushNode(e.id, tree.node(e.id));
+      }
+    }
+  }
+}
+
+void ShardRankRefiner::PushNode(KcRTree::NodeId id, const KcRTree::Node& node) {
+  if (node.summary.cnt == 0) return;
+  const CountBounds b =
+      BoundOutscoringCount(*scorer_, node.rect, node.summary, target_score_);
+  if (b.upper == 0) return;  // Nothing below can outrank: drop.
+  if (b.lower == b.upper) {
+    exact_ += b.lower;  // Pinned without descending.
+    // Note: the target itself is never counted by the lower bound (its own
+    // score cannot strictly exceed itself), so this is tie-safe.
+    return;
+  }
+  frontier_.push_back(Frontier{id, b});
+  sum_lower_ += b.lower;
+  sum_upper_ += b.upper;
+}
+
+}  // namespace yask

@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Per-shard why-not primitives: the single-shard halves of every oracle
+// fan-out, factored out of the oracle so that EVERY deployment shape runs
+// the same code on a shard's data.
+//
+// Three call sites share these:
+//   * LocalWhyNotOracle       — one shard, in process (views it as 1 shard);
+//   * ShardedWhyNotOracle     — N shards, fan-out over a thread pool;
+//   * ShardService (remote)   — one shard behind HTTP; the coordinator's
+//                               RemoteShardOracle merges the responses.
+// The cross-layout bit-identity argument (docs/architecture.md, "Distributed
+// why-not") only needs each shard's contribution to be the same doubles
+// arithmetic everywhere — which is guaranteed here by having exactly one
+// implementation of each per-shard primitive, keyed on GLOBAL ids and the
+// GLOBAL SDist normaliser.
+
+#ifndef YASK_WHYNOT_SHARD_PRIMITIVES_H_
+#define YASK_WHYNOT_SHARD_PRIMITIVES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/index/kcr_tree.h"
+#include "src/index/score_plane_index.h"
+#include "src/index/setr_tree.h"
+#include "src/query/query.h"
+#include "src/query/scoring.h"
+#include "src/storage/object_store.h"
+#include "src/whynot/keyword_adaption.h"
+
+namespace yask {
+
+/// One shard as the generic fan-out machinery sees it. `to_global` maps the
+/// shard store's local ids to global ids (null = ids are already global,
+/// i.e. the unsharded layout).
+struct OracleShardView {
+  const ObjectStore* store = nullptr;
+  const SetRTree* setr = nullptr;  // Null only where Rank() is never used.
+  const KcRTree* kcr = nullptr;    // Null only where ProbeRank() is unused.
+  const std::vector<ObjectId>* to_global = nullptr;
+};
+
+/// Tie-aware scan count of objects in one shard outscoring the target:
+/// score > target_score, or == with global id < target_global (D6). The
+/// target itself (present in exactly one shard) is skipped by global id.
+size_t ShardScanOutscoring(const OracleShardView& view, const Scorer& scorer,
+                           double target_score, ObjectId target_global);
+
+/// One shard's Eqn. (3) score-plane state for one query: the plane points
+/// (basic mode) or a ScorePlaneIndex over them (optimized mode), with the
+/// two per-shard primitives the weight sweep fans out — count-above and
+/// crossing collection. Plane points carry GLOBAL ids.
+class ShardPlane {
+ public:
+  ShardPlane(const OracleShardView& view, const Query& query, double dist_norm,
+             bool optimized);
+
+  /// Tie-aware count of this shard's points outscoring `anchor` at weight
+  /// `w`. `threshold` must be anchor.ScoreAt(w) — the caller computes it
+  /// once per sweep event so every shard compares against the same double.
+  /// Allocation-free (this sits on the weight sweep's innermost loop).
+  size_t CountAbove(double w, double threshold, const PlanePoint& anchor,
+                    size_t* nodes_visited) const;
+
+  /// Appends every crossing weight of `anchor`'s score line with one of this
+  /// shard's lines inside [wlo, whi] to `events` (duplicates allowed — the
+  /// caller sorts and deduplicates the merged set).
+  void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
+                        std::vector<double>* events,
+                        size_t* nodes_visited) const;
+
+  bool optimized() const { return optimized_; }
+
+ private:
+  bool optimized_;
+  std::vector<PlanePoint> pts_;             // Basic mode only.
+  std::unique_ptr<ScorePlaneIndex> index_;  // Optimized mode only.
+};
+
+/// Per-shard progressive outscoring-count interval over that shard's
+/// KcR-tree: exact counts from resolved leaves plus per-frontier-node
+/// CountBounds. Tie-breaks compare GLOBAL ids, so the interval is the
+/// shard's exact contribution to the global rank (Eqn. (4) sums them).
+class ShardRankRefiner {
+ public:
+  /// `scorer` must be bound to the candidate query and outlive the refiner;
+  /// `stats` must outlive it too (counters accumulate as levels refine).
+  ShardRankRefiner(const OracleShardView& view, const Scorer& scorer,
+                   ObjectId target_global, double target_score,
+                   KeywordAdaptStats* stats);
+
+  size_t count_lower() const { return exact_ + sum_lower_; }
+  size_t count_upper() const { return exact_ + sum_upper_; }
+  bool resolved() const { return frontier_.empty() || sum_lower_ == sum_upper_; }
+
+  /// Descends the whole frontier one tree level ("when traversing the
+  /// KcR-tree downwards, we get tighter bounds", §3.3): every frontier node
+  /// is replaced by its children's bounds, leaves by exact tie-aware counts.
+  /// No-op when resolved.
+  void RefineLevel();
+
+ private:
+  struct Frontier {
+    KcRTree::NodeId node;
+    CountBounds bounds;
+  };
+
+  void PushNode(KcRTree::NodeId id, const KcRTree::Node& node);
+
+  const OracleShardView* view_;
+  const Scorer* scorer_;
+  ObjectId target_;
+  double target_score_;
+  KeywordAdaptStats* stats_;
+  std::vector<Frontier> frontier_;
+  size_t exact_ = 0;
+  size_t sum_lower_ = 0;
+  size_t sum_upper_ = 0;
+};
+
+}  // namespace yask
+
+#endif  // YASK_WHYNOT_SHARD_PRIMITIVES_H_

@@ -49,54 +49,10 @@ void ForEachShard(const OracleContext& ctx,
   ForShards(ctx, ctx.all_shards, fn);
 }
 
-/// Tie-aware scan count of objects in one shard outscoring the target:
-/// score > target_score, or == with global id < target_global (D6). The
-/// target itself (present in exactly one shard) is skipped by global id.
-size_t ScanOutscoring(const OracleShardView& view, const Scorer& scorer,
-                      double target_score, ObjectId target_global) {
-  size_t above = 0;
-  for (const SpatialObject& o : view.store->objects()) {
-    const ObjectId gid =
-        view.to_global != nullptr ? (*view.to_global)[o.id] : o.id;
-    if (gid == target_global) continue;
-    if (OutranksTarget(scorer.Score(o), gid, target_score, target_global)) {
-      ++above;
-    }
-  }
-  return above;
-}
-
 // --- Score-plane session -----------------------------------------------------
 
-/// Appends the crossing weight of the anchor's line with p's line when it
-/// exists and falls inside [wlo, whi] — the shared re-filter both layouts
-/// run, so a crossing's weight is the same double wherever it is computed.
-void AppendCrossingWeight(const PlanePoint& m, const PlanePoint& p,
-                          double wlo, double whi,
-                          std::vector<double>* events) {
-  if (p.id == m.id) return;
-  const double slope = (p.x - m.x) - (p.y - m.y);
-  if (slope == 0.0) return;  // Parallel (or identical) lines: no crossing.
-  const double wx = (m.y - p.y) / slope;
-  if (!(wx >= wlo && wx <= whi)) return;
-  events->push_back(wx);
-}
-
-/// Tie-aware count of points outscoring `anchor` at weight `w`, by scan
-/// (basic mode; the paper's baseline).
-size_t CountAboveScan(const std::vector<PlanePoint>& pts,
-                      const PlanePoint& anchor, double w) {
-  const double threshold = anchor.ScoreAt(w);
-  size_t above = 0;
-  for (const PlanePoint& p : pts) {
-    if (p.id == anchor.id) continue;
-    if (OutranksTarget(p.ScoreAt(w), p.id, threshold, anchor.id)) ++above;
-  }
-  return above;
-}
-
-/// The one ScorePlaneSession implementation: per-shard plane points (basic)
-/// or per-shard score-plane indexes (optimized), merged by partition-sum /
+/// The one ScorePlaneSession implementation: one ShardPlane per shard view
+/// (src/whynot/shard_primitives.h), merged by partition-sum /
 /// partition-union. One shard with a null mapping reproduces the original
 /// unsharded data path bit for bit.
 class MultiShardScorePlaneSession : public ScorePlaneSession {
@@ -108,18 +64,10 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
         oracle_(oracle),
         query_(query),
         optimized_(mode == PrefAdjustMode::kOptimized) {
-    const size_t n = ctx_->views.size();
-    pts_.resize(n);
-    if (optimized_) index_.resize(n);
+    planes_.resize(ctx_->views.size());
     ForEachShard(*ctx_, [&](size_t s) {
-      const OracleShardView& view = ctx_->views[s];
-      std::vector<PlanePoint> pts = BuildPlanePoints(
-          *view.store, *query_, ctx_->dist_norm, view.to_global);
-      if (optimized_) {
-        index_[s] = std::make_unique<ScorePlaneIndex>(std::move(pts));
-      } else {
-        pts_[s] = std::move(pts);
-      }
+      planes_[s] = std::make_unique<ShardPlane>(ctx_->views[s], *query_,
+                                                ctx_->dist_norm, optimized_);
     });
   }
 
@@ -133,7 +81,7 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
 
   size_t CountAbove(double w, const PlanePoint& anchor,
                     PreferenceAdjustStats* stats) const override {
-    const size_t n = ctx_->views.size();
+    const size_t n = planes_.size();
     const double threshold = anchor.ScoreAt(w);
 
     // This sits on the weight sweep's innermost loop (one call per crossing
@@ -143,10 +91,12 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
     if (n == 1) {
       size_t count;
       if (ctx_->shard_busy_ms == nullptr) {
-        count = CountAboveShard(0, w, threshold, anchor, stats);
+        count = planes_[0]->CountAbove(w, threshold, anchor,
+                                       &stats->index_nodes_visited);
       } else {
         Timer timer;
-        count = CountAboveShard(0, w, threshold, anchor, stats);
+        count = planes_[0]->CountAbove(w, threshold, anchor,
+                                       &stats->index_nodes_visited);
         (*ctx_->shard_busy_ms)[0] += timer.ElapsedMillis();
       }
       if (!optimized_) ++stats->full_rescans;
@@ -156,12 +106,8 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
     count_scratch_.assign(n, 0);
     node_scratch_.assign(n, 0);
     ForEachShard(*ctx_, [&](size_t s) {
-      if (optimized_) {
-        count_scratch_[s] = index_[s]->CountAbove(w, threshold, anchor.id);
-        node_scratch_[s] = index_[s]->last_nodes_visited();
-      } else {
-        count_scratch_[s] = CountAboveScan(pts_[s], anchor, w);
-      }
+      count_scratch_[s] =
+          planes_[s]->CountAbove(w, threshold, anchor, &node_scratch_[s]);
     });
     size_t total = 0;
     for (size_t s = 0; s < n; ++s) {
@@ -175,20 +121,11 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
   void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
                         std::vector<double>* events,
                         PreferenceAdjustStats* stats) const override {
-    const size_t n = ctx_->views.size();
+    const size_t n = planes_.size();
     std::vector<std::vector<double>> parts(n);
     std::vector<size_t> nodes(n, 0);
     ForEachShard(*ctx_, [&](size_t s) {
-      if (optimized_) {
-        index_[s]->ForEachCrossing(anchor, wlo, whi, [&](const PlanePoint& p) {
-          AppendCrossingWeight(anchor, p, wlo, whi, &parts[s]);
-        });
-        nodes[s] = index_[s]->last_nodes_visited();
-      } else {
-        for (const PlanePoint& p : pts_[s]) {
-          AppendCrossingWeight(anchor, p, wlo, whi, &parts[s]);
-        }
-      }
+      planes_[s]->CollectCrossings(anchor, wlo, whi, &parts[s], &nodes[s]);
     });
     // Union in shard order; the caller sorts + deduplicates the merged set,
     // so the final event sequence is layout-independent.
@@ -199,24 +136,11 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
   }
 
  private:
-  /// One shard's tie-aware above-threshold count, stats accumulated.
-  size_t CountAboveShard(size_t s, double w, double threshold,
-                         const PlanePoint& anchor,
-                         PreferenceAdjustStats* stats) const {
-    if (optimized_) {
-      const size_t c = index_[s]->CountAbove(w, threshold, anchor.id);
-      stats->index_nodes_visited += index_[s]->last_nodes_visited();
-      return c;
-    }
-    return CountAboveScan(pts_[s], anchor, w);
-  }
-
   const OracleContext* ctx_;
   const WhyNotOracle* oracle_;
   const Query* query_;
   bool optimized_;
-  std::vector<std::vector<PlanePoint>> pts_;  // Basic mode only.
-  std::vector<std::unique_ptr<ScorePlaneIndex>> index_;  // Optimized only.
+  std::vector<std::unique_ptr<ShardPlane>> planes_;
   // Fan-out scratch (a session serves one algorithm invocation on one
   // thread; only the per-shard tasks inside one fan-out run concurrently,
   // each touching its own slot).
@@ -224,177 +148,173 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
   mutable std::vector<size_t> node_scratch_;
 };
 
-// --- Rank probe --------------------------------------------------------------
+// --- Rank probes -------------------------------------------------------------
 
-/// Per-shard progressive outscoring-count interval over that shard's
-/// KcR-tree: exact counts from resolved leaves plus per-frontier-node
-/// CountBounds. Tie-breaks compare GLOBAL ids, so the interval is the
-/// shard's exact contribution to the global rank.
-class ShardRankRefiner {
+/// The RankProbeBatch over the context's shard views: per member a candidate
+/// query copy plus one ShardRankRefiner per shard; rank interval of a member
+/// = 1 + elementwise sum of its shard count intervals. RefineLevel descends
+/// every listed member's open frontiers in ONE fan-out (each shard task
+/// walks all members), so the pool — or, remotely, the wire — is hit once
+/// per level instead of once per (member, level). Members live behind
+/// unique_ptrs: the per-shard scorers point into the member's query copy,
+/// which therefore must never move.
+class ContextRankProbeBatch : public RankProbeBatch {
  public:
-  ShardRankRefiner(const OracleShardView& view, const Scorer& scorer,
-                   ObjectId target_global, double target_score,
-                   KeywordAdaptStats* stats)
-      : view_(&view),
-        scorer_(&scorer),
-        target_(target_global),
-        target_score_(target_score),
-        stats_(stats) {
-    const KcRTree& tree = *view.kcr;
-    PushNode(tree.root(), tree.node(tree.root()));
-  }
-
-  size_t count_lower() const { return exact_ + sum_lower_; }
-  size_t count_upper() const { return exact_ + sum_upper_; }
-  bool resolved() const {
-    return frontier_.empty() || sum_lower_ == sum_upper_;
-  }
-
-  /// Descends the whole frontier one tree level ("when traversing the
-  /// KcR-tree downwards, we get tighter bounds", §3.3): every frontier node
-  /// is replaced by its children's bounds, leaves by exact tie-aware counts.
-  /// No-op when resolved.
-  void RefineLevel() {
-    if (frontier_.empty()) return;
-    const KcRTree& tree = *view_->kcr;
-    std::vector<Frontier> previous;
-    previous.swap(frontier_);
-    sum_lower_ = 0;
-    sum_upper_ = 0;
-    for (const Frontier& f : previous) {
-      const auto& node = tree.node(f.node);
-      ++stats_->kcr_nodes_expanded;
-      if (node.is_leaf) {
-        for (const auto& e : node.entries) {
-          const ObjectId gid = view_->to_global != nullptr
-                                   ? (*view_->to_global)[e.id]
-                                   : e.id;
-          if (gid == target_) continue;
-          ++stats_->objects_scored;
-          if (OutranksTarget(scorer_->Score(e.id), gid, target_score_,
-                             target_)) {
-            ++exact_;
-          }
-        }
-      } else {
-        for (const auto& e : node.entries) {
-          PushNode(e.id, tree.node(e.id));
-        }
-      }
-    }
-  }
-
- private:
-  struct Frontier {
-    KcRTree::NodeId node;
-    CountBounds bounds;
-  };
-
-  void PushNode(KcRTree::NodeId id, const KcRTree::Node& node) {
-    if (node.summary.cnt == 0) return;
-    const CountBounds b =
-        BoundOutscoringCount(*scorer_, node.rect, node.summary, target_score_);
-    if (b.upper == 0) return;  // Nothing below can outrank: drop.
-    if (b.lower == b.upper) {
-      exact_ += b.lower;  // Pinned without descending.
-      // Note: the target itself is never counted by the lower bound (its own
-      // score cannot strictly exceed itself), so this is tie-safe.
-      return;
-    }
-    frontier_.push_back(Frontier{id, b});
-    sum_lower_ += b.lower;
-    sum_upper_ += b.upper;
-  }
-
-  const OracleShardView* view_;
-  const Scorer* scorer_;
-  ObjectId target_;
-  double target_score_;
-  KeywordAdaptStats* stats_;
-  std::vector<Frontier> frontier_;
-  size_t exact_ = 0;
-  size_t sum_lower_ = 0;
-  size_t sum_upper_ = 0;
-};
-
-/// The RankProbe over N shard refiners: rank interval = 1 + elementwise sum
-/// of the shard count intervals; RefineLevel descends every unresolved
-/// shard one level (in parallel on the pool). Owns a copy of the candidate
-/// query (the per-shard scorers point into it), so it must never be moved —
-/// it lives behind the unique_ptr ProbeRank returns.
-class KcrRankProbe : public RankProbe {
- public:
-  KcrRankProbe(const OracleContext* ctx, Query candidate,
-               ObjectId target_global, double target_score,
-               KeywordAdaptStats* stats)
-      : ctx_(ctx), query_(std::move(candidate)), stats_(stats) {
+  ContextRankProbeBatch(const OracleContext* ctx, const WhyNotOracle* oracle,
+                        const std::vector<OracleTargetSpec>& specs,
+                        KeywordAdaptStats* stats)
+      : ctx_(ctx), stats_(stats) {
     const size_t n = ctx_->views.size();
     shard_stats_.resize(n);
-    scorers_.reserve(n);
-    for (size_t s = 0; s < n; ++s) {
-      scorers_.emplace_back(*ctx_->views[s].store, query_, ctx_->dist_norm);
+    members_.reserve(specs.size());
+    for (const OracleTargetSpec& spec : specs) {
+      members_.push_back(std::make_unique<Member>());
+      Member& m = *members_.back();
+      m.query = *spec.query;
+      m.target = spec.target;
+      m.target_score =
+          ScorePartsOf(m.query, ctx_->dist_norm, oracle->Object(spec.target))
+              .score;
+      m.scorers.reserve(n);
+      for (size_t s = 0; s < n; ++s) {
+        assert(ctx_->views[s].kcr != nullptr &&
+               "ProbeRankBatch requires the KcR-tree on every shard");
+        m.scorers.emplace_back(*ctx_->views[s].store, m.query,
+                               ctx_->dist_norm);
+      }
+      m.refiners.resize(n);
     }
-    // Built inline: per-shard construction is one root-node bound
-    // computation, far below the pool's dispatch + latch cost (probes are
-    // created once per candidate per missing object — a hot loop).
-    refiners_.reserve(n);
-    for (size_t s = 0; s < n; ++s) {
-      assert(ctx_->views[s].kcr != nullptr &&
-             "ProbeRank requires the KcR-tree on every shard");
-      refiners_.push_back(std::make_unique<ShardRankRefiner>(
-          ctx_->views[s], scorers_[s], target_global, target_score,
-          &shard_stats_[s]));
+    // One fan-out builds every member's per-shard refiner (a root-node bound
+    // computation each). A batch of one is built inline: its per-shard cost
+    // is far below the pool's dispatch + latch cost, and single probes are
+    // created once per candidate per missing object — a hot loop.
+    auto build_shard = [&](size_t s) {
+      for (const auto& member : members_) {
+        member->refiners[s] = std::make_unique<ShardRankRefiner>(
+            ctx_->views[s], member->scorers[s], member->target,
+            member->target_score, &shard_stats_[s]);
+      }
+    };
+    if (members_.size() == 1) {
+      for (size_t s = 0; s < n; ++s) build_shard(s);
+    } else {
+      ForEachShard(*ctx_, build_shard);
     }
   }
 
-  KcrRankProbe(const KcrRankProbe&) = delete;
-  KcrRankProbe& operator=(const KcrRankProbe&) = delete;
+  ContextRankProbeBatch(const ContextRankProbeBatch&) = delete;
+  ContextRankProbeBatch& operator=(const ContextRankProbeBatch&) = delete;
 
-  ~KcrRankProbe() override {
+  ~ContextRankProbeBatch() override {
     for (const KeywordAdaptStats& s : shard_stats_) {
       stats_->kcr_nodes_expanded += s.kcr_nodes_expanded;
       stats_->objects_scored += s.objects_scored;
     }
   }
 
-  size_t lower() const override {
+  size_t size() const override { return members_.size(); }
+
+  size_t lower(size_t i) const override {
     size_t sum = 0;
-    for (const auto& r : refiners_) sum += r->count_lower();
+    for (const auto& r : members_[i]->refiners) sum += r->count_lower();
     return sum + 1;
   }
-  size_t upper() const override {
+  size_t upper(size_t i) const override {
     size_t sum = 0;
-    for (const auto& r : refiners_) sum += r->count_upper();
+    for (const auto& r : members_[i]->refiners) sum += r->count_upper();
     return sum + 1;
   }
-  bool resolved() const override {
-    for (const auto& r : refiners_) {
+  bool resolved(size_t i) const override {
+    for (const auto& r : members_[i]->refiners) {
       if (!r->resolved()) return false;
     }
     return true;
   }
-  void RefineLevel() override {
-    // Only the shards with open frontiers do work; dispatching resolved
-    // ones would spend pool scheduling on no-ops in the hottest /whynot
-    // loop (one call per candidate per refinement level).
-    std::vector<size_t> unresolved;
-    for (size_t s = 0; s < refiners_.size(); ++s) {
-      if (!refiners_[s]->resolved()) unresolved.push_back(s);
+
+  void RefineLevel(const std::vector<size_t>& members) override {
+    // Only the shards with open frontiers for at least one listed member do
+    // work; dispatching the rest would spend pool scheduling on no-ops in
+    // the hottest /whynot loop.
+    std::vector<size_t> active;
+    for (size_t s = 0; s < ctx_->views.size(); ++s) {
+      for (size_t m : members) {
+        if (!members_[m]->refiners[s]->resolved()) {
+          active.push_back(s);
+          break;
+        }
+      }
     }
-    ForShards(*ctx_, unresolved,
-              [&](size_t s) { refiners_[s]->RefineLevel(); });
+    ForShards(*ctx_, active, [&](size_t s) {
+      for (size_t m : members) {
+        ShardRankRefiner& r = *members_[m]->refiners[s];
+        if (!r.resolved()) r.RefineLevel();
+      }
+    });
   }
 
  private:
+  struct Member {
+    Query query;
+    ObjectId target = kInvalidObject;
+    double target_score = 0.0;
+    std::vector<Scorer> scorers;  // One per shard, bound to `query`.
+    std::vector<std::unique_ptr<ShardRankRefiner>> refiners;  // One per shard.
+  };
+
   const OracleContext* ctx_;
-  Query query_;
-  std::vector<Scorer> scorers_;  // One per shard, bound to query_.
-  std::vector<std::unique_ptr<ShardRankRefiner>> refiners_;
+  std::vector<std::unique_ptr<Member>> members_;
   std::vector<KeywordAdaptStats> shard_stats_;  // Flushed into stats_ at end.
   KeywordAdaptStats* stats_;
 };
 
+/// The base-class fallback batch: independent per-spec probes, refined one
+/// by one. Semantically identical to the fan-out batches, just without the
+/// shared round-trips — custom oracles get batching correctness for free.
+class WrappedRankProbeBatch : public RankProbeBatch {
+ public:
+  WrappedRankProbeBatch(const WhyNotOracle& oracle,
+                        const std::vector<OracleTargetSpec>& specs,
+                        KeywordAdaptStats* stats) {
+    probes_.reserve(specs.size());
+    for (const OracleTargetSpec& spec : specs) {
+      probes_.push_back(oracle.ProbeRank(*spec.query, spec.target, stats));
+    }
+  }
+
+  size_t size() const override { return probes_.size(); }
+  size_t lower(size_t i) const override { return probes_[i]->lower(); }
+  size_t upper(size_t i) const override { return probes_[i]->upper(); }
+  bool resolved(size_t i) const override { return probes_[i]->resolved(); }
+  void RefineLevel(const std::vector<size_t>& members) override {
+    for (size_t m : members) {
+      if (!probes_[m]->resolved()) probes_[m]->RefineLevel();
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<RankProbe>> probes_;
+};
+
 }  // namespace
+
+// --- WhyNotOracle defaults ---------------------------------------------------
+
+std::vector<size_t> WhyNotOracle::OutscoringCountBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  std::vector<size_t> counts;
+  counts.reserve(specs.size());
+  for (const OracleTargetSpec& spec : specs) {
+    counts.push_back(OutscoringCount(*spec.query, spec.target, stats));
+  }
+  return counts;
+}
+
+std::unique_ptr<RankProbeBatch> WhyNotOracle::ProbeRankBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  return std::make_unique<WrappedRankProbeBatch>(*this, specs, stats);
+}
 
 // --- ContextWhyNotOracle -----------------------------------------------------
 
@@ -431,7 +351,8 @@ size_t ContextWhyNotOracle::OutscoringCount(const Query& query,
   std::vector<size_t> counts(n, 0);
   ForEachShard(ctx_, [&](size_t s) {
     const Scorer scorer(*ctx_.views[s].store, query, ctx_.dist_norm);
-    counts[s] = ScanOutscoring(ctx_.views[s], scorer, target_score, global_id);
+    counts[s] =
+        ShardScanOutscoring(ctx_.views[s], scorer, target_score, global_id);
   });
   size_t above = 0;
   for (size_t s = 0; s < n; ++s) {
@@ -439,6 +360,36 @@ size_t ContextWhyNotOracle::OutscoringCount(const Query& query,
     stats->objects_scored += ctx_.views[s].store->size();
   }
   return above;
+}
+
+std::vector<size_t> ContextWhyNotOracle::OutscoringCountBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  // Target scores are resolved up front (the target of a spec need not live
+  // in any particular shard), then one fan-out scans every spec per shard.
+  std::vector<double> target_scores;
+  target_scores.reserve(specs.size());
+  for (const OracleTargetSpec& spec : specs) {
+    target_scores.push_back(
+        ScorePartsOf(*spec.query, ctx_.dist_norm, Object(spec.target)).score);
+  }
+  const size_t n = ctx_.views.size();
+  std::vector<std::vector<size_t>> counts(n,
+                                          std::vector<size_t>(specs.size()));
+  ForEachShard(ctx_, [&](size_t s) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const Scorer scorer(*ctx_.views[s].store, *specs[i].query,
+                          ctx_.dist_norm);
+      counts[s][i] = ShardScanOutscoring(ctx_.views[s], scorer,
+                                         target_scores[i], specs[i].target);
+    }
+  });
+  std::vector<size_t> total(specs.size(), 0);
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t i = 0; i < specs.size(); ++i) total[i] += counts[s][i];
+    stats->objects_scored += ctx_.views[s].store->size() * specs.size();
+  }
+  return total;
 }
 
 std::unique_ptr<ScorePlaneSession> ContextWhyNotOracle::PrepareScorePlane(
@@ -450,10 +401,15 @@ std::unique_ptr<ScorePlaneSession> ContextWhyNotOracle::PrepareScorePlane(
 std::unique_ptr<RankProbe> ContextWhyNotOracle::ProbeRank(
     const Query& candidate, ObjectId global_id,
     KeywordAdaptStats* stats) const {
-  const double target_score =
-      ScorePartsOf(candidate, ctx_.dist_norm, Object(global_id)).score;
-  return std::make_unique<KcrRankProbe>(&ctx_, candidate, global_id,
-                                        target_score, stats);
+  const std::vector<OracleTargetSpec> specs{{&candidate, global_id}};
+  return std::make_unique<BatchOfOneProbe>(
+      std::make_unique<ContextRankProbeBatch>(&ctx_, this, specs, stats));
+}
+
+std::unique_ptr<RankProbeBatch> ContextWhyNotOracle::ProbeRankBatch(
+    const std::vector<OracleTargetSpec>& specs,
+    KeywordAdaptStats* stats) const {
+  return std::make_unique<ContextRankProbeBatch>(&ctx_, this, specs, stats);
 }
 
 // --- LocalWhyNotOracle -------------------------------------------------------

@@ -44,6 +44,7 @@
 #include "src/storage/object_store.h"
 #include "src/whynot/keyword_adaption.h"
 #include "src/whynot/preference_adjustment.h"
+#include "src/whynot/shard_primitives.h"
 
 namespace yask {
 
@@ -107,6 +108,55 @@ class RankProbe {
   virtual void RefineLevel() = 0;
 };
 
+/// One (query, target object) pair of a batched oracle call. The query must
+/// outlive the call; batch implementations that keep per-target state (rank
+/// probes) copy it.
+struct OracleTargetSpec {
+  const Query* query = nullptr;
+  ObjectId target = kInvalidObject;  // Global id.
+};
+
+/// A batch of Eqn. (4) rank probes sharing fan-outs: created in one fan-out
+/// across the shards, and refined one tree level per fan-out across every
+/// listed member. This is the batching seam of keyword adaption: instead of
+/// one oracle round-trip per (candidate, missing object, level) probe, the
+/// search issues ONE RefineLevel per refinement level covering ALL live
+/// candidates — which a remote oracle turns into one request per shard per
+/// level, regardless of how many candidates are in flight.
+class RankProbeBatch {
+ public:
+  virtual ~RankProbeBatch() = default;
+
+  virtual size_t size() const = 0;
+  /// Rank interval of member i (same contract as RankProbe): lower() <=
+  /// true rank <= upper(); RefineLevel never widens; resolved == collapsed.
+  virtual size_t lower(size_t i) const = 0;
+  virtual size_t upper(size_t i) const = 0;
+  virtual bool resolved(size_t i) const = 0;
+  /// Descends every listed member's open frontiers one level in one fan-out.
+  /// Members already resolved are no-ops.
+  virtual void RefineLevel(const std::vector<size_t>& members) = 0;
+};
+
+/// RankProbe as a batch of one — the single-probe API is everywhere a view
+/// over the batch machinery, so both paths refine through identical code
+/// (oracle implementations wrap their batch type in this to serve
+/// ProbeRank).
+class BatchOfOneProbe : public RankProbe {
+ public:
+  explicit BatchOfOneProbe(std::unique_ptr<RankProbeBatch> batch)
+      : batch_(std::move(batch)) {}
+
+  size_t lower() const override { return batch_->lower(0); }
+  size_t upper() const override { return batch_->upper(0); }
+  bool resolved() const override { return batch_->resolved(0); }
+  void RefineLevel() override { batch_->RefineLevel(kSelf); }
+
+ private:
+  static inline const std::vector<size_t> kSelf{0};
+  std::unique_ptr<RankProbeBatch> batch_;
+};
+
 /// The seam. All object ids crossing this interface are GLOBAL ids.
 class WhyNotOracle {
  public:
@@ -143,16 +193,22 @@ class WhyNotOracle {
   virtual std::unique_ptr<RankProbe> ProbeRank(
       const Query& candidate, ObjectId global_id,
       KeywordAdaptStats* stats) const = 0;
-};
 
-/// One shard as the generic fan-out machinery sees it. `to_global` maps the
-/// shard store's local ids to global ids (null = ids are already global,
-/// i.e. the unsharded layout).
-struct OracleShardView {
-  const ObjectStore* store = nullptr;
-  const SetRTree* setr = nullptr;  // Null only where Rank() is never used.
-  const KcRTree* kcr = nullptr;    // Null only where ProbeRank() is unused.
-  const std::vector<ObjectId>* to_global = nullptr;
+  /// Batched OutscoringCount: one count per spec, semantically identical to
+  /// calling OutscoringCount per spec but answerable in one fan-out (one
+  /// round-trip per shard for a remote oracle). The base implementation
+  /// loops; layout-aware oracles override.
+  virtual std::vector<size_t> OutscoringCountBatch(
+      const std::vector<OracleTargetSpec>& specs,
+      KeywordAdaptStats* stats) const;
+
+  /// Batched ProbeRank: one rank interval per spec, created in one fan-out
+  /// and refined level-synchronously (see RankProbeBatch). Same KcR-tree
+  /// requirement as ProbeRank; `stats` must outlive the batch. The base
+  /// implementation wraps per-spec probes; layout-aware oracles override.
+  virtual std::unique_ptr<RankProbeBatch> ProbeRankBatch(
+      const std::vector<OracleTargetSpec>& specs,
+      KeywordAdaptStats* stats) const;
 };
 
 /// Everything the shared fan-out/merge implementation needs: the shard
@@ -190,6 +246,14 @@ class ContextWhyNotOracle : public WhyNotOracle {
   std::unique_ptr<RankProbe> ProbeRank(const Query& candidate,
                                        ObjectId global_id,
                                        KeywordAdaptStats* stats) const override;
+  /// One fan-out for the whole batch: each shard task scans/refines every
+  /// spec, so the pool is dispatched once per call instead of once per spec.
+  std::vector<size_t> OutscoringCountBatch(
+      const std::vector<OracleTargetSpec>& specs,
+      KeywordAdaptStats* stats) const override;
+  std::unique_ptr<RankProbeBatch> ProbeRankBatch(
+      const std::vector<OracleTargetSpec>& specs,
+      KeywordAdaptStats* stats) const override;
 
   const ThreadPool* pool() const { return ctx_.pool; }
   void set_shard_busy_ms(std::vector<double>* sink) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/server/http_client.h"
+
 #include <arpa/inet.h>
 #include <dirent.h>
 #include <netinet/in.h>
@@ -92,9 +94,19 @@ TEST_F(HttpServerTest, UnknownRouteIs404) {
   EXPECT_EQ(status, 404);
 }
 
-TEST_F(HttpServerTest, WrongMethodIs404) {
+TEST_F(HttpServerTest, WrongMethodOnKnownPathIs405) {
   int status = 0;
   auto body = HttpFetch(server_->bound_port(), "POST", "/ping", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 405);
+}
+
+TEST_F(HttpServerTest, UnknownMethodIs405OnKnownPath404Otherwise) {
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "BREW", "/ping", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 405);
+  body = HttpFetch(server_->bound_port(), "BREW", "/nowhere", "", &status);
   ASSERT_TRUE(body.ok());
   EXPECT_EQ(status, 404);
 }
@@ -191,7 +203,8 @@ TEST_F(HttpServerTest, MissingContentLengthTreatedAsEmptyBody) {
   addr.sin_port = htons(server_->bound_port());
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  const char req[] = "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n";
+  const char req[] =
+      "GET /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
   ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
   std::string resp;
   char buf[512];
@@ -262,6 +275,155 @@ TEST(HttpServerShutdownTest, StopUnderLoadClosesQueuedFdsQuicklyNoLeak) {
   // Every accepted server-side fd must be gone: queue-drain close, worker
   // close, or listener close.
   EXPECT_EQ(count_fds(), baseline);
+}
+
+namespace {
+
+/// Raw-socket client helper for the hardening tests: connects, sends
+/// `payload`, reads until the peer closes (or `read_nothing` skips reading).
+std::string RawExchange(uint16_t port, const std::string& payload,
+                        bool close_mid_request = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  if (!payload.empty()) {
+    EXPECT_GT(::send(fd, payload.data(), payload.size(), 0), 0);
+  }
+  if (close_mid_request) {
+    ::close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace
+
+TEST_F(HttpServerTest, OversizedDeclaredBodyRejectedWith413) {
+  // A 64 MiB Content-Length must be refused before any body bytes are
+  // buffered — the shard endpoints face other nodes, not trusted clients.
+  const std::string resp = RawExchange(
+      server_->bound_port(),
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 67108864\r\n\r\n");
+  EXPECT_NE(resp.find("413"), std::string::npos) << resp;
+  EXPECT_EQ(resp.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedHeaderBlockRejectedWith431) {
+  std::string req = "GET /ping HTTP/1.1\r\nHost: x\r\n";
+  req += "X-Filler: " + std::string(2u << 20, 'a') + "\r\n\r\n";
+  const std::string resp = RawExchange(server_->bound_port(), req);
+  EXPECT_NE(resp.find("431"), std::string::npos) << resp.substr(0, 200);
+  EXPECT_EQ(resp.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, TruncatedHeadersConnectionDropsServerSurvives) {
+  // Peer dies mid-header: the server must just drop the connection — and
+  // keep serving others.
+  RawExchange(server_->bound_port(), "GET /ping HTTP/1.1\r\nHos",
+              /*close_mid_request=*/true);
+  int status = 0;
+  auto body = HttpFetch(server_->bound_port(), "GET", "/ping", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+}
+
+TEST_F(HttpServerTest, KeepAliveServesSequentialRequestsOnOneConnection) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_->bound_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  auto roundtrip = [&](const std::string& req) {
+    EXPECT_GT(::send(fd, req.data(), req.size(), 0), 0);
+    // Each /ping response is Content-Length framed; read until the body's
+    // closing brace arrives (the connection stays open, so no EOF).
+    std::string resp;
+    char buf[1024];
+    while (resp.find("\"pong\":true}") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      resp.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_NE(resp.find("200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("Connection: keep-alive"), std::string::npos);
+  };
+  roundtrip("GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  roundtrip("GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+
+  // Connection: close is honoured on the last request.
+  const char last[] = "GET /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_GT(::send(fd, last, sizeof(last) - 1, 0), 0);
+  std::string resp;
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpClientConnectionTest, KeepAliveCallsAndDeadlines) {
+  HttpServer server(0, 2);
+  std::atomic<int> hits{0};
+  server.Route("POST", "/echo", [&](const HttpRequest& req) {
+    ++hits;
+    return HttpResponse::Json(req.body);
+  });
+  server.Route("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return HttpResponse::Json("{}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClientConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.bound_port(), 1000).ok());
+  // Several calls ride the same connection.
+  for (int i = 0; i < 3; ++i) {
+    int status = 0;
+    auto body = conn.Call("POST", "/echo", "{\"i\":1}", 2000, &status);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(*body, "{\"i\":1}");
+    EXPECT_TRUE(conn.connected());
+  }
+  EXPECT_EQ(hits.load(), 3);
+
+  // A deadline shorter than the handler trips, and closes the connection so
+  // the stale response cannot desynchronise a later call.
+  int status = 0;
+  auto slow = conn.Call("GET", "/slow", "", 50, &status);
+  EXPECT_FALSE(slow.ok());
+  EXPECT_FALSE(conn.connected());
+
+  // Reconnect works.
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.bound_port(), 1000).ok());
+  auto body = conn.Call("POST", "/echo", "x", 2000, &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "x");
+
+  // Dialing a dead port fails cleanly.
+  server.Stop();
+  HttpClientConnection dead;
+  EXPECT_FALSE(dead.Connect("127.0.0.1", server.bound_port(), 200).ok());
 }
 
 TEST(HttpResponseTest, ErrorHelperFormatsJson) {

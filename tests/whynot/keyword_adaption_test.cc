@@ -257,6 +257,78 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.3, 0.5, 0.7),
                        ::testing::Values(1u, 2u)));
 
+// The batched level-synchronous search must return the exact refinement the
+// per-probe search returns — the strict-cut argument makes the winner
+// independent of the probing schedule — while issuing exactly one refine
+// fan-out per refinement level (the remote round-trip gate).
+class KwBatchingAgrees
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, size_t>> {};
+
+TEST_P(KwBatchingAgrees, BatchedEqualsPerProbe) {
+  const auto [seed, lambda, m_count] = GetParam();
+  const ObjectStore store = MakeStore(250, seed);
+  KcRTree tree(&store);
+  tree.BulkLoad();
+  Rng rng(seed * 13 + 5);
+  for (int trial = 0; trial < 3; ++trial) {
+    Query q;
+    q.loc = SampleQueryLocation(store, &rng);
+    q.doc = SampleQueryKeywords(store, 1 + rng.NextBounded(3), &rng);
+    q.k = 3 + static_cast<uint32_t>(rng.NextBounded(4));
+    const std::vector<ObjectId> missing = PickMissing(store, q, m_count);
+    if (missing.size() != m_count) continue;
+
+    for (const KwAdaptMode mode :
+         {KwAdaptMode::kBoundAndPrune, KwAdaptMode::kBasic}) {
+      KeywordAdaptOptions batched;
+      batched.lambda = lambda;
+      batched.mode = mode;
+      batched.batch_probes = true;
+      KeywordAdaptOptions per_probe = batched;
+      per_probe.batch_probes = false;
+
+      auto rb = AdaptKeywords(store, tree, q, missing, batched);
+      auto rp = AdaptKeywords(store, tree, q, missing, per_probe);
+      ASSERT_TRUE(rb.ok());
+      ASSERT_TRUE(rp.ok());
+      EXPECT_EQ(rb->already_in_result, rp->already_in_result);
+      // Bit-identical, not just near: the same floating-point winner.
+      EXPECT_EQ(rb->penalty.value, rp->penalty.value)
+          << "seed=" << seed << " λ=" << lambda << " trial=" << trial;
+      EXPECT_EQ(rb->refined.doc.ids(), rp->refined.doc.ids());
+      EXPECT_EQ(rb->refined.k, rp->refined.k);
+      EXPECT_EQ(rb->original_rank, rp->original_rank);
+      EXPECT_EQ(rb->refined_rank, rp->refined_rank);
+
+      // The round-trip shape: one fan-out per refinement level when
+      // batching; the per-probe path pays one per probe per level.
+      EXPECT_EQ(rb->stats.probe_fanouts, rb->stats.refine_levels);
+      EXPECT_GE(rp->stats.probe_fanouts, rb->stats.probe_fanouts);
+    }
+
+    // A tiny batch cap still returns the same winner (chunked levels).
+    KeywordAdaptOptions tiny;
+    tiny.lambda = lambda;
+    tiny.probe_batch_size = 2;
+    KeywordAdaptOptions unbounded;
+    unbounded.lambda = lambda;
+    unbounded.probe_batch_size = 0;
+    auto rt = AdaptKeywords(store, tree, q, missing, tiny);
+    auto ru = AdaptKeywords(store, tree, q, missing, unbounded);
+    ASSERT_TRUE(rt.ok());
+    ASSERT_TRUE(ru.ok());
+    EXPECT_EQ(rt->penalty.value, ru->penalty.value);
+    EXPECT_EQ(rt->refined.doc.ids(), ru->refined.doc.ids());
+    EXPECT_EQ(rt->refined.k, ru->refined.k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KwBatchingAgrees,
+    ::testing::Combine(::testing::Values(5, 17, 29),
+                       ::testing::Values(0.3, 0.5, 0.7),
+                       ::testing::Values(1u, 2u)));
+
 TEST(AdaptKeywordsTest, PruningStatsShowWork) {
   const ObjectStore store = MakeStore(600, 6);
   KcRTree tree(&store);
