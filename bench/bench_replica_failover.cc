@@ -1,0 +1,450 @@
+// Experiment E14: replica failover under fire.
+//
+// Boots a loopback replica fleet — `--shards` logical shards x `--replicas`
+// ShardService replicas each, every replica of a shard serving the same
+// shard corpus (the in-process stand-in for "booted from the same snapshot
+// file") — connects a YaskService coordinator over it, and hammers /query +
+// /whynot from client threads WHILE a killer thread cycles through the
+// fleet stopping and restarting one replica at a time (so every shard
+// always keeps at least one live replica, the deployment invariant).
+//
+// Gates (non-zero exit on any failure, like the other sharded benches):
+//   * ZERO client-visible errors: every response during the chaos phase is
+//     HTTP 200 — kills are absorbed by replica failover + session replay,
+//     never surfaced as 503;
+//   * exactness: every chaos-phase payload is byte-identical (modulo the
+//     response_millis timing fields and /query's fresh query_id) to the
+//     in-process sharded service's answer for the same request;
+//   * the chaos actually bit: at least one kill happened and at least one
+//     call failed over (otherwise the run proves nothing).
+//
+// Headline numbers: chaos-phase throughput (the fleet keeps serving while
+// dying), failovers absorbed, and the healthy-fleet /query + /whynot
+// latencies for the perf trajectory.
+//
+//   $ ./bench_replica_failover [--n=20000] [--shards=2] [--replicas=2]
+//                              [--clients=4] [--seconds=4]
+//                              [--json=BENCH_replica_failover.json]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/text.h"
+#include "src/common/timer.h"
+#include "src/corpus/remote_corpus.h"
+#include "src/corpus/sharded_corpus.h"
+#include "src/server/json.h"
+#include "src/server/shard_service.h"
+#include "src/server/yask_service.h"
+
+namespace yask {
+namespace bench {
+namespace {
+
+/// N shards x R replicas of ShardService over one ShardedCorpus, with
+/// kill/restart at a stable port (the supervised-process model).
+struct ReplicaFleet {
+  const ShardedCorpus* corpus;
+  std::vector<std::vector<std::unique_ptr<ShardService>>> services;
+  std::vector<std::vector<uint16_t>> ports;
+
+  ReplicaFleet(const ShardedCorpus& sharded, size_t replicas)
+      : corpus(&sharded) {
+    services.resize(sharded.num_shards());
+    ports.resize(sharded.num_shards());
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      for (size_t r = 0; r < replicas; ++r) {
+        auto service = std::make_unique<ShardService>(
+            sharded.shard(s), InfoFor(s), ShardServiceOptions{});
+        if (!service->Start().ok()) {
+          std::fprintf(stderr, "cannot start shard %zu replica %zu\n", s, r);
+          std::exit(1);
+        }
+        ports[s].push_back(service->port());
+        services[s].push_back(std::move(service));
+      }
+    }
+  }
+
+  ~ReplicaFleet() {
+    for (auto& shard : services) {
+      for (auto& service : shard) {
+        if (service != nullptr) service->Stop();
+      }
+    }
+  }
+
+  ShardService::Info InfoFor(size_t s) const {
+    ShardService::Info info;
+    info.shard_index = static_cast<uint32_t>(s);
+    info.shard_count = static_cast<uint32_t>(corpus->num_shards());
+    info.global_bounds = corpus->bounds();
+    info.dist_norm = corpus->dist_norm();
+    info.to_global = corpus->shard_global_ids(s);
+    info.router = corpus->router_description();
+    return info;
+  }
+
+  std::vector<std::string> Endpoints() const {
+    std::vector<std::string> groups;
+    for (const auto& shard_ports : ports) {
+      std::string group;
+      for (const uint16_t port : shard_ports) {
+        if (!group.empty()) group += '|';
+        group += "127.0.0.1:" + std::to_string(port);
+      }
+      groups.push_back(std::move(group));
+    }
+    return groups;
+  }
+
+  void Kill(size_t s, size_t r) {
+    services[s][r]->Stop();
+    services[s][r].reset();
+  }
+
+  bool Restart(size_t s, size_t r) {
+    ShardServiceOptions options;
+    options.port = ports[s][r];
+    auto service = std::make_unique<ShardService>(corpus->shard(s),
+                                                  InfoFor(s), options);
+    Status started = service->Start();
+    for (int attempt = 0; !started.ok() && attempt < 100; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      started = service->Start();
+    }
+    if (!started.ok()) return false;
+    services[s][r] = std::move(service);
+    return true;
+  }
+};
+
+/// Drops timing (and optionally the fresh query_id) and re-dumps, so chaos
+/// payloads compare byte-for-byte against the healthy reference.
+JsonValue Strip(const JsonValue& v, bool strip_query_id) {
+  if (v.is_object()) {
+    JsonValue out = JsonValue::MakeObject();
+    for (const auto& [key, value] : v.object_items()) {
+      if (key == "response_millis") continue;
+      if (strip_query_id && key == "query_id") continue;
+      out.Set(key, Strip(value, strip_query_id));
+    }
+    return out;
+  }
+  if (v.is_array()) {
+    JsonValue out = JsonValue::MakeArray();
+    for (const JsonValue& item : v.array_items()) {
+      out.Append(Strip(item, strip_query_id));
+    }
+    return out;
+  }
+  return v;
+}
+
+bool Normalize(const std::string& payload, bool strip_query_id,
+               std::string* out) {
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) return false;
+  *out = Strip(parsed.value(), strip_query_id).Dump();
+  return true;
+}
+
+struct Workload {
+  std::string query_body;    // POST /query
+  std::string whynot_body;   // POST /whynot against the warm query_id
+  std::string expected_query;   // Normalized, query_id stripped.
+  std::string expected_whynot;  // Normalized.
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace yask
+
+int main(int argc, char** argv) {
+  using namespace yask;
+  using namespace yask::bench;
+
+  size_t n = 20000;
+  size_t shards = 2;
+  size_t replicas = 2;
+  size_t clients = 4;
+  double seconds = 4.0;
+  std::string json_path = "BENCH_replica_failover.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<size_t>(std::strtoull(arg.c_str() + 4, nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<size_t>(std::strtoull(arg.c_str() + 9, nullptr,
+                                                 10));
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas = static_cast<size_t>(std::strtoull(arg.c_str() + 11, nullptr,
+                                                   10));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = static_cast<size_t>(std::strtoull(arg.c_str() + 10, nullptr,
+                                                  10));
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::strtod(arg.c_str() + 10, nullptr);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n=N] [--shards=S] [--replicas=R] "
+                   "[--clients=C] [--seconds=T] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (replicas < 2) {
+    std::fprintf(stderr, "--replicas must be >= 2 (failover needs a "
+                         "sibling)\n");
+    return 2;
+  }
+
+  Timer setup_timer;
+  const ObjectStore store = GenerateDataset(SharedDatasetSpec(n));
+  const ShardedCorpus sharded = ShardedCorpus::Partition(
+      store, GridShardRouter::Fit(store, static_cast<uint32_t>(shards)));
+  ReplicaFleet fleet(sharded, replicas);
+  auto connected = RemoteCorpus::Connect(fleet.Endpoints());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  const RemoteCorpus remote_corpus = std::move(connected).value();
+  YaskService remote(remote_corpus);
+  YaskService local(sharded);
+  if (!remote.Start().ok() || !local.Start().ok()) {
+    std::fprintf(stderr, "cannot start services\n");
+    return 1;
+  }
+  std::printf("fleet up: n=%zu, %zu shards x %zu replicas, %zu clients "
+              "(setup %.0f ms)\n",
+              n, shards, replicas, clients, setup_timer.ElapsedMillis());
+
+  // --- Warm phase: build the workload and its reference payloads on the
+  // healthy fleet; every warm response must already match in-process. ---
+  const size_t kWarmQueries = 6;
+  Rng rng(kDatasetSeed + 21);
+  std::vector<Workload> workload;
+  bool warm_ok = true;
+  double topk_ms = 0.0;
+  double whynot_ms = 0.0;
+  size_t whynot_timed = 0;  // Some warm queries yield no why-not probe.
+  for (size_t i = 0; i < kWarmQueries; ++i) {
+    Query q = MakeQuery(store, &rng, /*num_keywords=*/3, /*k=*/10);
+    Workload w;
+    {
+      JsonValue body = JsonValue::MakeObject();
+      body.Set("x", JsonValue(q.loc.x));
+      body.Set("y", JsonValue(q.loc.y));
+      body.Set("keywords", JsonValue(q.doc.ToString(sharded.vocab())));
+      body.Set("k", JsonValue(static_cast<size_t>(q.k)));
+      w.query_body = body.Dump();
+    }
+    int remote_status = 0;
+    int local_status = 0;
+    Timer timer;
+    auto remote_resp =
+        HttpFetch(remote.port(), "POST", "/query", w.query_body,
+                  &remote_status);
+    topk_ms += timer.ElapsedMillis();
+    auto local_resp = HttpFetch(local.port(), "POST", "/query", w.query_body,
+                                &local_status);
+    std::string remote_norm;
+    if (!remote_resp.ok() || !local_resp.ok() || remote_status != 200 ||
+        local_status != 200 ||
+        !Normalize(*remote_resp, /*strip_query_id=*/true, &remote_norm) ||
+        !Normalize(*local_resp, /*strip_query_id=*/true,
+                   &w.expected_query) ||
+        remote_norm != w.expected_query) {
+      warm_ok = false;
+      continue;
+    }
+
+    const std::vector<ObjectId> missing =
+        PickMissing(store, q, 1 + i % 2, /*offset=*/4);
+    if (missing.empty()) continue;
+    {
+      JsonValue body = JsonValue::MakeObject();
+      body.Set("query_id", JsonValue(i + 1));  // Both services count from 1.
+      JsonValue ids = JsonValue::MakeArray();
+      for (const ObjectId id : missing) {
+        ids.Append(JsonValue(static_cast<size_t>(id)));
+      }
+      body.Set("missing", std::move(ids));
+      body.Set("model", JsonValue("both"));
+      w.whynot_body = body.Dump();
+    }
+    timer = Timer();
+    remote_resp = HttpFetch(remote.port(), "POST", "/whynot", w.whynot_body,
+                            &remote_status);
+    whynot_ms += timer.ElapsedMillis();
+    ++whynot_timed;
+    local_resp = HttpFetch(local.port(), "POST", "/whynot", w.whynot_body,
+                           &local_status);
+    if (!remote_resp.ok() || !local_resp.ok() || remote_status != 200 ||
+        local_status != 200 ||
+        !Normalize(*remote_resp, /*strip_query_id=*/false, &remote_norm) ||
+        !Normalize(*local_resp, /*strip_query_id=*/false,
+                   &w.expected_whynot) ||
+        remote_norm != w.expected_whynot) {
+      warm_ok = false;
+      continue;
+    }
+    workload.push_back(std::move(w));
+  }
+  if (!warm_ok || workload.empty()) {
+    std::fprintf(stderr, "EXACTNESS BUG: healthy-fleet payloads diverge "
+                         "from the in-process sharded service\n");
+    return 1;
+  }
+  topk_ms /= kWarmQueries;
+  whynot_ms /= whynot_timed;  // workload non-empty => whynot_timed >= 1.
+
+  // --- Chaos phase: clients hammer the coordinator while the killer cycles
+  // one replica at a time through kill -> dead window -> restart. ---
+  std::atomic<bool> chaos_running{true};
+  std::atomic<uint64_t> total_requests{0};
+  std::atomic<uint64_t> non_200{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> kills{0};
+  std::atomic<bool> restart_failed{false};
+
+  std::vector<std::thread> client_threads;
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      size_t i = c;  // Stagger the workload across clients.
+      while (chaos_running.load()) {
+        const Workload& w = workload[i++ % workload.size()];
+        const bool ask_whynot = i % 2 == 0;
+        int status = 0;
+        auto resp = HttpFetch(remote.port(), "POST",
+                              ask_whynot ? "/whynot" : "/query",
+                              ask_whynot ? w.whynot_body : w.query_body,
+                              &status);
+        total_requests.fetch_add(1);
+        if (!resp.ok() || status != 200) {
+          non_200.fetch_add(1);
+          continue;
+        }
+        std::string norm;
+        if (!Normalize(*resp, /*strip_query_id=*/!ask_whynot, &norm) ||
+            norm != (ask_whynot ? w.expected_whynot : w.expected_query)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread killer([&] {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    size_t victim = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const size_t s = victim % shards;
+      const size_t r = (victim / shards) % replicas;
+      ++victim;
+      fleet.Kill(s, r);
+      kills.fetch_add(1);
+      // The dead window: traffic keeps flowing against the survivors.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      if (!fleet.Restart(s, r)) {
+        restart_failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  });
+
+  Timer chaos_timer;
+  killer.join();
+  chaos_running.store(false);
+  for (std::thread& t : client_threads) t.join();
+  const double chaos_secs = chaos_timer.ElapsedMillis() / 1000.0;
+
+  const uint64_t failovers = remote_corpus.total_failovers();
+  const double rps =
+      chaos_secs > 0.0 ? static_cast<double>(total_requests.load()) /
+                             chaos_secs
+                       : 0.0;
+  const bool zero_errors = non_200.load() == 0 && !restart_failed.load();
+  const bool exact = mismatches.load() == 0;
+  const bool chaos_bit = kills.load() >= 1 && failovers >= 1;
+
+  std::printf(
+      "chaos: %llu requests in %.1fs (%.0f req/s), %llu kills, %llu "
+      "failovers absorbed, %llu non-200, %llu mismatches\n",
+      static_cast<unsigned long long>(total_requests.load()), chaos_secs,
+      rps, static_cast<unsigned long long>(kills.load()),
+      static_cast<unsigned long long>(failovers),
+      static_cast<unsigned long long>(non_200.load()),
+      static_cast<unsigned long long>(mismatches.load()));
+  std::printf("healthy fleet: topk %.2f ms/q, whynot %.2f ms/q\n", topk_ms,
+              whynot_ms);
+  if (!zero_errors) std::printf("ZERO-ERROR GATE FAILED\n");
+  if (!exact) std::printf("EXACTNESS BUG\n");
+  if (!chaos_bit) std::printf("CHAOS DID NOT BITE (no kill/failover)\n");
+
+  remote.Stop();
+  local.Stop();
+
+  JsonValue context = JsonValue::MakeObject();
+  context.Set("bench", JsonValue("replica_failover"));
+  context.Set("n", JsonValue(n));
+  context.Set("shards", JsonValue(shards));
+  context.Set("replicas", JsonValue(replicas));
+  context.Set("clients", JsonValue(clients));
+  context.Set("chaos_seconds", JsonValue(chaos_secs));
+  context.Set("requests", JsonValue(static_cast<size_t>(
+                              total_requests.load())));
+  context.Set("kills", JsonValue(static_cast<size_t>(kills.load())));
+  context.Set("failovers", JsonValue(static_cast<size_t>(failovers)));
+  context.Set("non_200", JsonValue(static_cast<size_t>(non_200.load())));
+  context.Set("mismatches", JsonValue(static_cast<size_t>(
+                                mismatches.load())));
+  context.Set("results_match", JsonValue(zero_errors && exact && chaos_bit));
+
+  JsonValue benches = JsonValue::MakeArray();
+  auto bench_row = [&](const std::string& name, double value,
+                       const std::string& unit) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("name", JsonValue(name));
+    row.Set("run_type", JsonValue("iteration"));
+    row.Set("iterations", JsonValue(static_cast<size_t>(1)));
+    row.Set("real_time", JsonValue(value));
+    row.Set("cpu_time", JsonValue(value));
+    row.Set("time_unit", JsonValue(unit));
+    benches.Append(std::move(row));
+  };
+  const std::string tag = "/shards:" + std::to_string(shards) +
+                          "/replicas:" + std::to_string(replicas) + "/" +
+                          std::to_string(n);
+  bench_row("replica_failover/topk" + tag, topk_ms, "ms");
+  bench_row("replica_failover/whynot" + tag, whynot_ms, "ms");
+  bench_row("replica_failover/chaos_rps" + tag, rps, "req/s");
+  bench_row("replica_failover/failovers" + tag,
+            static_cast<double>(failovers), "count");
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("context", std::move(context));
+  doc.Set("benchmarks", std::move(benches));
+  std::ofstream out(json_path, std::ios::trunc);
+  out << doc.Dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return zero_errors && exact && chaos_bit ? 0 : 1;
+}

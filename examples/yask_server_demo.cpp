@@ -21,13 +21,19 @@
 // COORDINATOR over running `yask_shard_server` processes: it holds no
 // objects or indexes itself — top-k and why-not fan out over the wire
 // through the same oracle seam and answer byte-identically to the
-// in-process layouts (docs/architecture.md, "Remote deployment").
+// in-process layouts (docs/architecture.md, "Remote deployment"). Each
+// comma-separated shard may be a '|'-joined REPLICA GROUP of servers booted
+// from the same shard snapshot — e.g.
+//   --remote-shards h:7001|h:7003,h:7002|h:7004
+// for 2 shards x 2 replicas; the coordinator round-robins across healthy
+// replicas and fails over mid-request when one dies, so a kill costs a
+// retry, not a 503.
 //
 // With `--serve` the process skips the scripted client and keeps serving
 // until killed, so real clients (curl, a browser) can talk to it.
 //
 //   $ ./yask_server_demo [--snapshot state.snap] [--serve] [--shards N]
-//                        [--remote-shards host:port,...]
+//                        [--remote-shards host:port[|host:port...],...]
 
 #include <chrono>
 #include <cstdio>
@@ -83,7 +89,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--snapshot <path>] [--serve] [--shards N] "
-                   "[--remote-shards host:port,...]\n",
+                   "[--remote-shards host:port[|host:port...],...]\n",
                    argv[0]);
       return 2;
     }

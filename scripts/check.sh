@@ -4,12 +4,24 @@
 #
 #   scripts/check.sh              # configure + build + ctest
 #   scripts/check.sh --bench      # additionally run bench_snapshot,
-#                                 # bench_sharded, bench_whynot_sharded and
-#                                 # bench_remote_shards, leaving
+#                                 # bench_sharded, bench_whynot_sharded,
+#                                 # bench_remote_shards and
+#                                 # bench_replica_failover, leaving
 #                                 # BENCH_*.json in the build dir (each
 #                                 # sharded/remote bench fails the run on
 #                                 # any divergence from the unsharded
-#                                 # answers)
+#                                 # answers; the failover bench additionally
+#                                 # fails on any client-visible error while
+#                                 # replicas are killed under load)
+#   scripts/check.sh --fleet      # additionally run scripts/fleet_smoke.sh:
+#                                 # a real loopback process fleet (2 shards
+#                                 # x 2 replicas of yask_shard_server booted
+#                                 # from snapshot files behind a coordinator)
+#                                 # serving /query + /whynot while one
+#                                 # replica is kill -9ed and restarted —
+#                                 # asserts zero non-200 responses and
+#                                 # payload parity with the in-process
+#                                 # sharded server
 #   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
 #                                 # <repo>/build-sanitize + ctest under the
 #                                 # sanitizers (use for the concurrency and
@@ -20,12 +32,15 @@
 #                                 #   CHECK-RESULT {"phase":...,"status":
 #                                 #   "pass"|"fail","seconds":N}
 #                                 # before the run exits non-zero on the
-#                                 # first failure — what
+#                                 # first failure, plus one
+#                                 #   CHECK-RESULT fleet=<pass|fail|skipped>
+#                                 # line so the fleet job is grep-able even
+#                                 # when the smoke was not requested — what
 #                                 # .github/workflows/ci.yml greps.
 #
 # The distributed suite alone: (cd build && ctest -L sharded) — that label
-# covers the in-process sharding tests AND the remote shard tier; the
-# sanitize run below covers it too (full ctest includes every labelled
+# covers the in-process sharding tests AND the remote shard/replica tier;
+# the sanitize run below covers it too (full ctest includes every labelled
 # test).
 set -euo pipefail
 
@@ -34,13 +49,15 @@ build_dir="${repo_root}/build"
 
 run_bench=0
 run_sanitize=0
+run_fleet=0
 ci_mode=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --sanitize) run_sanitize=1 ;;
+    --fleet) run_fleet=1 ;;
     --ci) ci_mode=1 ;;
-    *) echo "usage: $0 [--bench] [--sanitize] [--ci]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--bench] [--fleet] [--sanitize] [--ci]" >&2; exit 2 ;;
   esac
 done
 
@@ -92,6 +109,23 @@ if [[ "$run_bench" -eq 1 ]]; then
   run_phase bench-sharded env -C "$build_dir" ./bench_sharded --json=BENCH_sharded.json
   run_phase bench-whynot-sharded env -C "$build_dir" ./bench_whynot_sharded --json=BENCH_whynot_sharded.json
   run_phase bench-remote-shards env -C "$build_dir" ./bench_remote_shards --json=BENCH_remote_shards.json
+  run_phase bench-replica-failover env -C "$build_dir" ./bench_replica_failover --json=BENCH_replica_failover.json
+fi
+
+# The fleet smoke emits its satellite CHECK-RESULT line itself (pass/fail/
+# skipped) so the CI fleet job stays grep-able even when the phase is off.
+if [[ "$run_fleet" -eq 1 ]]; then
+  fleet_status=pass
+  "${repo_root}/scripts/fleet_smoke.sh" "$build_dir" || fleet_status=fail
+  if [[ "$ci_mode" -eq 1 ]]; then
+    echo "CHECK-RESULT fleet=${fleet_status}"
+  fi
+  if [[ "$fleet_status" == fail ]]; then
+    echo "check.sh: phase 'fleet' FAILED" >&2
+    exit 1
+  fi
+elif [[ "$ci_mode" -eq 1 ]]; then
+  echo "CHECK-RESULT fleet=skipped"
 fi
 
 echo "check.sh: OK"

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# The fleet smoke: a REAL loopback process fleet proving the replica tier's
+# contract end to end — the CI `fleet` job's payload, runnable locally via
+# scripts/check.sh --fleet (or directly: scripts/fleet_smoke.sh <build_dir>).
+#
+#   1. Seeds 2-shard snapshot files (one yask_server_demo scripted run).
+#   2. Boots 2 shards x 2 replicas: four yask_shard_server PROCESSES, each
+#      pair booted from the same shard snapshot file.
+#   3. Boots a coordinator (yask_server_demo --serve --remote-shards
+#      "a|b,c|d") and an in-process sharded reference server from the same
+#      snapshots.
+#   4. Runs /query + /whynot traffic against both; every coordinator payload
+#      must equal the reference payload byte-for-byte (modulo the
+#      response_millis timing fields).
+#   5. MID-RUN, kill -9s one replica, later restarts it at the same port,
+#      then kill -9s a different replica and leaves it dead.
+#   6. Fails on ANY non-200 response, ANY payload divergence, or a fleet
+#      that absorbed zero failovers (the kill must actually bite).
+set -euo pipefail
+
+build_dir="${1:?usage: $0 <build_dir>}"
+for bin in yask_server_demo yask_shard_server; do
+  if [[ ! -x "${build_dir}/${bin}" ]]; then
+    echo "fleet_smoke: ${build_dir}/${bin} not built" >&2
+    exit 1
+  fi
+done
+
+work="$(mktemp -d)"
+declare -a fleet_pids=()
+cleanup() {
+  local pid
+  for pid in "${fleet_pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Polls a server log for the bound port ("listening on 127.0.0.1:<port>").
+wait_port() {
+  local log="$1" port="" tries=0
+  while [[ -z "$port" ]]; do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+              "$log" 2>/dev/null | head -1)"
+    if [[ -z "$port" ]]; then
+      tries=$((tries + 1))
+      if [[ "$tries" -gt 100 ]]; then
+        echo "fleet_smoke: server did not come up; log:" >&2
+        cat "$log" >&2
+        return 1
+      fi
+      sleep 0.1
+    fi
+  done
+  echo "$port"
+}
+
+echo "fleet_smoke: seeding 2-shard snapshots"
+"${build_dir}/yask_server_demo" --shards 2 --snapshot "${work}/state" \
+  > "${work}/seed.log" 2>&1
+for shard in 0 1; do
+  if [[ ! -f "${work}/state.shard-${shard}.snap" ]]; then
+    echo "fleet_smoke: snapshot state.shard-${shard}.snap missing" >&2
+    cat "${work}/seed.log" >&2
+    exit 1
+  fi
+done
+
+# start_replica <shard> <replica> [port] -> sets pid_<s>_<r> / port_<s>_<r>.
+start_replica() {
+  local s="$1" r="$2" port_arg=()
+  [[ "${3:-}" != "" ]] && port_arg=(--port "$3")
+  "${build_dir}/yask_shard_server" --snapshot "${work}/state.shard-${s}.snap" \
+    ${port_arg[@]:+"${port_arg[@]}"} > "${work}/shard-${s}-${r}.log" 2>&1 &
+  local pid=$!
+  disown "$pid"  # kill -9 is the point; keep bash's job reaper quiet.
+  fleet_pids+=("$pid")
+  local port
+  port="$(wait_port "${work}/shard-${s}-${r}.log")"
+  eval "pid_${s}_${r}=${pid}"
+  eval "port_${s}_${r}=${port}"
+}
+
+echo "fleet_smoke: booting 2 shards x 2 replicas"
+for s in 0 1; do
+  for r in 0 1; do
+    start_replica "$s" "$r"
+  done
+done
+
+"${build_dir}/yask_server_demo" --serve --remote-shards \
+  "127.0.0.1:${port_0_0}|127.0.0.1:${port_0_1},127.0.0.1:${port_1_0}|127.0.0.1:${port_1_1}" \
+  > "${work}/coordinator.log" 2>&1 &
+fleet_pids+=($!)
+disown $!
+coordinator_port="$(wait_port "${work}/coordinator.log")"
+
+"${build_dir}/yask_server_demo" --serve --shards 2 \
+  --snapshot "${work}/state" > "${work}/reference.log" 2>&1 &
+fleet_pids+=($!)
+disown $!
+reference_port="$(wait_port "${work}/reference.log")"
+echo "fleet_smoke: coordinator :${coordinator_port}, reference :${reference_port}"
+
+# Timing is the one legitimate payload difference between transports.
+strip_timing() {
+  sed -E 's/"response_millis":[0-9.eE+-]+/"response_millis":0/g'
+}
+
+# fetch <port> <path> <body> <outfile> -> echoes the HTTP code.
+fetch() {
+  curl -s -o "$4" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    --data "$3" "http://127.0.0.1:$1$2" || echo 000
+}
+
+query_body='{"x":114.158,"y":22.281,"keywords":"clean comfortable","k":3}'
+rounds=36
+failures=0
+for round in $(seq 1 "$rounds"); do
+  case "$round" in
+    12)
+      echo "fleet_smoke: kill -9 shard 0 replica 0 (pid ${pid_0_0})"
+      kill -9 "${pid_0_0}"
+      ;;
+    20)
+      echo "fleet_smoke: restarting shard 0 replica 0 on port ${port_0_0}"
+      start_replica 0 0 "${port_0_0}"
+      ;;
+    28)
+      echo "fleet_smoke: kill -9 shard 1 replica 1 (pid ${pid_1_1}) — stays dead"
+      kill -9 "${pid_1_1}"
+      ;;
+  esac
+
+  whynot_body="{\"query_id\":${round},\"missing\":[81],\"model\":\"both\"}"
+  for call in query whynot; do
+    if [[ "$call" == query ]]; then body="$query_body"; else body="$whynot_body"; fi
+    coord_code="$(fetch "$coordinator_port" "/${call}" "$body" "${work}/coord.json")"
+    ref_code="$(fetch "$reference_port" "/${call}" "$body" "${work}/ref.json")"
+    if [[ "$coord_code" != 200 || "$ref_code" != 200 ]]; then
+      echo "fleet_smoke: round ${round} /${call}: coordinator=${coord_code} reference=${ref_code} (want 200/200)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! diff <(strip_timing < "${work}/coord.json") \
+              <(strip_timing < "${work}/ref.json") > /dev/null; then
+      echo "fleet_smoke: round ${round} /${call}: payload DIVERGED" >&2
+      failures=$((failures + 1))
+    fi
+  done
+done
+
+# The kill must have actually been absorbed as failovers, not dodged.
+health="$(curl -s "http://127.0.0.1:${coordinator_port}/health")"
+failovers="$(echo "$health" | grep -o '"failovers":[0-9]*' | cut -d: -f2 \
+               | awk '{sum += $1} END {print sum + 0}')"
+echo "fleet_smoke: ${rounds} rounds, ${failures} failures, ${failovers:-0} failovers absorbed"
+if [[ "$failures" -ne 0 ]]; then
+  echo "fleet_smoke: FAILED (${failures} bad responses)" >&2
+  exit 1
+fi
+if [[ "${failovers:-0}" -lt 1 ]]; then
+  echo "fleet_smoke: FAILED (zero failovers — the kill did not bite)" >&2
+  exit 1
+fi
+echo "fleet_smoke: OK — kills stayed invisible, payloads byte-identical"

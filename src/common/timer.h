@@ -6,8 +6,17 @@
 #define YASK_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace yask {
+
+/// Monotonic milliseconds since an arbitrary epoch — for deadlines and
+/// cooldown stamps (never wall-clock time).
+inline int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic stopwatch. Starts on construction; `Restart()` resets.
 class Timer {

@@ -1,12 +1,14 @@
 #include "src/corpus/remote_corpus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 #include <optional>
 #include <thread>
 
 #include "src/common/geometry.h"
 #include "src/common/string_util.h"
+#include "src/common/timer.h"
 #include "src/snapshot/snapshot_codec.h"
 
 namespace yask {
@@ -62,8 +64,9 @@ Result<std::string> RemoteShard::Call(const std::string& method,
   // connections, so a pooled socket failing on first use is EXPECTED — it
   // must not consume the fresh-dial retry budget (a burst could otherwise
   // burn every attempt on equally-stale sockets and 503 a healthy shard).
-  // The loop is bounded by the pool's size: failed connections are dropped,
-  // not returned.
+  // LooksAlive() discards most half-closed sockets without even writing the
+  // request. The loop is bounded by the pool's size: failed connections are
+  // dropped, not returned.
   while (true) {
     std::unique_ptr<HttpClientConnection> conn;
     {
@@ -72,7 +75,7 @@ Result<std::string> RemoteShard::Call(const std::string& method,
       conn = std::move(idle_.back());
       idle_.pop_back();
     }
-    if (!conn->connected()) continue;
+    if (!conn->connected() || !conn->LooksAlive()) continue;
     if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
   }
 
@@ -86,11 +89,138 @@ Result<std::string> RemoteShard::Call(const std::string& method,
     }
     if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
   }
+  error_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Unavailable("shard " + host_ + ":" + std::to_string(port_) +
                              " unreachable: " + last.message());
 }
 
+// --- ReplicaSet --------------------------------------------------------------
+
+ReplicaSet::ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
+                       RemoteShardOptions options)
+    : replicas_(std::move(replicas)), options_(options) {
+  health_.reserve(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    health_.push_back(std::make_unique<Health>());
+  }
+}
+
+std::string ReplicaSet::description() const {
+  std::string out;
+  for (const auto& replica : replicas_) {
+    if (!out.empty()) out += '|';
+    out += replica->endpoint();
+  }
+  return out;
+}
+
+bool ReplicaSet::InCooldown(size_t r) const {
+  const int64_t until = health_[r]->cooldown_until_ms.load();
+  return until != 0 && NowMillis() < until;
+}
+
+void ReplicaSet::MarkFailure(size_t r) const {
+  Health& h = *health_[r];
+  const uint32_t fails = h.consecutive_failures.fetch_add(1) + 1;
+  if (options_.cooldown_base_ms <= 0) return;
+  // Exponential backoff: base * 2^(fails-1), capped. A replica that keeps
+  // failing is probed ever less often — but always again eventually, which
+  // is how a restarted process rejoins the rotation.
+  int64_t cooldown = options_.cooldown_base_ms;
+  for (uint32_t i = 1; i < fails && cooldown < options_.cooldown_max_ms; ++i) {
+    cooldown *= 2;
+  }
+  cooldown = std::min<int64_t>(cooldown, options_.cooldown_max_ms);
+  h.cooldown_until_ms.store(NowMillis() + cooldown);
+}
+
+void ReplicaSet::MarkSuccess(size_t r) const {
+  Health& h = *health_[r];
+  h.consecutive_failures.store(0);
+  h.cooldown_until_ms.store(0);
+}
+
+std::optional<size_t> ReplicaSet::PickReplica(
+    const std::vector<bool>* exclude) const {
+  const size_t n = replicas_.size();
+  const size_t start = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  // Pass 0 takes healthy replicas only; pass 1 accepts the cooling ones —
+  // when everything is cooling, an attempt that might succeed beats a
+  // guaranteed error.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = (start + i) % n;
+      if (exclude != nullptr && (*exclude)[r]) continue;
+      if (pass == 0 && InCooldown(r)) continue;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::string> ReplicaSet::Call(const std::string& method,
+                                     const std::string& path,
+                                     std::string_view body) const {
+  Status last = Status::Unavailable("no replica attempted");
+  std::vector<bool> tried(replicas_.size(), false);
+  bool failed_over = false;
+  // One routing policy: PickReplica prefers healthy replicas and only then
+  // the cooling leftovers; each wire failure excludes that replica and asks
+  // again until the set is exhausted.
+  while (const std::optional<size_t> r = PickReplica(&tried)) {
+    tried[*r] = true;
+    Result<std::string> resp = replicas_[*r]->Call(method, path, body);
+    if (resp.ok() || resp.status().code() != StatusCode::kUnavailable) {
+      // The wire worked; a semantic HTTP error is an answer, and retrying
+      // it on a sibling would just repeat it.
+      MarkSuccess(*r);
+      if (failed_over) NoteFailover();
+      return resp;
+    }
+    last = resp.status();
+    failed_over = true;
+    MarkFailure(*r);
+  }
+  return Status::Unavailable("all " + std::to_string(replicas_.size()) +
+                             " replica(s) of " + description() +
+                             " failed: " + last.message());
+}
+
+Result<std::string> ReplicaSet::CallOn(size_t r, const std::string& method,
+                                       const std::string& path,
+                                       std::string_view body) const {
+  Result<std::string> resp = replicas_[r]->Call(method, path, body);
+  if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable) {
+    MarkFailure(r);
+  } else {
+    MarkSuccess(r);
+  }
+  return resp;
+}
+
+uint64_t ReplicaSet::requests() const {
+  uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->requests();
+  return total;
+}
+
 // --- RemoteCorpus ------------------------------------------------------------
+
+namespace {
+
+/// Replicas booted from the same shard snapshot must agree on the shard's
+/// whole identity; any disagreement means the operator pointed a group at
+/// mixed builds, and failover between them would corrupt results.
+bool SameShardIdentity(const shardrpc::ShardMeta& a,
+                       const shardrpc::ShardMeta& b) {
+  return a.shard_index == b.shard_index && a.shard_count == b.shard_count &&
+         a.object_count == b.object_count && a.dist_norm == b.dist_norm &&
+         a.global_bounds == b.global_bounds && a.has_kcr == b.has_kcr &&
+         a.setr_empty == b.setr_empty &&
+         a.setr_root_mbr == b.setr_root_mbr && a.global_ids == b.global_ids;
+}
+
+}  // namespace
 
 Result<RemoteCorpus> RemoteCorpus::Connect(
     const std::vector<std::string>& endpoints,
@@ -99,53 +229,72 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     return Status::InvalidArgument("no shard endpoints given");
   }
 
-  // Dial every endpoint and fetch its identity.
-  std::vector<std::unique_ptr<RemoteShard>> dialed;
-  std::vector<shardrpc::ShardMeta> metas;
-  for (const std::string& endpoint : endpoints) {
-    const size_t colon = endpoint.rfind(':');
-    uint64_t port = 0;
-    if (colon == std::string::npos || colon == 0 ||
-        !ParseUint64(endpoint.substr(colon + 1), &port) || port == 0 ||
-        port > 65535) {
-      return Status::InvalidArgument("bad shard endpoint '" + endpoint +
-                                     "' (want host:port)");
+  // Dial every replica of every group and fetch its identity.
+  struct DialedGroup {
+    std::vector<std::unique_ptr<RemoteShard>> replicas;
+    shardrpc::ShardMeta meta;  // The agreed group identity.
+    std::string label;         // The group as given (error messages).
+  };
+  std::vector<DialedGroup> groups;
+  for (const std::string& group_spec : endpoints) {
+    DialedGroup group;
+    group.label = group_spec;
+    for (const std::string& endpoint : Split(group_spec, '|')) {
+      const size_t colon = endpoint.rfind(':');
+      uint64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseUint64(endpoint.substr(colon + 1), &port) || port == 0 ||
+          port > 65535) {
+        return Status::InvalidArgument(
+            "bad shard endpoint '" + endpoint +
+            "' (want host:port, replicas '|'-joined)");
+      }
+      auto replica = std::make_unique<RemoteShard>(
+          endpoint.substr(0, colon), static_cast<uint16_t>(port), options);
+      Result<std::string> raw = replica->Call("GET", shardrpc::kMetaPath, "");
+      if (!raw.ok()) return raw.status();
+      BufReader in(raw->data(), raw->size());
+      Result<shardrpc::ShardMeta> meta = shardrpc::GetShardMeta(&in);
+      if (!meta.ok()) {
+        return Status::InvalidArgument(endpoint + ": bad shard meta: " +
+                                       meta.status().message());
+      }
+      if (meta->protocol_version != shardrpc::kProtocolVersion) {
+        return Status::FailedPrecondition(
+            endpoint + " speaks shard protocol version " +
+            std::to_string(meta->protocol_version) + ", coordinator speaks " +
+            std::to_string(shardrpc::kProtocolVersion));
+      }
+      if (group.replicas.empty()) {
+        group.meta = std::move(meta).value();
+      } else if (!SameShardIdentity(group.meta, *meta)) {
+        return Status::InvalidArgument(
+            endpoint + " disagrees with its replica group '" + group_spec +
+            "' on the shard identity — replicas of one shard must be booted "
+            "from the same shard snapshot");
+      }
+      group.replicas.push_back(std::move(replica));
     }
-    auto shard = std::make_unique<RemoteShard>(
-        endpoint.substr(0, colon), static_cast<uint16_t>(port), options);
-    Result<std::string> raw = shard->Call("GET", shardrpc::kMetaPath, "");
-    if (!raw.ok()) return raw.status();
-    BufReader in(raw->data(), raw->size());
-    Result<shardrpc::ShardMeta> meta = shardrpc::GetShardMeta(&in);
-    if (!meta.ok()) {
-      return Status::InvalidArgument(endpoint + ": bad shard meta: " +
-                                     meta.status().message());
-    }
-    if (meta->protocol_version != shardrpc::kProtocolVersion) {
-      return Status::FailedPrecondition(
-          endpoint + " speaks shard protocol version " +
-          std::to_string(meta->protocol_version) + ", coordinator speaks " +
-          std::to_string(shardrpc::kProtocolVersion));
-    }
-    dialed.push_back(std::move(shard));
-    metas.push_back(std::move(meta).value());
+    // Split keeps empty fields, so even "" yields one (invalid) endpoint and
+    // the loop above has already rejected it — every group here is non-empty.
+    groups.push_back(std::move(group));
   }
 
-  // Reassemble by manifest identity, exactly one shard per index.
-  const uint32_t shard_count = metas[0].shard_count;
-  if (shard_count != endpoints.size()) {
+  // Reassemble by manifest identity, exactly one group per shard index.
+  const uint32_t shard_count = groups[0].meta.shard_count;
+  if (shard_count != groups.size()) {
     return Status::InvalidArgument(
-        endpoints[0] + " belongs to a " + std::to_string(shard_count) +
-        "-shard corpus, but " + std::to_string(endpoints.size()) +
-        " endpoints were given");
+        groups[0].label + " belongs to a " + std::to_string(shard_count) +
+        "-shard corpus, but " + std::to_string(groups.size()) +
+        " endpoint groups were given");
   }
   RemoteCorpus corpus;
   corpus.shards_.resize(shard_count);
   corpus.metas_.resize(shard_count);
-  for (size_t i = 0; i < dialed.size(); ++i) {
-    const shardrpc::ShardMeta& meta = metas[i];
+  for (DialedGroup& group : groups) {
+    const shardrpc::ShardMeta& meta = group.meta;
     if (meta.shard_count != shard_count) {
-      return Status::InvalidArgument(endpoints[i] + " claims " +
+      return Status::InvalidArgument(group.label + " claims " +
                                      std::to_string(meta.shard_count) +
                                      " shards, expected " +
                                      std::to_string(shard_count));
@@ -153,24 +302,25 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     if (meta.shard_index >= shard_count ||
         corpus.shards_[meta.shard_index] != nullptr) {
       return Status::InvalidArgument(
-          endpoints[i] + " claims shard index " +
+          group.label + " claims shard index " +
           std::to_string(meta.shard_index) +
           (meta.shard_index < shard_count ? ", already served by another "
-                                            "endpoint"
+                                            "endpoint group"
                                           : ", out of range"));
     }
-    if (!(meta.global_bounds == metas[0].global_bounds)) {
-      return Status::InvalidArgument(endpoints[i] +
+    if (!(meta.global_bounds == groups[0].meta.global_bounds)) {
+      return Status::InvalidArgument(group.label +
                                      " disagrees on the global bounds");
     }
-    if (meta.dist_norm != metas[0].dist_norm) {
+    if (meta.dist_norm != groups[0].meta.dist_norm) {
       return Status::InvalidArgument(
-          endpoints[i] + " disagrees on the SDist normaliser (" +
+          group.label + " disagrees on the SDist normaliser (" +
           std::to_string(meta.dist_norm) + " vs " +
-          std::to_string(metas[0].dist_norm) +
+          std::to_string(groups[0].meta.dist_norm) +
           ") — shard snapshots from different builds?");
     }
-    corpus.shards_[meta.shard_index] = std::move(dialed[i]);
+    corpus.shards_[meta.shard_index] =
+        std::make_unique<ReplicaSet>(std::move(group.replicas), options);
     corpus.metas_[meta.shard_index] = meta;
   }
 
@@ -204,8 +354,8 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     }
   }
 
-  corpus.bounds_ = metas[0].global_bounds;
-  corpus.dist_norm_ = metas[0].dist_norm;
+  corpus.bounds_ = corpus.metas_[0].global_bounds;
+  corpus.dist_norm_ = corpus.metas_[0].dist_norm;
   corpus.has_kcr_ = true;
   for (const shardrpc::ShardMeta& meta : corpus.metas_) {
     corpus.has_kcr_ = corpus.has_kcr_ && meta.has_kcr;
@@ -276,6 +426,12 @@ void RemoteCorpus::RecordError(const Status& status) const {
 uint64_t RemoteCorpus::total_requests() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->requests();
+  return total;
+}
+
+uint64_t RemoteCorpus::total_failovers() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->failovers();
   return total;
 }
 
@@ -374,7 +530,7 @@ bool ShardTopK(const RemoteCorpus& corpus, size_t s, const Query& query,
   shardrpc::PutQuery(&req, query);
   req.PutF64(prune_below);
   Result<std::string> raw =
-      corpus.shard(s).Call("POST", shardrpc::kTopKPath, req.data());
+      corpus.replicas(s).Call("POST", shardrpc::kTopKPath, req.data());
   if (!raw.ok()) {
     corpus.RecordError(raw.status());
     return false;

@@ -3,22 +3,39 @@
 // whose shards live in other processes (yask_shard_server) — the remote
 // counterpart of ShardedCorpus.
 //
-// Connect() dials every endpoint, fetches each shard's meta (identity,
-// global bounds + SDist normaliser, local->global id map, index
-// availability, SetR root MBR) and the shared vocabulary, and cross-checks
-// the set exactly like ShardedCorpus::Load checks shard files: all shards
-// present exactly once, bounds agreed, global ids tiling 0..total-1. After
-// that the coordinator can route by global id, tokenise queries with the
-// same term ids the shards use, and pick top-k home shards — everything the
-// in-process fan-outs read from their ShardedCorpus, except the indexes,
-// which stay behind the wire.
+// Replica tier: each logical shard is backed by N replicas — yask_shard_server
+// processes booted from the SAME per-shard snapshot file — held behind a
+// ReplicaSet with health-aware routing. Stateless calls spread round-robin
+// across healthy replicas; on any wire failure mid-call the set transparently
+// retries the surviving replicas, so a killed process costs a failover, not a
+// 503. Each replica carries its own error epoch, consecutive-failure count and
+// an exponential cooldown: a flapping replica is routed around until its
+// cooldown expires, then probed again (which is how a restarted process
+// rejoins the rotation). Only when EVERY replica of a shard fails does the
+// error reach the corpus-level epoch below.
 //
-// Transport: one pooled keep-alive connection set per shard with per-call
+// Connect() dials every replica of every endpoint group ("host:port|host:port"
+// per shard, groups comma-joined by the caller), fetches each replica's meta
+// (identity, global bounds + SDist normaliser, local->global id map, index
+// availability, SetR root MBR) and the shared vocabulary, checks that the
+// replicas of a group agree exactly (same snapshot ⇒ same identity), and
+// cross-checks the shard set exactly like ShardedCorpus::Load checks shard
+// files: all shards present exactly once, bounds agreed, global ids tiling
+// 0..total-1. After that the coordinator can route by global id, tokenise
+// queries with the same term ids the shards use, and pick top-k home shards —
+// everything the in-process fan-outs read from their ShardedCorpus, except
+// the indexes, which stay behind the wire.
+//
+// Transport: one pooled keep-alive connection set per replica with per-call
 // deadlines and retry-on-fresh-connection (transport errors only — HTTP
-// error statuses are semantic and surface immediately). Failures also bump
-// the corpus's error epoch, which YaskService samples around each request to
-// turn a mid-algorithm shard failure into a clean 503 (the why-not oracle
-// interface has no error channel of its own).
+// error statuses are semantic and surface immediately). Server-side session
+// state (Eqn. (3) plane sessions, Eqn. (4) probe batches) is replica-sticky;
+// its failover — re-establish on a live replica and REPLAY to the same level
+// — lives with the sessions in src/corpus/remote_whynot_oracle.cc. Failures
+// that exhaust a whole ReplicaSet bump the corpus's error epoch, which
+// YaskService samples around each request to turn a mid-algorithm shard
+// failure into a clean 503 (the why-not oracle interface has no error
+// channel of its own).
 
 #ifndef YASK_CORPUS_REMOTE_CORPUS_H_
 #define YASK_CORPUS_REMOTE_CORPUS_H_
@@ -26,6 +43,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,11 +69,17 @@ struct RemoteShardOptions {
   /// Worker threads of the coordinator fan-out pool (0 = auto like
   /// CorpusOptions::fanout_threads: one per shard, none on 1-core hosts).
   size_t fanout_threads = 0;
+  /// Replica cooldown after a failed call: base * 2^(consecutive failures-1),
+  /// capped at max. A cooling replica is skipped by routing while healthy
+  /// siblings exist, and probed again once the cooldown expires (how a
+  /// restarted replica rejoins). Base 0 disables cooldown.
+  int cooldown_base_ms = 200;
+  int cooldown_max_ms = 3000;
 };
 
-/// One shard server as the coordinator talks to it: a connection pool plus
-/// the retry/deadline policy. Thread-safe; calls from concurrent fan-outs
-/// each check a connection out of the pool.
+/// One replica endpoint as the coordinator talks to it: a connection pool
+/// plus the retry/deadline policy. Thread-safe; calls from concurrent
+/// fan-outs each check a connection out of the pool.
 class RemoteShard {
  public:
   RemoteShard(std::string host, uint16_t port, RemoteShardOptions options);
@@ -63,32 +87,106 @@ class RemoteShard {
   /// One RPC. Returns the response body on HTTP 200; a semantic HTTP error
   /// becomes a Status with the mapped code (404 -> NotFound, 501 ->
   /// FailedPrecondition, else Unavailable) and is NOT retried; transport
-  /// errors retry per the options, then surface as Unavailable.
+  /// errors retry per the options (each on a fresh connection — pooled
+  /// sockets found half-closed are discarded for free), then surface as
+  /// Unavailable and bump this replica's error epoch.
   Result<std::string> Call(const std::string& method, const std::string& path,
                            std::string_view body);
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
+  std::string endpoint() const {
+    return host_ + ":" + std::to_string(port_);
+  }
   /// Wire requests issued (attempts count one each) — the round-trip meter
   /// bench_remote_shards gates on.
   uint64_t requests() const { return requests_.load(); }
+  /// Calls that exhausted every attempt — this replica's failure count.
+  uint64_t error_epoch() const { return error_epoch_.load(); }
 
  private:
   std::string host_;
   uint16_t port_;
   RemoteShardOptions options_;
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> error_epoch_{0};
   std::mutex pool_mu_;
   std::vector<std::unique_ptr<HttpClientConnection>> idle_;
 };
 
+/// One logical shard's replicas plus their health state and routing policy.
+/// Thread-safe: routing state is atomic, each replica locks its own pool.
+class ReplicaSet {
+ public:
+  ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
+             RemoteShardOptions options);
+
+  size_t num_replicas() const { return replicas_.size(); }
+  RemoteShard& replica(size_t r) const { return *replicas_[r]; }
+  /// "host:port|host:port" — the shard's identity in messages and /health.
+  std::string description() const;
+
+  /// One stateless RPC with health-aware routing: starts at the round-robin
+  /// cursor, skips replicas in cooldown while a healthy one exists, and on a
+  /// wire failure (Unavailable) retries the NEXT replica mid-call — the
+  /// caller sees a failover, not an error. Semantic HTTP errors (404, 501)
+  /// are answers, not failures, and surface immediately. Errors only after
+  /// every replica failed.
+  Result<std::string> Call(const std::string& method, const std::string& path,
+                           std::string_view body) const;
+
+  /// One RPC pinned to a replica — session traffic, where the server-side
+  /// state is replica-sticky and the CALLER owns failover + replay. Health
+  /// is still tracked (wire failure -> cooldown).
+  Result<std::string> CallOn(size_t r, const std::string& method,
+                             const std::string& path,
+                             std::string_view body) const;
+
+  /// A replica for new session placement: round-robin, preferring healthy
+  /// replicas, never one whose `exclude` bit is set (the caller's
+  /// failed-this-operation set). nullopt when every replica is excluded.
+  std::optional<size_t> PickReplica(
+      const std::vector<bool>* exclude = nullptr) const;
+
+  void MarkFailure(size_t r) const;
+  void MarkSuccess(size_t r) const;
+  bool InCooldown(size_t r) const;
+  /// Counted by Call() itself; session channels report theirs here.
+  void NoteFailover() const {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Wire requests across all replicas.
+  uint64_t requests() const;
+  /// Calls (stateless or session) that succeeded only after at least one
+  /// replica failed — the "a 503 was avoided" meter.
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-replica health. Heap-allocated so the set stays movable.
+  struct Health {
+    std::atomic<uint32_t> consecutive_failures{0};
+    std::atomic<int64_t> cooldown_until_ms{0};  // Steady-clock millis.
+  };
+
+  std::vector<std::unique_ptr<RemoteShard>> replicas_;
+  RemoteShardOptions options_;
+  std::vector<std::unique_ptr<Health>> health_;
+  mutable std::atomic<uint64_t> rr_{0};
+  mutable std::atomic<uint64_t> failovers_{0};
+};
+
 /// The coordinator's serving-state view over N remote shards. Construct via
 /// Connect(). Logically const while serving; the mutable internals (object
-/// cache, connection pools, error epoch) are thread-safe.
+/// cache, connection pools, replica health, error epoch) are thread-safe.
 class RemoteCorpus {
  public:
-  /// Dials `endpoints` ("host:port" each, one per shard, any order — shards
-  /// are indexed by their manifest identity) and validates the set.
+  /// Dials `endpoints` (one entry per shard, any order — shards are indexed
+  /// by their manifest identity). Each entry is "host:port" or a replica
+  /// group "host:port|host:port|..." of servers booted from the same shard
+  /// snapshot; every replica must be up and agree on the shard's identity.
   static Result<RemoteCorpus> Connect(const std::vector<std::string>& endpoints,
                                       const RemoteShardOptions& options = {});
 
@@ -106,7 +204,7 @@ class RemoteCorpus {
   std::vector<uint32_t> shards_without_kcr() const;
 
   const shardrpc::ShardMeta& meta(size_t shard) const { return metas_[shard]; }
-  RemoteShard& shard(size_t shard) const { return *shards_[shard]; }
+  ReplicaSet& replicas(size_t shard) const { return *shards_[shard]; }
   uint32_t ShardOf(ObjectId global_id) const { return shard_of_[global_id]; }
 
   /// The object with a global id, fetched over the wire on first use and
@@ -137,6 +235,9 @@ class RemoteCorpus {
 
   /// Total wire requests across all shards (bench instrumentation).
   uint64_t total_requests() const;
+  /// Total successful failovers across all shards — calls and sessions that
+  /// survived a replica failure. The bench's "kills stayed invisible" meter.
+  uint64_t total_failovers() const;
 
  private:
   RemoteCorpus() = default;
@@ -148,7 +249,7 @@ class RemoteCorpus {
     Status last;
   };
 
-  std::vector<std::unique_ptr<RemoteShard>> shards_;
+  std::vector<std::unique_ptr<ReplicaSet>> shards_;
   std::vector<shardrpc::ShardMeta> metas_;
   std::unique_ptr<Vocabulary> vocab_;
   Rect bounds_ = Rect::Empty();
@@ -174,9 +275,10 @@ class RemoteTopKClient {
  public:
   explicit RemoteTopKClient(const RemoteCorpus& corpus) : corpus_(&corpus) {}
 
-  /// Exact top-k with global ids. On a wire failure the corpus error epoch
-  /// bumps and the failed shard contributes nothing — callers surface the
-  /// epoch, never the partial result.
+  /// Exact top-k with global ids. On a wire failure (every replica of a
+  /// shard down) the corpus error epoch bumps and the failed shard
+  /// contributes nothing — callers surface the epoch, never the partial
+  /// result.
   TopKResult Query(const Query& query, TopKStats* stats = nullptr) const;
 
  private:

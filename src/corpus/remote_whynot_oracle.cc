@@ -26,6 +26,172 @@ std::string EncodeCountRequest(const std::vector<OracleTargetSpec>& specs,
   return req.data();
 }
 
+// --- Session failover channel ------------------------------------------------
+
+/// One shard's server-side session (Eqn. (3) plane or Eqn. (4) probe batch)
+/// with mid-request failover. The session is replica-sticky: it lives on ONE
+/// replica of the shard's ReplicaSet. When a session call fails on the wire —
+/// or the replica restarted and answers 404 for an id it no longer knows —
+/// the channel re-opens the session on a live replica (possibly the restarted
+/// one), REPLAYS the state-mutating calls already applied so the fresh
+/// session reaches the same refinement level, and re-issues the failed call.
+/// Because every replica boots from the same snapshot, the replayed session
+/// is byte-identical to the lost one, and the caller never sees the kill.
+///
+/// Every session request body leads with an 8-byte session-id slot the
+/// channel stamps per attempt. Not thread-safe (one logical why-not question
+/// drives one channel at a time, matching the shard server's own per-session
+/// serialisation).
+class ShardSessionChannel {
+ public:
+  ShardSessionChannel(const RemoteCorpus& corpus, size_t shard,
+                      const char* open_path, const char* close_path)
+      : corpus_(&corpus),
+        shard_(shard),
+        open_path_(open_path),
+        close_path_(close_path) {}
+
+  ~ShardSessionChannel() { Close(); }
+
+  /// First open, trying every replica. On success open_response() holds the
+  /// raw response (leading U64 session id included — parse and skip it).
+  bool Open(std::string open_body) {
+    open_body_ = std::move(open_body);
+    std::vector<bool> tried(set().num_replicas(), false);
+    return Reopen(&tried);
+  }
+
+  bool live() const { return session_ != 0; }
+  const std::string& open_response() const { return open_resp_; }
+  const Status& last_error() const { return last_error_; }
+
+  /// One session call; `body` leads with 8 bytes the channel overwrites with
+  /// the session id. `mutates` records the body for replay after failover
+  /// (probe refines advance server-side frontiers; plane calls are pure).
+  /// Errors only when no replica can serve the session.
+  Result<std::string> Call(const char* path, std::string body, bool mutates) {
+    if (!live()) {
+      return Status::Unavailable("shard " + set().description() +
+                                 ": no live session");
+    }
+    std::vector<bool> tried(set().num_replicas(), false);
+    // A restarted replica is healthy but sessionless: it answers 404, we
+    // re-open (maybe on it) and retry. Bound those loops — a server that
+    // keeps losing fresh sessions is broken, not restarting.
+    size_t lost_sessions = 0;
+    bool failed_over = false;
+    for (;;) {
+      StampSession(&body, session_);
+      Result<std::string> raw = set().CallOn(replica_, "POST", path, body);
+      if (raw.ok()) {
+        if (mutates) replay_.push_back({path, body});
+        if (failed_over) set().NoteFailover();
+        return raw;
+      }
+      const StatusCode code = raw.status().code();
+      if (code == StatusCode::kUnavailable) {
+        tried[replica_] = true;  // This replica failed on the wire.
+      } else if (code == StatusCode::kNotFound) {
+        // Session gone (replica restart or server-side eviction); the
+        // replica itself stays eligible for the re-open.
+        if (++lost_sessions > set().num_replicas() + 1) {
+          last_error_ = raw.status();
+          return raw;
+        }
+      } else {
+        return raw;  // Deterministic semantic error; retries would repeat it.
+      }
+      failed_over = true;
+      session_ = 0;
+      if (!Reopen(&tried)) {
+        return Status::Unavailable("shard " + set().description() +
+                                   ": no replica could serve the session: " +
+                                   last_error_.message());
+      }
+    }
+  }
+
+  /// Best-effort close; an unreachable replica's session falls to the
+  /// server-side LRU cap eventually.
+  void Close() {
+    if (!live()) return;
+    BufWriter req;
+    req.PutU64(session_);
+    (void)set().CallOn(replica_, "POST", close_path_, req.data());
+    session_ = 0;
+  }
+
+ private:
+  ReplicaSet& set() const { return corpus_->replicas(shard_); }
+
+  static void StampSession(std::string* body, uint64_t session) {
+    std::memcpy(body->data(), &session, sizeof(session));
+  }
+
+  /// Opens on some not-yet-tried replica and replays the mutation history.
+  bool Reopen(std::vector<bool>* tried) {
+    session_ = 0;
+    for (;;) {
+      const std::optional<size_t> r = set().PickReplica(tried);
+      if (!r.has_value()) return false;
+      if (OpenOn(*r)) return true;
+      (*tried)[*r] = true;
+    }
+  }
+
+  bool OpenOn(size_t r) {
+    Result<std::string> raw =
+        set().CallOn(r, "POST", open_path_, open_body_);
+    if (!raw.ok()) {
+      last_error_ = raw.status();
+      return false;
+    }
+    BufReader in(raw->data(), raw->size());
+    const uint64_t id = in.GetU64();
+    if (!in.ok() || id == 0) {
+      last_error_ = Status::InvalidArgument("bad session-open response");
+      return false;
+    }
+    // Replay, in order, what the lost session had already applied. The
+    // responses repeat bounds the coordinator has already merged (replicas
+    // are deterministic twins), so they are dropped — and NOT re-counted in
+    // any stats: the logical work happened once.
+    for (const ReplayEntry& entry : replay_) {
+      std::string body = entry.body;
+      StampSession(&body, id);
+      Result<std::string> replayed =
+          set().CallOn(r, "POST", entry.path, body);
+      if (!replayed.ok()) {
+        last_error_ = replayed.status();
+        BufWriter close;
+        close.PutU64(id);
+        (void)set().CallOn(r, "POST", close_path_, close.data());
+        return false;
+      }
+    }
+    session_ = id;
+    replica_ = r;
+    open_resp_ = *std::move(raw);
+    return true;
+  }
+
+  struct ReplayEntry {
+    const char* path;
+    std::string body;  // Session slot re-stamped at replay time.
+  };
+
+  const RemoteCorpus* corpus_;
+  size_t shard_;
+  const char* open_path_;
+  const char* close_path_;
+  std::string open_body_;
+  std::vector<ReplayEntry> replay_;
+  size_t replica_ = 0;
+  uint64_t session_ = 0;
+  std::string open_resp_;
+  Status last_error_ = Status::Unavailable("never opened");
+};
+
 }  // namespace
 
 std::vector<size_t> RemoteShardOracle::CountFanout(
@@ -43,7 +209,7 @@ std::vector<size_t> RemoteShardOracle::CountFanout(
   std::vector<std::vector<size_t>> counts(n);
   corpus_->ForEachShard([&](size_t s) {
     Result<std::string> raw =
-        corpus_->shard(s).Call("POST", shardrpc::kCountPath, body);
+        corpus_->replicas(s).Call("POST", shardrpc::kCountPath, body);
     if (!raw.ok()) {
       corpus_->RecordError(raw.status());
       return;
@@ -105,35 +271,22 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
       : corpus_(corpus),
         oracle_(oracle),
         query_(query),
-        optimized_(mode == PrefAdjustMode::kOptimized),
-        sessions_(corpus->num_shards(), 0) {
+        optimized_(mode == PrefAdjustMode::kOptimized) {
     BufWriter req;
     shardrpc::PutQuery(&req, *query);
     req.PutU8(optimized_ ? 1 : 0);
     const std::string body = req.data();
-    corpus_->ForEachShard([&](size_t s) {
-      Result<std::string> raw =
-          corpus_->shard(s).Call("POST", shardrpc::kPlaneOpenPath, body);
-      if (!raw.ok()) {
-        corpus_->RecordError(raw.status());
-        return;
-      }
-      BufReader in(raw->data(), raw->size());
-      sessions_[s] = in.GetU64();
-      if (!in.ok()) corpus_->RecordError(in.status());
-    });
-  }
-
-  ~RemoteScorePlaneSession() override {
-    // Best-effort close; an unreachable shard's session falls to the
-    // server-side cap eventually.
-    for (size_t s = 0; s < sessions_.size(); ++s) {
-      if (sessions_[s] == 0) continue;
-      BufWriter req;
-      req.PutU64(sessions_[s]);
-      (void)corpus_->shard(s).Call("POST", shardrpc::kPlaneClosePath,
-                                   req.data());
+    const size_t n = corpus->num_shards();
+    channels_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      channels_.push_back(std::make_unique<ShardSessionChannel>(
+          *corpus, s, shardrpc::kPlaneOpenPath, shardrpc::kPlaneClosePath));
     }
+    corpus_->ForEachShard([&](size_t s) {
+      if (!channels_[s]->Open(body)) {
+        corpus_->RecordError(channels_[s]->last_error());
+      }
+    });
   }
 
   PlanePoint Anchor(ObjectId global_id) const override {
@@ -145,20 +298,20 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
   size_t CountAbove(double w, const PlanePoint& anchor,
                     PreferenceAdjustStats* stats) const override {
     BufWriter req;
-    req.PutU64(0);  // Patched per shard below.
+    req.PutU64(0);  // Session slot, stamped by the channel.
     req.PutF64(w);
     shardrpc::PutPlanePoint(&req, anchor);
-    const size_t n = sessions_.size();
+    const std::string body = req.data();
+    const size_t n = channels_.size();
     std::vector<size_t> counts(n, 0);
     std::vector<size_t> nodes(n, 0);
     corpus_->ForEachShard([&](size_t s) {
-      // Open failed: the epoch is already bumped; re-asking with the 0
-      // sentinel would just burn one doomed round-trip per sweep event.
-      if (sessions_[s] == 0) return;
-      std::string body = req.data();
-      PatchSession(&body, sessions_[s]);
+      // Open failed on every replica: the epoch is already bumped; re-asking
+      // would just burn one doomed round-trip per sweep event.
+      if (!channels_[s]->live()) return;
       Result<std::string> raw =
-          corpus_->shard(s).Call("POST", shardrpc::kPlaneCountPath, body);
+          channels_[s]->Call(shardrpc::kPlaneCountPath, body,
+                             /*mutates=*/false);
       if (!raw.ok()) {
         corpus_->RecordError(raw.status());
         return;
@@ -181,19 +334,19 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
                         std::vector<double>* events,
                         PreferenceAdjustStats* stats) const override {
     BufWriter req;
-    req.PutU64(0);  // Patched per shard below.
+    req.PutU64(0);  // Session slot, stamped by the channel.
     shardrpc::PutPlanePoint(&req, anchor);
     req.PutF64(wlo);
     req.PutF64(whi);
-    const size_t n = sessions_.size();
+    const std::string body = req.data();
+    const size_t n = channels_.size();
     std::vector<std::vector<double>> parts(n);
     std::vector<size_t> nodes(n, 0);
     corpus_->ForEachShard([&](size_t s) {
-      if (sessions_[s] == 0) return;  // Open failed; epoch already bumped.
-      std::string body = req.data();
-      PatchSession(&body, sessions_[s]);
+      if (!channels_[s]->live()) return;  // Open failed; epoch already bumped.
       Result<std::string> raw =
-          corpus_->shard(s).Call("POST", shardrpc::kPlaneCrossingsPath, body);
+          channels_[s]->Call(shardrpc::kPlaneCrossingsPath, body,
+                             /*mutates=*/false);
       if (!raw.ok()) {
         corpus_->RecordError(raw.status());
         return;
@@ -218,17 +371,12 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
   }
 
  private:
-  /// The first 8 bytes of every session request are the session id; requests
-  /// are encoded once and re-stamped per shard.
-  static void PatchSession(std::string* body, uint64_t session) {
-    std::memcpy(body->data(), &session, sizeof(session));
-  }
-
   const RemoteCorpus* corpus_;
   const WhyNotOracle* oracle_;
   const Query* query_;
   bool optimized_;
-  std::vector<uint64_t> sessions_;  // Per-shard server-side session ids.
+  // mutable: channels fail over (re-open + re-pin) inside const sweeps.
+  mutable std::vector<std::unique_ptr<ShardSessionChannel>> channels_;
 };
 
 // --- Rank-probe batches ------------------------------------------------------
@@ -256,16 +404,20 @@ class RemoteRankProbeBatch : public RankProbeBatch {
 
     const size_t n = corpus_->num_shards();
     shards_.resize(n);
-    for (ShardState& shard : shards_) shard.members.resize(specs.size());
+    channels_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      shards_[s].members.resize(specs.size());
+      channels_.push_back(std::make_unique<ShardSessionChannel>(
+          *corpus, s, shardrpc::kProbeOpenPath, shardrpc::kProbeClosePath));
+    }
     corpus_->ForEachShard([&](size_t s) {
-      Result<std::string> raw =
-          corpus_->shard(s).Call("POST", shardrpc::kProbeOpenPath, body);
-      if (!raw.ok()) {
-        corpus_->RecordError(raw.status());
+      if (!channels_[s]->Open(body)) {
+        corpus_->RecordError(channels_[s]->last_error());
         return;
       }
-      BufReader in(raw->data(), raw->size());
-      shards_[s].session = in.GetU64();
+      const std::string& resp = channels_[s]->open_response();
+      BufReader in(resp.data(), resp.size());
+      in.GetU64();  // Session id — the channel's concern.
       for (MemberBounds& member : shards_[s].members) {
         member.lower = in.GetU64();
         member.upper = in.GetU64();
@@ -276,20 +428,10 @@ class RemoteRankProbeBatch : public RankProbeBatch {
         // Back to the pinned-zero defaults: a half-parsed member with
         // resolved=false would make the refinement loop spin forever on a
         // shard that can no longer answer (the request 503s via the epoch).
-        shards_[s].session = 0;
+        channels_[s]->Close();
         shards_[s].members.assign(shards_[s].members.size(), MemberBounds{});
       }
     });
-  }
-
-  ~RemoteRankProbeBatch() override {
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      if (shards_[s].session == 0) continue;
-      BufWriter req;
-      req.PutU64(shards_[s].session);
-      (void)corpus_->shard(s).Call("POST", shardrpc::kProbeClosePath,
-                                   req.data());
-    }
   }
 
   size_t size() const override { return members_; }
@@ -317,7 +459,7 @@ class RemoteRankProbeBatch : public RankProbeBatch {
     std::vector<uint64_t> scored_deltas(n, 0);
     corpus_->ForEachShard([&](size_t s) {
       ShardState& shard = shards_[s];
-      if (shard.session == 0) return;  // Open failed; epoch already bumped.
+      if (!channels_[s]->live()) return;  // Open failed; epoch already bumped.
       // Only the members with an open frontier on THIS shard are sent.
       std::vector<size_t> wanted;
       for (size_t m : members) {
@@ -325,18 +467,20 @@ class RemoteRankProbeBatch : public RankProbeBatch {
       }
       if (wanted.empty()) return;
       BufWriter req;
-      req.PutU64(shard.session);
+      req.PutU64(0);  // Session slot, stamped by the channel.
       req.PutVarU64(wanted.size());
       for (size_t m : wanted) req.PutVarU32(static_cast<uint32_t>(m));
+      // mutates=true: a refine advances the server-side frontiers, so it
+      // joins the channel's replay log — a later failover re-runs the whole
+      // history on the fresh replica before anything new is asked of it.
       Result<std::string> raw =
-          corpus_->shard(s).Call("POST", shardrpc::kProbeRefinePath,
-                                 req.data());
-      // Any failure pins the asked members on this shard: bounds stop
-      // narrowing but resolved() becomes true, so the caller's refinement
-      // loop TERMINATES and the request surfaces the bumped epoch as a 503
-      // — instead of re-issuing a doomed RPC (or spinning) forever. This
-      // covers a restarted shard (lost session -> 404) and a server-side
-      // session eviction alike.
+          channels_[s]->Call(shardrpc::kProbeRefinePath, req.data(),
+                             /*mutates=*/true);
+      // Any failure (every replica down) pins the asked members on this
+      // shard: bounds stop narrowing but resolved() becomes true, so the
+      // caller's refinement loop TERMINATES and the request surfaces the
+      // bumped epoch as a 503 — instead of re-issuing a doomed RPC (or
+      // spinning) forever.
       auto pin_wanted = [&] {
         for (size_t m : wanted) shard.members[m].resolved = true;
       };
@@ -378,7 +522,6 @@ class RemoteRankProbeBatch : public RankProbeBatch {
     bool resolved = true;  // A failed shard contributes a pinned zero.
   };
   struct ShardState {
-    uint64_t session = 0;
     std::vector<MemberBounds> members;
   };
 
@@ -386,6 +529,7 @@ class RemoteRankProbeBatch : public RankProbeBatch {
   KeywordAdaptStats* stats_;
   size_t members_;
   std::vector<ShardState> shards_;
+  std::vector<std::unique_ptr<ShardSessionChannel>> channels_;
 };
 
 }  // namespace

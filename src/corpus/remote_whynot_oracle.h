@@ -17,9 +17,15 @@
 //   * the Eqn. (3) weight sweep holds one server-side plane session per
 //     shard and pays one round-trip per sweep event.
 //
-// Error model: the oracle interface has no error channel, so wire failures
-// bump the owning RemoteCorpus's error epoch and contribute neutral values;
-// YaskService samples the epoch around each request and answers 503.
+// Failure model: every stateless fan-out rides ReplicaSet::Call, which
+// fails over to a sibling replica mid-call; the plane/probe sessions are
+// replica-sticky id-keyed server-side state, so their failover re-opens the
+// session on a live replica and REPLAYS the applied refine history before
+// re-issuing the failed call (see ShardSessionChannel in the .cc) — a killed
+// replica costs latency, never correctness. Only when every replica of a
+// shard is gone does the wire failure bump the owning RemoteCorpus's error
+// epoch (the oracle interface has no error channel) and contribute neutral
+// values; YaskService samples the epoch around each request and answers 503.
 
 #ifndef YASK_CORPUS_REMOTE_WHYNOT_ORACLE_H_
 #define YASK_CORPUS_REMOTE_WHYNOT_ORACLE_H_

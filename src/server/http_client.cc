@@ -10,21 +10,15 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/common/timer.h"
 
 namespace yask {
 
 namespace {
-
-int64_t NowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Sets the socket's recv timeout so a dead peer cannot block past the tick.
 void SetRecvTimeout(int fd, int millis) {
@@ -43,6 +37,26 @@ void HttpClientConnection::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+bool HttpClientConnection::LooksAlive() {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, 0);
+  if (ready == 0) return true;  // Quiet socket: the healthy idle state.
+  if (ready < 0 || (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+    Close();
+    return false;
+  }
+  // Readable while idle: either EOF (peer closed) or stray bytes that would
+  // desynchronise the next response. Dead either way.
+  char b;
+  const ssize_t n = ::recv(fd_, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n > 0 || n == 0) {
+    Close();
+    return false;
+  }
+  return errno == EAGAIN || errno == EWOULDBLOCK;
 }
 
 Status HttpClientConnection::Connect(const std::string& host, uint16_t port,

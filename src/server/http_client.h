@@ -39,6 +39,15 @@ class HttpClientConnection {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Cheap liveness probe for pooled idle connections: true when the socket
+  /// is open with nothing pending. A peer that closed its end between calls
+  /// (keep-alive recycling, a killed server) is detected WITHOUT spending a
+  /// request on it — the connection is closed and false returned, so a pool
+  /// of stale sockets never burns the caller's retry budget. A connection
+  /// with unexpected readable bytes is dead too (the next response would
+  /// desynchronise).
+  bool LooksAlive();
+
   /// One request/response round-trip; the connection stays open for the
   /// next call. `deadline_ms` bounds the whole call (send + wait + read).
   /// Returns the response body; the HTTP status lands in `*status_out`.

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/common/timer.h"
 #include "src/server/http_client.h"
 #include "src/server/json.h"
 
@@ -145,12 +146,6 @@ enum class ReadOutcome {
   kHeadersTooLarge, // Header block over the limit: answer 431 and drop.
   kBodyTooLarge,    // Declared Content-Length over the limit: 413 and drop.
 };
-
-int64_t NowMillis() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Reads one full request (header block + Content-Length body) from `fd`
 /// into `*buffer`, which carries pipelined leftover bytes between calls.

@@ -273,8 +273,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
                "KcR-tree; shards without one:";
       for (const uint32_t s : remote_->shards_without_kcr()) {
         detail += " " + std::to_string(s) + " (" +
-                  remote_->shard(s).host() + ":" +
-                  std::to_string(remote_->shard(s).port()) + ")";
+                  remote_->replicas(s).description() + ")";
       }
       detail += " — rebuild those shard snapshots with their KcR section or "
                 "restart yask_shard_server with --rebuild-indexes";
@@ -524,12 +523,27 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
     out.Set("shards", JsonValue(remote_->num_shards()));
     JsonValue shards = JsonValue::MakeArray();
     for (size_t s = 0; s < remote_->num_shards(); ++s) {
+      const ReplicaSet& set = remote_->replicas(s);
       JsonValue row = JsonValue::MakeObject();
-      row.Set("endpoint", JsonValue(remote_->shard(s).host() + ":" +
-                                    std::to_string(remote_->shard(s).port())));
+      row.Set("endpoint", JsonValue(set.description()));
       row.Set("objects", JsonValue(static_cast<size_t>(
                              remote_->meta(s).object_count)));
       row.Set("kcr", JsonValue(remote_->meta(s).has_kcr));
+      // Per-replica health: where the traffic goes, which replicas are being
+      // routed around, and how many kills the set has absorbed.
+      JsonValue reps = JsonValue::MakeArray();
+      for (size_t r = 0; r < set.num_replicas(); ++r) {
+        JsonValue rep = JsonValue::MakeObject();
+        rep.Set("endpoint", JsonValue(set.replica(r).endpoint()));
+        rep.Set("requests", JsonValue(static_cast<size_t>(
+                                set.replica(r).requests())));
+        rep.Set("error_epoch", JsonValue(static_cast<size_t>(
+                                   set.replica(r).error_epoch())));
+        rep.Set("cooling", JsonValue(set.InCooldown(r)));
+        reps.Append(std::move(rep));
+      }
+      row.Set("replicas", std::move(reps));
+      row.Set("failovers", JsonValue(static_cast<size_t>(set.failovers())));
       shards.Append(std::move(row));
     }
     out.Set("remote_shards", std::move(shards));

@@ -11,8 +11,10 @@
 // processes and every top-k / why-not fan-out goes over the wire through the
 // same oracle seam — see docs/architecture.md, "Remote deployment"). The
 // full HTTP contract is served in all modes and answers are bit-identical
-// across them; in remote mode a shard failure mid-request surfaces as 503
-// (the corpus error epoch is sampled around each request).
+// across them; in remote mode each shard may be a replica set, a replica
+// failure mid-request fails over transparently (sessions are re-established
+// and replayed on a live sibling), and only a shard with NO live replica
+// surfaces as 503 (the corpus error epoch is sampled around each request).
 //
 // Per §3.2, the client never supplies the weight vector: "the system ...
 // leaves the weighting vector w as a system parameter on the server. In the
