@@ -26,6 +26,7 @@
 //                              [--clients=4] [--seconds=4]
 //                              [--json=BENCH_replica_failover.json]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -320,18 +321,25 @@ int main(int argc, char** argv) {
   std::atomic<uint64_t> kills{0};
   std::atomic<bool> restart_failed{false};
 
+  // Per-client request latencies, merged after the join for the chaos
+  // latency distribution (p50/p99 including requests that rode a failover).
+  std::vector<std::vector<double>> client_latencies(clients);
+
   std::vector<std::thread> client_threads;
   for (size_t c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
+      std::vector<double>& latencies = client_latencies[c];
       size_t i = c;  // Stagger the workload across clients.
       while (chaos_running.load()) {
         const Workload& w = workload[i++ % workload.size()];
         const bool ask_whynot = i % 2 == 0;
         int status = 0;
+        Timer request_timer;
         auto resp = HttpFetch(remote.port(), "POST",
                               ask_whynot ? "/whynot" : "/query",
                               ask_whynot ? w.whynot_body : w.query_body,
                               &status);
+        latencies.push_back(request_timer.ElapsedMillis());
         total_requests.fetch_add(1);
         if (!resp.ok() || status != 200) {
           non_200.fetch_add(1);
@@ -347,10 +355,9 @@ int main(int argc, char** argv) {
   }
 
   std::thread killer([&] {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::duration<double>(seconds);
+    const Timer killer_timer;
     size_t victim = 0;
-    while (std::chrono::steady_clock::now() < deadline) {
+    while (killer_timer.ElapsedMillis() < seconds * 1000.0) {
       const size_t s = victim % shards;
       const size_t r = (victim / shards) % replicas;
       ++victim;
@@ -372,6 +379,21 @@ int main(int argc, char** argv) {
   for (std::thread& t : client_threads) t.join();
   const double chaos_secs = chaos_timer.ElapsedMillis() / 1000.0;
 
+  std::vector<double> chaos_latencies;
+  for (const auto& per_client : client_latencies) {
+    chaos_latencies.insert(chaos_latencies.end(), per_client.begin(),
+                           per_client.end());
+  }
+  std::sort(chaos_latencies.begin(), chaos_latencies.end());
+  auto quantile = [&](double q) {
+    if (chaos_latencies.empty()) return 0.0;
+    const size_t rank = static_cast<size_t>(
+        q * static_cast<double>(chaos_latencies.size() - 1));
+    return chaos_latencies[rank];
+  };
+  const double chaos_p50 = quantile(0.50);
+  const double chaos_p99 = quantile(0.99);
+
   const uint64_t failovers = remote_corpus.total_failovers();
   const double rps =
       chaos_secs > 0.0 ? static_cast<double>(total_requests.load()) /
@@ -389,6 +411,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(failovers),
       static_cast<unsigned long long>(non_200.load()),
       static_cast<unsigned long long>(mismatches.load()));
+  std::printf("chaos latency: p50 %.2f ms, p99 %.2f ms (tail includes "
+              "failed-over requests)\n",
+              chaos_p50, chaos_p99);
   std::printf("healthy fleet: topk %.2f ms/q, whynot %.2f ms/q\n", topk_ms,
               whynot_ms);
   if (!zero_errors) std::printf("ZERO-ERROR GATE FAILED\n");
@@ -432,6 +457,8 @@ int main(int argc, char** argv) {
   bench_row("replica_failover/topk" + tag, topk_ms, "ms");
   bench_row("replica_failover/whynot" + tag, whynot_ms, "ms");
   bench_row("replica_failover/chaos_rps" + tag, rps, "req/s");
+  bench_row("replica_failover/chaos_p50" + tag, chaos_p50, "ms");
+  bench_row("replica_failover/chaos_p99" + tag, chaos_p99, "ms");
   bench_row("replica_failover/failovers" + tag,
             static_cast<double>(failovers), "count");
 

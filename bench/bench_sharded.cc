@@ -32,7 +32,6 @@
 //   $ ./bench_sharded [--n=200000] [--queries=300] [--json=BENCH_sharded.json]
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -66,12 +65,6 @@ std::vector<Query> MakeWorkload(const ObjectStore& store, size_t count) {
     queries.push_back(MakeQuery(store, &rng, /*num_keywords=*/3, /*k=*/10));
   }
   return queries;
-}
-
-double MillisSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
 }
 
 }  // namespace
@@ -172,12 +165,12 @@ int main(int argc, char** argv) {
       for (const Query& q : workload) {
         double slowest = 0.0;
         for (size_t s = 0; s < sharded.num_shards(); ++s) {
-          const auto start = std::chrono::steady_clock::now();
+          Timer shard_timer;
           parts[s] = shard_engines[s].Query(q);
-          slowest = std::max(slowest, MillisSince(start));
+          slowest = std::max(slowest, shard_timer.ElapsedMillis());
         }
         // The coordinator's merge runs after the slowest shard returns.
-        const auto merge_start = std::chrono::steady_clock::now();
+        Timer merge_timer;
         TopKResult merged;
         for (size_t s = 0; s < sharded.num_shards(); ++s) {
           for (const ScoredObject& so : parts[s]) {
@@ -187,7 +180,7 @@ int main(int argc, char** argv) {
         }
         std::sort(merged.begin(), merged.end());
         if (merged.size() > q.k) merged.resize(q.k);
-        total += slowest + MillisSince(merge_start);
+        total += slowest + merge_timer.ElapsedMillis();
       }
       run.scatter_ms = std::min(run.scatter_ms, total);
     }

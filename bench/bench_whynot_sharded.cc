@@ -39,7 +39,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/metrics.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 #include "src/corpus/sharded_corpus.h"
 #include "src/corpus/sharded_whynot_oracle.h"
 #include "src/server/json.h"
@@ -287,6 +289,57 @@ int main(int argc, char** argv) {
   bool all_match = true;
   for (const ShardRun& r : runs) all_match = all_match && r.results_match;
 
+  // --- Observability overhead gate: the same workload with the full
+  // service-side instrumentation active (a TraceRecorder installed, every
+  // span harvested into yask_stage_ms) vs. bare. Each question is timed
+  // back-to-back in both arms and the per-question best-of-reps is kept:
+  // min filters scheduler spikes PER QUESTION, so the two floors compare
+  // the arms rather than the machine's mood. Must stay under 2%. ---
+  constexpr int kOverheadReps = 5;
+  constexpr double kMaxOverheadPct = 2.0;
+  MetricsRegistry overhead_metrics;
+  std::vector<double> best_bare(workload.size(), 1e300);
+  std::vector<double> best_traced(workload.size(), 1e300);
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const Question& q = workload[i];
+      {
+        Timer timer;
+        auto answer = reference.Answer(q.query, q.missing);
+        if (!answer.ok()) all_match = false;
+        best_bare[i] = std::min(best_bare[i], timer.ElapsedMillis());
+      }
+      {
+        Timer timer;
+        TraceRecorder recorder(MintTraceId());
+        {
+          TraceContextScope scope(TraceContext{&recorder, 0});
+          ScopedSpan span("POST /whynot");
+          auto answer = reference.Answer(q.query, q.missing);
+          if (!answer.ok()) all_match = false;
+        }
+        for (const TraceSpan& s : recorder.TakeSpans()) {
+          overhead_metrics.GetHistogram("yask_stage_ms", {{"stage", s.name}})
+              ->Observe(s.duration_ms);
+        }
+        best_traced[i] = std::min(best_traced[i], timer.ElapsedMillis());
+      }
+    }
+  }
+  double bare_ms = 0.0;
+  double traced_ms = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    bare_ms += best_bare[i];
+    traced_ms += best_traced[i];
+  }
+  const double overhead_pct = (traced_ms - bare_ms) / bare_ms * 100.0;
+  const bool overhead_ok = overhead_pct < kMaxOverheadPct;
+  std::printf("observability overhead: bare %.2f ms/q, traced %.2f ms/q "
+              "-> %+.2f%% (gate < %.0f%%)%s\n",
+              bare_ms / workload.size(), traced_ms / workload.size(),
+              overhead_pct, kMaxOverheadPct,
+              overhead_ok ? "" : "  OVERHEAD GATE FAILED");
+
   JsonValue context = JsonValue::MakeObject();
   context.Set("bench", JsonValue("whynot_sharded"));
   context.Set("n", JsonValue(n));
@@ -300,7 +353,8 @@ int main(int argc, char** argv) {
                         "shard; per-shard oracle fan-out tasks timed "
                         "individually, coordinator remainder added)"));
   context.Set("wall_speedup_4_shards_vs_1", JsonValue(wall_speedup));
-  context.Set("results_match", JsonValue(all_match));
+  context.Set("observability_overhead_pct", JsonValue(overhead_pct));
+  context.Set("results_match", JsonValue(all_match && overhead_ok));
 
   JsonValue benches = JsonValue::MakeArray();
   auto bench_row = [&](const std::string& name, double ms_per_question) {
@@ -338,6 +392,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", json_path.c_str());
 
   // The exactness gate: a fast-but-wrong distributed why-not must fail
-  // loudly, exactly like bench_sharded.
-  return all_match ? 0 : 1;
+  // loudly, exactly like bench_sharded. The overhead gate fails the same
+  // way: instrumentation that costs >= 2% is a perf regression, not a
+  // freebie.
+  return all_match && overhead_ok ? 0 : 1;
 }

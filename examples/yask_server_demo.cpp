@@ -35,11 +35,13 @@
 //   $ ./yask_server_demo [--snapshot state.snap] [--serve] [--shards N]
 //                        [--remote-shards host:port[|host:port...],...]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -300,6 +302,42 @@ int main(int argc, char** argv) {
                                           e.Get("penalty").as_number()))
                           .c_str()
                     : "");
+  }
+
+  // --- Client: the observability surface. Each /log row carries the trace
+  // id of the request that produced it; /trace/<id> returns that request's
+  // span tree (in remote mode with the shard servers' child spans stitched
+  // in), and /metrics aggregates the same stage timings fleet-wide. ---
+  std::string trace_id;
+  for (const JsonValue& e : log.Get("entries").array_items()) {
+    if (e.Has("trace_id")) trace_id = e.Get("trace_id").as_string();
+  }
+  if (!trace_id.empty()) {
+    std::printf("\nGET /trace/%s\n", trace_id.c_str());
+    const JsonValue trace =
+        MustParse(HttpFetch(service->port(), "GET", "/trace/" + trace_id));
+    const auto& spans = trace.Get("spans").array_items();
+    const size_t shown = std::min<size_t>(spans.size(), 12);
+    for (size_t i = 0; i < shown; ++i) {
+      std::printf("  %-28s %8.3f ms  [%s]\n",
+                  spans[i].Get("name").as_string().c_str(),
+                  spans[i].Get("duration_ms").as_number(),
+                  spans[i].Get("node").as_string().c_str());
+    }
+    if (spans.size() > shown) {
+      std::printf("  ... %zu more spans\n", spans.size() - shown);
+    }
+  }
+  if (auto metrics = HttpFetch(service->port(), "GET", "/metrics");
+      metrics.ok()) {
+    std::printf("\nGET /metrics (request counters; full catalogue in "
+                "docs/observability.md)\n");
+    std::istringstream lines(*metrics);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.rfind("yask_http_requests_total", 0) == 0) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
   }
 
   // --- Client gives up asking why-not questions: drop the cached query. ---

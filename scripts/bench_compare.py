@@ -114,6 +114,30 @@ def main(argv):
                                    f"{value:.3f} {unit} ({delta_text})")
         lines.append("")
 
+    # Tail-latency rollup: p50/p99 rows (the failover bench's chaos latency
+    # distribution) get their own table so the tail is visible at a glance
+    # instead of buried per-bench. Same data as above — the "ms" regression
+    # rule already gates these rows where their bench is exactness-gated.
+    tail = []
+    for bench in sorted(current):
+        for name, (value, unit) in sorted(current[bench].items()):
+            if "p99" not in name and "p50" not in name:
+                continue
+            prev = previous.get(bench, {}).get(name)
+            tail.append((bench, name,
+                         prev[0] if prev is not None else None, value, unit))
+    if tail:
+        lines.append("## Tail latency")
+        lines.append("")
+        lines.append("| bench | row | previous | current |")
+        lines.append("|---|---|---:|---:|")
+        for bench, name, prev_value, value, unit in tail:
+            prev_text = (f"{prev_value:.3f} {unit}"
+                         if prev_value is not None else "—")
+            lines.append(f"| {bench} | {name} | {prev_text} | "
+                         f"{value:.3f} {unit} |")
+        lines.append("")
+
     if regressions:
         lines.append(f"## FAILED: {len(regressions)} regression(s) beyond "
                      f"{threshold * 100.0:.0f}%")

@@ -19,9 +19,10 @@
 #                                 # from snapshot files behind a coordinator)
 #                                 # serving /query + /whynot while one
 #                                 # replica is kill -9ed and restarted —
-#                                 # asserts zero non-200 responses and
-#                                 # payload parity with the in-process
-#                                 # sharded server
+#                                 # asserts zero non-200 responses, payload
+#                                 # parity with the in-process sharded
+#                                 # server, and that the /metrics failover
+#                                 # counters moved across the kill window
 #   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
 #                                 # <repo>/build-sanitize + ctest under the
 #                                 # sanitizers (use for the concurrency and

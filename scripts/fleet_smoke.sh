@@ -14,7 +14,11 @@
 #      response_millis timing fields).
 #   5. MID-RUN, kill -9s one replica, later restarts it at the same port,
 #      then kill -9s a different replica and leaves it dead.
-#   6. Fails on ANY non-200 response, ANY payload divergence, or a fleet
+#   6. Scrapes GET /metrics right before the first kill and again mid-run:
+#      yask_failovers_total must MOVE across the kill window, the
+#      session-replay counter family must be exported, and a live replica
+#      must serve its own shard-side registry.
+#   7. Fails on ANY non-200 response, ANY payload divergence, or a fleet
 #      that absorbed zero failovers (the kill must actually bite).
 set -euo pipefail
 
@@ -119,6 +123,11 @@ rounds=36
 failures=0
 for round in $(seq 1 "$rounds"); do
   case "$round" in
+    11)
+      # Baseline scrape: the failover counters before any replica dies.
+      curl -s "http://127.0.0.1:${coordinator_port}/metrics" \
+        > "${work}/metrics_before_kill.txt"
+      ;;
     12)
       echo "fleet_smoke: kill -9 shard 0 replica 0 (pid ${pid_0_0})"
       kill -9 "${pid_0_0}"
@@ -126,6 +135,11 @@ for round in $(seq 1 "$rounds"); do
     20)
       echo "fleet_smoke: restarting shard 0 replica 0 on port ${port_0_0}"
       start_replica 0 0 "${port_0_0}"
+      ;;
+    24)
+      # Mid-run scrape: the round-12 kill has been absorbed by now.
+      curl -s "http://127.0.0.1:${coordinator_port}/metrics" \
+        > "${work}/metrics_mid.txt"
       ;;
     28)
       echo "fleet_smoke: kill -9 shard 1 replica 1 (pid ${pid_1_1}) — stays dead"
@@ -150,6 +164,42 @@ for round in $(seq 1 "$rounds"); do
     fi
   done
 done
+
+# metric_sum <file> <family> -> sum over every labeled sample of a counter.
+metric_sum() {
+  grep -E "^$2(\{[^}]*\})? " "$1" 2>/dev/null \
+    | awk '{sum += $NF} END {print sum + 0}'
+}
+
+echo "fleet_smoke: checking /metrics moved with the kills"
+before_failovers="$(metric_sum "${work}/metrics_before_kill.txt" yask_failovers_total)"
+mid_failovers="$(metric_sum "${work}/metrics_mid.txt" yask_failovers_total)"
+if [[ "$mid_failovers" -le "$before_failovers" ]]; then
+  echo "fleet_smoke: FAILED (yask_failovers_total did not move across the kill window: ${before_failovers} -> ${mid_failovers})" >&2
+  exit 1
+fi
+echo "fleet_smoke: yask_failovers_total ${before_failovers} -> ${mid_failovers} across the kill"
+if ! grep -q '^yask_session_replays_total' "${work}/metrics_mid.txt"; then
+  echo "fleet_smoke: FAILED (yask_session_replays_total missing from coordinator /metrics)" >&2
+  exit 1
+fi
+# A live replica serves its own shard-side registry on the same path. A
+# few retries absorb transient connect hiccups — this asserts the family
+# exists, not a single scrape's luck.
+replica_ok=0
+for attempt in 1 2 3 4 5; do
+  curl -s "http://127.0.0.1:${port_0_1}/metrics" > "${work}/replica_metrics.txt" || true
+  if grep -q '^yask_shard_requests_total' "${work}/replica_metrics.txt"; then
+    replica_ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ "$replica_ok" -ne 1 ]]; then
+  echo "fleet_smoke: FAILED (replica /metrics missing yask_shard_requests_total); last scrape was:" >&2
+  cat "${work}/replica_metrics.txt" >&2
+  exit 1
+fi
 
 # The kill must have actually been absorbed as failovers, not dodged.
 health="$(curl -s "http://127.0.0.1:${coordinator_port}/health")"

@@ -1,0 +1,253 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <random>
+
+namespace yask {
+
+namespace {
+
+thread_local TraceContext tls_context;
+
+uint64_t RandomSeed() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+std::atomic<uint64_t>& SpanCounter() {
+  // Seeded once per process so coordinator and shard-server span ids live
+  // in disjoint ranges with overwhelming probability.
+  static std::atomic<uint64_t> counter{RandomSeed() | 1};
+  return counter;
+}
+
+std::mt19937_64& TraceIdRng() {
+  static std::mt19937_64 rng(RandomSeed());
+  return rng;
+}
+
+std::mutex& TraceIdMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::string trace_id)
+    : trace_id_(std::move(trace_id)) {}
+
+size_t TraceRecorder::StartSpan(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return kDroppedSlot;
+  }
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::FinishSpan(size_t slot, double duration_ms,
+                               std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= spans_.size()) return;  // kDroppedSlot or post-TakeSpans.
+  spans_[slot].duration_ms = duration_ms;
+  if (!detail.empty()) spans_[slot].detail = std::move(detail);
+}
+
+std::vector<TraceSpan> TraceRecorder::TakeSpans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.swap(spans_);
+  return out;
+}
+
+size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+uint64_t NextSpanId() {
+  return SpanCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string MintTraceId() {
+  uint64_t bits;
+  {
+    std::lock_guard<std::mutex> lock(TraceIdMutex());
+    bits = TraceIdRng()();
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx)
+    : previous_(tls_context) {
+  tls_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_context = previous_; }
+
+ScopedSpan::ScopedSpan(std::string name, std::string detail) {
+  TraceContext ctx = tls_context;
+  if (ctx.recorder == nullptr) return;
+  recorder_ = ctx.recorder;
+  restore_parent_ = ctx.parent_span;
+  id_ = NextSpanId();
+  detail_ = std::move(detail);
+  start_ms_ = recorder_->ElapsedMs();
+  TraceSpan span;
+  span.id = id_;
+  span.parent = restore_parent_;
+  span.name = std::move(name);
+  span.detail = detail_;
+  span.start_ms = start_ms_;
+  slot_ = recorder_->StartSpan(std::move(span));
+  tls_context.parent_span = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->FinishSpan(slot_, recorder_->ElapsedMs() - start_ms_,
+                        std::move(detail_));
+  tls_context.parent_span = restore_parent_;
+}
+
+std::string TraceHeaderLine() {
+  const TraceContext ctx = tls_context;
+  if (ctx.recorder == nullptr) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s: %s:%llx\r\n", kTraceHeaderName,
+                ctx.recorder->trace_id().c_str(),
+                static_cast<unsigned long long>(ctx.parent_span));
+  return buf;
+}
+
+bool ParseTraceHeaderValue(const std::string& value, std::string* trace_id,
+                           uint64_t* parent_span) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string id = value.substr(0, colon);
+  const std::string parent_hex = value.substr(colon + 1);
+  if (id.empty() || id.size() > 64 || parent_hex.empty() ||
+      parent_hex.size() > 16) {
+    return false;
+  }
+  uint64_t parent = 0;
+  for (char c : parent_hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    parent = (parent << 4) | static_cast<uint64_t>(digit);
+  }
+  *trace_id = id;
+  *parent_span = parent;
+  return true;
+}
+
+TraceStore::TraceStore(size_t capacity, size_t pinned_capacity,
+                       double slow_threshold_ms)
+    : capacity_(std::max<size_t>(1, capacity)),
+      pinned_capacity_(std::max<size_t>(1, pinned_capacity)),
+      slow_threshold_ms_(slow_threshold_ms) {}
+
+void TraceStore::set_slow_threshold_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+double TraceStore::slow_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+void TraceStore::Add(const std::string& trace_id,
+                     std::vector<TraceSpan> spans, double total_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) {
+    Stored stored;
+    stored.trace_id = trace_id;
+    stored.spans = std::move(spans);
+    if (stored.spans.size() > kMaxSpansPerTrace) {
+      stored.spans.resize(kMaxSpansPerTrace);
+    }
+    stored.total_ms = total_ms;
+    it = traces_.emplace(trace_id, std::move(stored)).first;
+    order_.push_back(trace_id);
+  } else {
+    auto& dst = it->second.spans;
+    const size_t room =
+        dst.size() < kMaxSpansPerTrace ? kMaxSpansPerTrace - dst.size() : 0;
+    const size_t take = std::min(room, spans.size());
+    dst.insert(dst.end(), std::make_move_iterator(spans.begin()),
+               std::make_move_iterator(spans.begin() + take));
+    it->second.total_ms = std::max(it->second.total_ms, total_ms);
+  }
+  if (!it->second.pinned && it->second.total_ms >= slow_threshold_ms_) {
+    it->second.pinned = true;
+    pinned_order_.push_back(trace_id);
+  }
+  EvictLocked();
+}
+
+void TraceStore::EvictLocked() {
+  // Ring of recent traces: drop the oldest unpinned entries first. order_
+  // may hold ids that became pinned or were already erased; skip those.
+  size_t unpinned = 0;
+  for (const auto& [id, stored] : traces_) {
+    if (!stored.pinned) ++unpinned;
+  }
+  while (unpinned > capacity_ && !order_.empty()) {
+    const std::string id = order_.front();
+    order_.pop_front();
+    auto it = traces_.find(id);
+    if (it == traces_.end() || it->second.pinned) continue;
+    traces_.erase(it);
+    --unpinned;
+  }
+  // The pinned set is bounded too: oldest pinned traces fall off once the
+  // slow-query museum is full.
+  while (pinned_order_.size() > pinned_capacity_) {
+    const std::string id = pinned_order_.front();
+    pinned_order_.pop_front();
+    auto it = traces_.find(id);
+    if (it != traces_.end() && it->second.pinned) traces_.erase(it);
+  }
+}
+
+std::optional<TraceStore::Stored> TraceStore::Get(
+    const std::string& trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+size_t TraceStore::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, stored] : traces_) {
+    if (stored.pinned) ++n;
+  }
+  return n;
+}
+
+}  // namespace yask

@@ -1,0 +1,188 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Distributed request tracing. The coordinator mints a trace_id per traced
+// request (POST /query, POST /whynot), records a span tree as the request
+// flows through the engine (route → top-k/why-not stages → per-replica RPC
+// fan-outs), and propagates `trace_id:parent_span` to shard servers in an
+// `x-yask-trace` request header so each RPC's shard-side work appears as a
+// CHILD span of the coordinator's RPC span. Both tiers keep finished traces
+// in a bounded in-memory TraceStore served at GET /trace/<id>; traces
+// slower than a threshold are PINNED so the interesting ones survive ring
+// eviction (docs/observability.md, "Span model").
+//
+// Recording is opt-in per thread: a ScopedSpan is a no-op unless a
+// TraceRecorder is installed in the thread-local TraceContext, so library
+// code can be instrumented unconditionally at negligible cost. Fan-out code
+// that hops threads captures CurrentTraceContext() before submitting to a
+// pool and re-installs it in the task with a TraceContextScope.
+
+#ifndef YASK_COMMON_TRACE_H_
+#define YASK_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+
+namespace yask {
+
+/// One completed span. Span ids are drawn from a process-wide counter
+/// seeded randomly at startup, so ids from different processes (coordinator
+/// vs shard servers) do not collide when a trace is stitched together.
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = no parent (the root of this node's subtree)
+  std::string name;     // bounded vocabulary: "POST /whynot", "rpc /shard/…"
+  std::string detail;   // free-form: replica endpoint, batch sizes, …
+  double start_ms = 0;  // relative to this node's recorder epoch
+  double duration_ms = 0;
+};
+
+/// Collects the spans of ONE trace on ONE node. Thread-safe; bounded.
+/// Slots are allocated at span START, so ancestors always precede (and are
+/// stored before) their descendants: when a deep fan-out overflows the cap,
+/// the TAIL of leaf rpc spans is shed, never the stage spans above them.
+class TraceRecorder {
+ public:
+  static constexpr size_t kMaxSpans = 1024;
+  /// StartSpan's "trace full" slot; FinishSpan ignores it.
+  static constexpr size_t kDroppedSlot = static_cast<size_t>(-1);
+
+  explicit TraceRecorder(std::string trace_id);
+
+  const std::string& trace_id() const { return trace_id_; }
+  double ElapsedMs() const { return timer_.ElapsedMillis(); }
+
+  /// Stores an opening span (duration 0 until finished) and returns its
+  /// slot, or kDroppedSlot when the trace is full.
+  size_t StartSpan(TraceSpan span);
+  /// Stamps the duration (and final detail, if non-empty) when it closes.
+  void FinishSpan(size_t slot, double duration_ms, std::string detail);
+  /// Moves the recorded spans out (ordered by start time).
+  std::vector<TraceSpan> TakeSpans();
+  size_t dropped() const;
+
+ private:
+  const std::string trace_id_;
+  const Timer timer_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  size_t dropped_ = 0;
+};
+
+/// What a thread is currently tracing: the recorder plus the span that new
+/// child spans should attach to.
+struct TraceContext {
+  TraceRecorder* recorder = nullptr;
+  uint64_t parent_span = 0;
+};
+
+/// The calling thread's context ({nullptr, 0} when not tracing).
+TraceContext CurrentTraceContext();
+
+/// Process-wide span id allocator (randomly seeded at startup).
+uint64_t NextSpanId();
+
+/// Mints a 16-hex-char trace id.
+std::string MintTraceId();
+
+/// Installs `ctx` for the lifetime of the scope and restores the previous
+/// context on destruction. Used on request threads (install the request's
+/// recorder) and inside pool tasks (re-install the submitter's context).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+/// RAII span: starts on construction, records on destruction. No-op when
+/// the thread has no recorder. While alive, it is the thread's parent span.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, std::string detail = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  uint64_t id() const { return id_; }
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t restore_parent_ = 0;
+  size_t slot_ = 0;
+  std::string detail_;
+  double start_ms_ = 0;
+};
+
+/// Wire format of the propagated header value: "<trace_id>:<parent hex>".
+/// kTraceHeaderName is the lowercased HTTP header key.
+inline constexpr char kTraceHeaderName[] = "x-yask-trace";
+
+/// "" when the thread is not tracing; otherwise a full header line
+/// "x-yask-trace: <id>:<parent>\r\n" ready to splice into a request.
+std::string TraceHeaderLine();
+
+/// Parses a header value. Returns false (and leaves outputs untouched) on
+/// malformed input — old/foreign clients simply yield an untraced request.
+bool ParseTraceHeaderValue(const std::string& value, std::string* trace_id,
+                           uint64_t* parent_span);
+
+/// Bounded store of finished traces, keyed by trace id. Multiple Add()
+/// calls for the same id append (a shard server sees one RPC at a time;
+/// the coordinator stitches). Traces whose total_ms meets the slow
+/// threshold are pinned: they survive ring eviction until the (also
+/// bounded) pinned set itself overflows.
+class TraceStore {
+ public:
+  /// Per-trace span cap: a shard server Add()s one batch per RPC of the
+  /// same trace, so a deep why-not fan-out would otherwise grow one Stored
+  /// entry without bound. Later spans past the cap are dropped.
+  static constexpr size_t kMaxSpansPerTrace = 4096;
+
+  struct Stored {
+    std::string trace_id;
+    std::vector<TraceSpan> spans;
+    double total_ms = 0;
+    bool pinned = false;
+  };
+
+  explicit TraceStore(size_t capacity = 128, size_t pinned_capacity = 64,
+                      double slow_threshold_ms = 250.0);
+
+  void set_slow_threshold_ms(double ms);
+  double slow_threshold_ms() const;
+
+  void Add(const std::string& trace_id, std::vector<TraceSpan> spans,
+           double total_ms);
+  std::optional<Stored> Get(const std::string& trace_id) const;
+
+  size_t size() const;
+  size_t pinned_count() const;
+
+ private:
+  void EvictLocked();
+
+  const size_t capacity_;
+  const size_t pinned_capacity_;
+  mutable std::mutex mu_;
+  double slow_threshold_ms_;
+  std::map<std::string, Stored> traces_;
+  std::deque<std::string> order_;  // insertion order, pinned ids skipped
+  std::deque<std::string> pinned_order_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_TRACE_H_

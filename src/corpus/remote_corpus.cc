@@ -8,6 +8,7 @@
 
 #include "src/common/geometry.h"
 #include "src/common/string_util.h"
+#include "src/common/trace.h"
 #include "src/common/timer.h"
 #include "src/snapshot/snapshot_codec.h"
 
@@ -16,23 +17,49 @@ namespace yask {
 // --- RemoteShard -------------------------------------------------------------
 
 RemoteShard::RemoteShard(std::string host, uint16_t port,
-                         RemoteShardOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+                         RemoteShardOptions options,
+                         const MetricsRegistry* metrics)
+    : host_(std::move(host)), port_(port), options_(options) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = own_metrics_.get();
+  }
+  const MetricLabels labels{{"replica", endpoint()}};
+  requests_ = metrics->GetCounter("yask_replica_requests_total", labels);
+  errors_ = metrics->GetCounter("yask_replica_errors_total", labels);
+  retries_ = metrics->GetCounter("yask_replica_retries_total", labels);
+  latency_ = metrics->GetHistogram("yask_replica_rpc_latency_ms", labels);
+}
 
 Result<std::string> RemoteShard::Call(const std::string& method,
                                       const std::string& path,
                                       std::string_view body) {
+  // One span per replica attempt sequence: a mid-request failover shows up
+  // in the trace as a second rpc span on the sibling replica.
+  ScopedSpan span("rpc " + path, endpoint());
+  Timer timer;
+  Result<std::string> out = CallInternal(method, path, body);
+  latency_->Observe(timer.ElapsedMillis());
+  return out;
+}
+
+Result<std::string> RemoteShard::CallInternal(const std::string& method,
+                                              const std::string& path,
+                                              std::string_view body) {
+  // Propagate the trace context (if any) on every attempt; old servers
+  // ignore the header, untraced requests send nothing.
+  const std::string trace_header = TraceHeaderLine();
   // Issues the RPC on one connection; on success pools the connection and
   // fills `*done` with the final result. False = transport failure (the
   // connection is dropped and the caller tries another).
   auto attempt_on = [&](std::unique_ptr<HttpClientConnection> conn,
                         Status* transport_error,
                         std::optional<Result<std::string>>* done) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_->Add();
     int http_status = 0;
     Result<std::string> resp = conn->Call(method, path, body,
                                           options_.call_deadline_ms,
-                                          &http_status);
+                                          &http_status, trace_header);
     if (!resp.ok()) {
       *transport_error = resp.status();
       return false;
@@ -81,6 +108,7 @@ Result<std::string> RemoteShard::Call(const std::string& method,
 
   // Fresh dials, up to the retry budget.
   for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    if (attempt > 0) retries_->Add();
     auto conn = std::make_unique<HttpClientConnection>();
     if (Status s = conn->Connect(host_, port_, options_.connect_timeout_ms);
         !s.ok()) {
@@ -89,7 +117,7 @@ Result<std::string> RemoteShard::Call(const std::string& method,
     }
     if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
   }
-  error_epoch_.fetch_add(1, std::memory_order_relaxed);
+  errors_->Add();
   return Status::Unavailable("shard " + host_ + ":" + std::to_string(port_) +
                              " unreachable: " + last.message());
 }
@@ -97,12 +125,27 @@ Result<std::string> RemoteShard::Call(const std::string& method,
 // --- ReplicaSet --------------------------------------------------------------
 
 ReplicaSet::ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
-                       RemoteShardOptions options)
+                       RemoteShardOptions options,
+                       const MetricsRegistry* metrics, uint32_t shard_index)
     : replicas_(std::move(replicas)), options_(options) {
   health_.reserve(replicas_.size());
   for (size_t r = 0; r < replicas_.size(); ++r) {
     health_.push_back(std::make_unique<Health>());
   }
+  const MetricLabels labels{{"shard", std::to_string(shard_index)}};
+  failovers_ = metrics->GetCounter("yask_failovers_total", labels);
+  cooldown_entries_ =
+      metrics->GetCounter("yask_cooldown_entries_total", labels);
+  call_latency_ = metrics->GetHistogram("yask_shard_rpc_latency_ms", labels);
+  // Computed at scrape time; `this` lives behind a unique_ptr in the corpus
+  // that also owns the registry, so the callback cannot outlive the set.
+  metrics->AddGaugeCallback("yask_replicas_cooling", labels, [this] {
+    double cooling = 0;
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      if (InCooldown(r)) ++cooling;
+    }
+    return cooling;
+  });
 }
 
 std::string ReplicaSet::description() const {
@@ -123,6 +166,7 @@ void ReplicaSet::MarkFailure(size_t r) const {
   Health& h = *health_[r];
   const uint32_t fails = h.consecutive_failures.fetch_add(1) + 1;
   if (options_.cooldown_base_ms <= 0) return;
+  cooldown_entries_->Add();
   // Exponential backoff: base * 2^(fails-1), capped. A replica that keeps
   // failing is probed ever less often — but always again eventually, which
   // is how a restarted process rejoins the rotation.
@@ -161,6 +205,7 @@ std::optional<size_t> ReplicaSet::PickReplica(
 Result<std::string> ReplicaSet::Call(const std::string& method,
                                      const std::string& path,
                                      std::string_view body) const {
+  Timer timer;
   Status last = Status::Unavailable("no replica attempted");
   std::vector<bool> tried(replicas_.size(), false);
   bool failed_over = false;
@@ -175,12 +220,14 @@ Result<std::string> ReplicaSet::Call(const std::string& method,
       // it on a sibling would just repeat it.
       MarkSuccess(*r);
       if (failed_over) NoteFailover();
+      call_latency_->Observe(timer.ElapsedMillis());
       return resp;
     }
     last = resp.status();
     failed_over = true;
     MarkFailure(*r);
   }
+  call_latency_->Observe(timer.ElapsedMillis());
   return Status::Unavailable("all " + std::to_string(replicas_.size()) +
                              " replica(s) of " + description() +
                              " failed: " + last.message());
@@ -189,7 +236,9 @@ Result<std::string> ReplicaSet::Call(const std::string& method,
 Result<std::string> ReplicaSet::CallOn(size_t r, const std::string& method,
                                        const std::string& path,
                                        std::string_view body) const {
+  Timer timer;
   Result<std::string> resp = replicas_[r]->Call(method, path, body);
+  call_latency_->Observe(timer.ElapsedMillis());
   if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable) {
     MarkFailure(r);
   } else {
@@ -229,6 +278,10 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     return Status::InvalidArgument("no shard endpoints given");
   }
 
+  // The registry the replicas meter into; adopted by the corpus at the end
+  // (unique_ptr keeps the instrument addresses stable across the move).
+  auto metrics = std::make_unique<MetricsRegistry>();
+
   // Dial every replica of every group and fetch its identity.
   struct DialedGroup {
     std::vector<std::unique_ptr<RemoteShard>> replicas;
@@ -250,7 +303,8 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
             "' (want host:port, replicas '|'-joined)");
       }
       auto replica = std::make_unique<RemoteShard>(
-          endpoint.substr(0, colon), static_cast<uint16_t>(port), options);
+          endpoint.substr(0, colon), static_cast<uint16_t>(port), options,
+          metrics.get());
       Result<std::string> raw = replica->Call("GET", shardrpc::kMetaPath, "");
       if (!raw.ok()) return raw.status();
       BufReader in(raw->data(), raw->size());
@@ -319,8 +373,8 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
           std::to_string(groups[0].meta.dist_norm) +
           ") — shard snapshots from different builds?");
     }
-    corpus.shards_[meta.shard_index] =
-        std::make_unique<ReplicaSet>(std::move(group.replicas), options);
+    corpus.shards_[meta.shard_index] = std::make_unique<ReplicaSet>(
+        std::move(group.replicas), options, metrics.get(), meta.shard_index);
     corpus.metas_[meta.shard_index] = meta;
   }
 
@@ -383,6 +437,9 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     threads = std::min(threads, static_cast<size_t>(shard_count));
     if (threads > 0) corpus.pool_ = std::make_unique<ThreadPool>(threads);
   }
+  corpus.session_replays_ =
+      metrics->GetCounter("yask_session_replays_total");
+  corpus.metrics_ = std::move(metrics);
   return corpus;
 }
 
@@ -400,9 +457,14 @@ void RemoteCorpus::ForEachShard(const std::function<void(size_t)>& fn) const {
     for (size_t s = 0; s < n; ++s) fn(s);
     return;
   }
+  // Pool workers inherit the submitter's trace context: the rpc spans a
+  // fan-out records land in the request's recorder, parented under whatever
+  // span was open at the fan-out site.
+  const TraceContext trace_ctx = CurrentTraceContext();
   std::latch latch(static_cast<ptrdiff_t>(n));
   for (size_t s = 0; s < n; ++s) {
-    pool_->Submit([&fn, &latch, s] {
+    pool_->Submit([&fn, &latch, trace_ctx, s] {
+      TraceContextScope scope(trace_ctx);
       fn(s);
       latch.count_down();
     });
@@ -595,15 +657,25 @@ TopKResult RemoteTopKClient::Query(const ::yask::Query& query,
   // the pool, or sequentially nearest-first with a re-tightened threshold.
   if (n > 1 && corpus_->pool() != nullptr) {
     const double prune_below = threshold();
-    std::latch latch(static_cast<ptrdiff_t>(n - 1));
-    for (size_t s = 0; s < n; ++s) {
-      if (s == home) continue;
-      corpus_->pool()->Submit([&, s] {
-        ShardTopK(*corpus_, s, query, prune_below, &parts[s], &part_stats[s]);
-        latch.count_down();
-      });
+    {
+      ScopedSpan fanout_span("topk/fanout",
+                             std::to_string(n - 1) + " shards");
+      // Captured after the span opens, so the per-replica rpc spans the
+      // workers record become its children.
+      const TraceContext trace_ctx = CurrentTraceContext();
+      std::latch latch(static_cast<ptrdiff_t>(n - 1));
+      for (size_t s = 0; s < n; ++s) {
+        if (s == home) continue;
+        corpus_->pool()->Submit([&, trace_ctx, s] {
+          TraceContextScope scope(trace_ctx);
+          ShardTopK(*corpus_, s, query, prune_below, &parts[s],
+                    &part_stats[s]);
+          latch.count_down();
+        });
+      }
+      latch.wait();
     }
-    latch.wait();
+    ScopedSpan merge_span("topk/merge");
     for (size_t s = 0; s < n; ++s) {
       if (s != home) merge_part(s);
     }

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/common/vocabulary.h"
@@ -82,7 +83,13 @@ struct RemoteShardOptions {
 /// fan-outs each check a connection out of the pool.
 class RemoteShard {
  public:
-  RemoteShard(std::string host, uint16_t port, RemoteShardOptions options);
+  /// `metrics` (must outlive the shard) receives this replica's meters:
+  /// requests/errors/retries counters and the per-replica RPC latency
+  /// histogram, labeled {replica="host:port"}. /health and /metrics read
+  /// the SAME instruments — the registry is the single source of truth.
+  /// nullptr (standalone/test use) gives the shard a private registry.
+  RemoteShard(std::string host, uint16_t port, RemoteShardOptions options,
+              const MetricsRegistry* metrics = nullptr);
 
   /// One RPC. Returns the response body on HTTP 200; a semantic HTTP error
   /// becomes a Status with the mapped code (404 -> NotFound, 501 ->
@@ -99,17 +106,26 @@ class RemoteShard {
     return host_ + ":" + std::to_string(port_);
   }
   /// Wire requests issued (attempts count one each) — the round-trip meter
-  /// bench_remote_shards gates on.
-  uint64_t requests() const { return requests_.load(); }
+  /// bench_remote_shards gates on. Reads the registry counter.
+  uint64_t requests() const { return requests_->value(); }
   /// Calls that exhausted every attempt — this replica's failure count.
-  uint64_t error_epoch() const { return error_epoch_.load(); }
+  uint64_t error_epoch() const { return errors_->value(); }
 
  private:
+  Result<std::string> CallInternal(const std::string& method,
+                                   const std::string& path,
+                                   std::string_view body);
+
   std::string host_;
   uint16_t port_;
   RemoteShardOptions options_;
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> error_epoch_{0};
+  /// Engaged only when no shared registry was passed to the constructor.
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  // Registry-owned instruments (stable for the registry's lifetime).
+  Counter* requests_ = nullptr;
+  Counter* errors_ = nullptr;
+  Counter* retries_ = nullptr;
+  Histogram* latency_ = nullptr;
   std::mutex pool_mu_;
   std::vector<std::unique_ptr<HttpClientConnection>> idle_;
 };
@@ -118,8 +134,13 @@ class RemoteShard {
 /// Thread-safe: routing state is atomic, each replica locks its own pool.
 class ReplicaSet {
  public:
+  /// `metrics` (non-null, outlives the set) receives the shard-level meters
+  /// labeled {shard="<index>"}: failover/cooldown counters, the per-shard
+  /// RPC latency histogram, and a cooling-replicas gauge computed at scrape
+  /// time.
   ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
-             RemoteShardOptions options);
+             RemoteShardOptions options, const MetricsRegistry* metrics,
+             uint32_t shard_index);
 
   size_t num_replicas() const { return replicas_.size(); }
   RemoteShard& replica(size_t r) const { return *replicas_[r]; }
@@ -151,18 +172,16 @@ class ReplicaSet {
   void MarkFailure(size_t r) const;
   void MarkSuccess(size_t r) const;
   bool InCooldown(size_t r) const;
-  /// Counted by Call() itself; session channels report theirs here.
-  void NoteFailover() const {
-    failovers_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Counted by Call() itself; session channels report theirs here. Bumps
+  /// the registry counter /health and /metrics both read.
+  void NoteFailover() const { failovers_->Add(); }
 
   /// Wire requests across all replicas.
   uint64_t requests() const;
   /// Calls (stateless or session) that succeeded only after at least one
-  /// replica failed — the "a 503 was avoided" meter.
-  uint64_t failovers() const {
-    return failovers_.load(std::memory_order_relaxed);
-  }
+  /// replica failed — the "a 503 was avoided" meter. Reads the registry
+  /// counter.
+  uint64_t failovers() const { return failovers_->value(); }
 
  private:
   /// Per-replica health. Heap-allocated so the set stays movable.
@@ -175,7 +194,10 @@ class ReplicaSet {
   RemoteShardOptions options_;
   std::vector<std::unique_ptr<Health>> health_;
   mutable std::atomic<uint64_t> rr_{0};
-  mutable std::atomic<uint64_t> failovers_{0};
+  // Registry-owned instruments, labeled {shard="<index>"}.
+  Counter* failovers_ = nullptr;
+  Counter* cooldown_entries_ = nullptr;
+  Histogram* call_latency_ = nullptr;
 };
 
 /// The coordinator's serving-state view over N remote shards. Construct via
@@ -237,7 +259,15 @@ class RemoteCorpus {
   uint64_t total_requests() const;
   /// Total successful failovers across all shards — calls and sessions that
   /// survived a replica failure. The bench's "kills stayed invisible" meter.
+  /// Sums the per-shard registry counters (single source of truth).
   uint64_t total_failovers() const;
+
+  /// The corpus-side metrics registry: every replica/shard meter above
+  /// lives here; the coordinator's GET /metrics appends its render.
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  /// Session replays (remote why-not sessions re-established and replayed
+  /// on a live replica after a kill) — bumped by ShardSessionChannel.
+  Counter* session_replays() const { return session_replays_; }
 
  private:
   RemoteCorpus() = default;
@@ -248,6 +278,12 @@ class RemoteCorpus {
     std::mutex mu;
     Status last;
   };
+
+  // Declared FIRST: shards/replicas hold instrument pointers into the
+  // registry, so it must be destroyed last. Behind unique_ptr so pointers
+  // survive corpus moves (the ErrorState/ObjectCache pattern).
+  std::unique_ptr<MetricsRegistry> metrics_;
+  Counter* session_replays_ = nullptr;
 
   std::vector<std::unique_ptr<ReplicaSet>> shards_;
   std::vector<shardrpc::ShardMeta> metas_;

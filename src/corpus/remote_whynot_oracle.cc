@@ -169,6 +169,10 @@ class ShardSessionChannel {
         return false;
       }
     }
+    // A re-open after the first success IS a session replay: the lost
+    // session was re-established (history re-applied) on a live replica.
+    if (opened_once_) corpus_->session_replays()->Add();
+    opened_once_ = true;
     session_ = id;
     replica_ = r;
     open_resp_ = *std::move(raw);
@@ -188,6 +192,7 @@ class ShardSessionChannel {
   std::vector<ReplayEntry> replay_;
   size_t replica_ = 0;
   uint64_t session_ = 0;
+  bool opened_once_ = false;
   std::string open_resp_;
   Status last_error_ = Status::Unavailable("never opened");
 };

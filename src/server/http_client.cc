@@ -116,7 +116,8 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
                                                const std::string& path,
                                                std::string_view body,
                                                int deadline_ms,
-                                               int* status_out) {
+                                               int* status_out,
+                                               const std::string& extra_headers) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   const int64_t deadline = NowMillis() + deadline_ms;
   // Bound the send side too: a stalled peer must not block past the
@@ -130,7 +131,7 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
   req << method << ' ' << path
       << " HTTP/1.1\r\nHost: shard\r\nContent-Type: application/octet-stream"
       << "\r\nContent-Length: " << body.size()
-      << "\r\nConnection: keep-alive\r\n\r\n";
+      << "\r\nConnection: keep-alive\r\n" << extra_headers << "\r\n";
   std::string head = req.str();
   head.append(body.data(), body.size());
 

@@ -53,10 +53,13 @@ class HttpClientConnection {
   /// Returns the response body; the HTTP status lands in `*status_out`.
   /// On any transport error (peer gone, deadline, framing) the connection
   /// is closed and a non-OK Status returned — the caller retries on a fresh
-  /// connection if it wants to.
+  /// connection if it wants to. `extra_headers` is spliced verbatim into the
+  /// request header block (zero or more full "Name: value\r\n" lines — the
+  /// RPC path injects the x-yask-trace context this way).
   Result<std::string> Call(const std::string& method, const std::string& path,
                            std::string_view body, int deadline_ms,
-                           int* status_out);
+                           int* status_out,
+                           const std::string& extra_headers = std::string());
 
  private:
   int fd_ = -1;

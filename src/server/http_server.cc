@@ -37,6 +37,11 @@ void HttpServer::Route(const std::string& method, const std::string& path,
   routes_[{method, path}] = std::move(handler);
 }
 
+void HttpServer::RoutePrefix(const std::string& method,
+                             const std::string& prefix, Handler handler) {
+  prefix_routes_[{method, prefix}] = std::move(handler);
+}
+
 Status HttpServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already running");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -177,6 +182,7 @@ ReadOutcome ReadOneRequest(int fd, std::string* buffer,
   bool have_length = false;
   std::string request_line;
   std::string connection;
+  std::map<std::string, std::string> headers;
 
   while (true) {
     if (header_end == std::string::npos &&
@@ -203,6 +209,11 @@ ReadOutcome ReadOneRequest(int fd, std::string* buffer,
             }
           } else if (StartsWith(lower, "connection:")) {
             connection = Trim(lower.substr(11));
+          }
+          const size_t colon = line.find(':');
+          if (colon != std::string::npos && colon > 0) {
+            headers[ToLowerAscii(line.substr(0, colon))] =
+                Trim(line.substr(colon + 1));
           }
         }
         if (content_length > kMaxBodyBytes) return ReadOutcome::kBodyTooLarge;
@@ -235,6 +246,7 @@ ReadOutcome ReadOneRequest(int fd, std::string* buffer,
           }
         }
         req->path = UrlDecode(target);
+        req->headers = std::move(headers);
         const size_t body_len = have_length ? content_length : 0;
         req->body = buffer->substr(header_end + 4, body_len);
         buffer->erase(0, header_end + 4 + body_len);
@@ -352,8 +364,23 @@ void HttpServer::HandleConnection(int fd) {
         break;
       default: {
         auto it = routes_.find({req.method, req.path});
+        const Handler* prefix_handler = nullptr;
+        if (it == routes_.end()) {
+          // Longest matching prefix wins (the map iterates shortest first).
+          size_t best_len = 0;
+          for (const auto& [key, handler] : prefix_routes_) {
+            if (key.first == req.method && req.path.size() > key.second.size()
+                && req.path.compare(0, key.second.size(), key.second) == 0 &&
+                key.second.size() >= best_len) {
+              best_len = key.second.size();
+              prefix_handler = &handler;
+            }
+          }
+        }
         if (it != routes_.end()) {
           resp = it->second(req);
+        } else if (prefix_handler != nullptr) {
+          resp = (*prefix_handler)(req);
         } else {
           // Distinguish an unknown resource from a known one addressed with
           // the wrong method.
@@ -362,6 +389,12 @@ void HttpServer::HandleConnection(int fd) {
             if (key.second == req.path) {
               path_known = true;
               break;
+            }
+          }
+          for (const auto& [key, handler] : prefix_routes_) {
+            if (!path_known && req.path.size() > key.second.size() &&
+                req.path.compare(0, key.second.size(), key.second) == 0) {
+              path_known = true;
             }
           }
           resp = path_known ? HttpResponse::Error(405, "method not allowed")

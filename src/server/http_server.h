@@ -43,6 +43,9 @@ struct HttpRequest {
   std::string method;  // "GET", "POST", ...
   std::string path;    // Path without the query string.
   std::map<std::string, std::string> query_params;
+  /// Request headers, keys lowercased ("x-yask-trace" carries the
+  /// propagated trace context on the coordinator->shard RPC path).
+  std::map<std::string, std::string> headers;
   std::string body;
 };
 
@@ -79,6 +82,12 @@ class HttpServer {
   void Route(const std::string& method, const std::string& path,
              Handler handler);
 
+  /// Registers a handler for every path starting with `prefix` (e.g.
+  /// "/trace/" serves GET /trace/<id>); exact routes win, then the longest
+  /// matching prefix. The handler reads the rest of the path off req.path.
+  void RoutePrefix(const std::string& method, const std::string& prefix,
+                   Handler handler);
+
   /// Binds, listens and spawns the accept/worker threads.
   Status Start();
 
@@ -105,6 +114,8 @@ class HttpServer {
   std::atomic<bool> running_{false};
 
   std::map<std::pair<std::string, std::string>, Handler> routes_;
+  // (method, prefix) -> handler; consulted after the exact map misses.
+  std::map<std::pair<std::string, std::string>, Handler> prefix_routes_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -3,7 +3,8 @@
 namespace yask {
 
 uint64_t QueryLog::Append(std::string kind, std::string description,
-                          double response_millis, double penalty) {
+                          double response_millis, double penalty,
+                          std::string trace_id) {
   std::lock_guard<std::mutex> lock(mu_);
   QueryLogEntry e;
   e.id = next_id_++;
@@ -11,6 +12,7 @@ uint64_t QueryLog::Append(std::string kind, std::string description,
   e.description = std::move(description);
   e.response_millis = response_millis;
   e.penalty = penalty;
+  e.trace_id = std::move(trace_id);
   entries_.push_back(std::move(e));
   while (entries_.size() > capacity_) entries_.pop_front();
   return next_id_ - 1;

@@ -21,6 +21,7 @@ struct QueryLogEntry {
   std::string description;    // Parameter settings (human readable).
   double response_millis = 0; // Measured server-side.
   double penalty = -1.0;      // Refined-query penalty; -1 when N/A.
+  std::string trace_id;       // Distributed trace id; empty when untraced.
 };
 
 /// Thread-safe bounded query log (oldest entries evicted).
@@ -30,7 +31,8 @@ class QueryLog {
 
   /// Appends an entry and returns its assigned id.
   uint64_t Append(std::string kind, std::string description,
-                  double response_millis, double penalty = -1.0);
+                  double response_millis, double penalty = -1.0,
+                  std::string trace_id = std::string());
 
   /// Snapshot of the log, oldest first.
   std::vector<QueryLogEntry> Snapshot() const;

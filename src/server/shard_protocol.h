@@ -25,6 +25,8 @@
 //   POST /shard/count      batched tie-aware outscoring counts (scan / SetR)
 //   POST /shard/plane/open|count|crossings|close    Eqn. (3) sessions
 //   POST /shard/probe/open|refine|close             Eqn. (4) probe batches
+//   GET  /shard/trace?id=…  JSON spans recorded under a propagated trace id
+//   GET  /metrics           Prometheus text exposition (docs/observability.md)
 
 #ifndef YASK_SERVER_SHARD_PROTOCOL_H_
 #define YASK_SERVER_SHARD_PROTOCOL_H_
@@ -44,7 +46,11 @@ namespace shardrpc {
 
 /// Bumped on any incompatible message change; the coordinator refuses a
 /// shard server speaking a different version at Connect() time.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: request framing carries an optional `x-yask-trace` header
+/// ("<trace_id>:<parent_span_hex>") on every RPC, and the shard server
+/// grows GET /shard/trace (+ /metrics). A server must TOLERATE the header's
+/// absence — untraced requests are served identically.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 inline constexpr char kHealthPath[] = "/health";
 inline constexpr char kMetaPath[] = "/shard/meta";
@@ -60,6 +66,11 @@ inline constexpr char kPlaneClosePath[] = "/shard/plane/close";
 inline constexpr char kProbeOpenPath[] = "/shard/probe/open";
 inline constexpr char kProbeRefinePath[] = "/shard/probe/refine";
 inline constexpr char kProbeClosePath[] = "/shard/probe/close";
+/// GET, JSON: the shard-side spans of one trace (?id=<trace_id>) — the
+/// coordinator stitches these under its own spans at GET /trace/<id>.
+inline constexpr char kTracePath[] = "/shard/trace";
+/// GET, Prometheus text format (v2, docs/observability.md).
+inline constexpr char kMetricsPath[] = "/metrics";
 
 /// /shard/count entry method selector.
 enum class CountMethod : uint8_t {

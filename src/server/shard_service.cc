@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "src/common/timer.h"
 #include "src/query/ranking.h"
 #include "src/server/json.h"
 #include "src/server/shard_protocol.h"
+#include "src/server/trace_json.h"
 
 namespace yask {
 
@@ -90,34 +92,133 @@ ShardService::ShardService(const Corpus& corpus, Info info,
       corpus.has_kcr() ? &corpus.kcr() : nullptr,
       info_.to_global.empty() ? nullptr : &info_.to_global};
 
-  server_.Route("GET", shardrpc::kHealthPath,
-                [this](const HttpRequest& r) { return HandleHealth(r); });
-  server_.Route("GET", shardrpc::kMetaPath,
-                [this](const HttpRequest& r) { return HandleMeta(r); });
-  server_.Route("GET", shardrpc::kVocabPath,
-                [this](const HttpRequest& r) { return HandleVocab(r); });
-  server_.Route("POST", shardrpc::kObjectsPath,
-                [this](const HttpRequest& r) { return HandleObjects(r); });
-  server_.Route("POST", shardrpc::kFindPath,
-                [this](const HttpRequest& r) { return HandleFind(r); });
-  server_.Route("POST", shardrpc::kTopKPath,
-                [this](const HttpRequest& r) { return HandleTopK(r); });
-  server_.Route("POST", shardrpc::kCountPath,
-                [this](const HttpRequest& r) { return HandleCount(r); });
-  server_.Route("POST", shardrpc::kPlaneOpenPath,
-                [this](const HttpRequest& r) { return HandlePlaneOpen(r); });
-  server_.Route("POST", shardrpc::kPlaneCountPath,
-                [this](const HttpRequest& r) { return HandlePlaneCount(r); });
-  server_.Route("POST", shardrpc::kPlaneCrossingsPath, [this](
-                    const HttpRequest& r) { return HandlePlaneCrossings(r); });
-  server_.Route("POST", shardrpc::kPlaneClosePath,
-                [this](const HttpRequest& r) { return HandlePlaneClose(r); });
-  server_.Route("POST", shardrpc::kProbeOpenPath,
-                [this](const HttpRequest& r) { return HandleProbeOpen(r); });
-  server_.Route("POST", shardrpc::kProbeRefinePath,
-                [this](const HttpRequest& r) { return HandleProbeRefine(r); });
-  server_.Route("POST", shardrpc::kProbeClosePath,
-                [this](const HttpRequest& r) { return HandleProbeClose(r); });
+  server_.Route("GET", shardrpc::kHealthPath, Instrumented(
+      shardrpc::kHealthPath,
+      [this](const HttpRequest& r) { return HandleHealth(r); }));
+  server_.Route("GET", shardrpc::kMetaPath, Instrumented(
+      shardrpc::kMetaPath,
+      [this](const HttpRequest& r) { return HandleMeta(r); }));
+  server_.Route("GET", shardrpc::kVocabPath, Instrumented(
+      shardrpc::kVocabPath,
+      [this](const HttpRequest& r) { return HandleVocab(r); }));
+  server_.Route("POST", shardrpc::kObjectsPath, Instrumented(
+      shardrpc::kObjectsPath,
+      [this](const HttpRequest& r) { return HandleObjects(r); }));
+  server_.Route("POST", shardrpc::kFindPath, Instrumented(
+      shardrpc::kFindPath,
+      [this](const HttpRequest& r) { return HandleFind(r); }));
+  server_.Route("POST", shardrpc::kTopKPath, Instrumented(
+      shardrpc::kTopKPath,
+      [this](const HttpRequest& r) { return HandleTopK(r); }));
+  server_.Route("POST", shardrpc::kCountPath, Instrumented(
+      shardrpc::kCountPath,
+      [this](const HttpRequest& r) { return HandleCount(r); }));
+  server_.Route("POST", shardrpc::kPlaneOpenPath, Instrumented(
+      shardrpc::kPlaneOpenPath,
+      [this](const HttpRequest& r) { return HandlePlaneOpen(r); }));
+  server_.Route("POST", shardrpc::kPlaneCountPath, Instrumented(
+      shardrpc::kPlaneCountPath,
+      [this](const HttpRequest& r) { return HandlePlaneCount(r); }));
+  server_.Route("POST", shardrpc::kPlaneCrossingsPath, Instrumented(
+      shardrpc::kPlaneCrossingsPath,
+      [this](const HttpRequest& r) { return HandlePlaneCrossings(r); }));
+  server_.Route("POST", shardrpc::kPlaneClosePath, Instrumented(
+      shardrpc::kPlaneClosePath,
+      [this](const HttpRequest& r) { return HandlePlaneClose(r); }));
+  server_.Route("POST", shardrpc::kProbeOpenPath, Instrumented(
+      shardrpc::kProbeOpenPath,
+      [this](const HttpRequest& r) { return HandleProbeOpen(r); }));
+  server_.Route("POST", shardrpc::kProbeRefinePath, Instrumented(
+      shardrpc::kProbeRefinePath,
+      [this](const HttpRequest& r) { return HandleProbeRefine(r); }));
+  server_.Route("POST", shardrpc::kProbeClosePath, Instrumented(
+      shardrpc::kProbeClosePath,
+      [this](const HttpRequest& r) { return HandleProbeClose(r); }));
+  // Observability endpoints are NOT instrumented: a scrape must not perturb
+  // the very series it reads, and neither carries a trace header.
+  server_.Route("GET", shardrpc::kTracePath,
+                [this](const HttpRequest& r) { return HandleTrace(r); });
+  server_.Route("GET", shardrpc::kMetricsPath,
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
+
+  const MetricLabels shard_label = {
+      {"shard", std::to_string(info_.shard_index)}};
+  metrics_.AddGaugeCallback("yask_shard_open_plane_sessions", shard_label,
+                            [this] {
+                              std::lock_guard<std::mutex> lock(sessions_mu_);
+                              return static_cast<double>(planes_.size());
+                            });
+  metrics_.AddGaugeCallback("yask_shard_open_probe_sessions", shard_label,
+                            [this] {
+                              std::lock_guard<std::mutex> lock(sessions_mu_);
+                              return static_cast<double>(probes_.size());
+                            });
+  metrics_.AddGaugeCallback("yask_shard_objects", shard_label, [this] {
+    return static_cast<double>(corpus_->size());
+  });
+}
+
+HttpServer::Handler ShardService::Instrumented(const char* endpoint,
+                                               HttpServer::Handler inner) {
+  // The latency histogram is resolved once here (stable pointer); the
+  // code-labelled counter is resolved per response — that lookup takes the
+  // registry mutex, but it is one short map probe per HTTP request,
+  // invisible next to the request's own work.
+  Histogram* latency = metrics_.GetHistogram(
+      "yask_shard_request_ms", {{"endpoint", endpoint}});
+  const std::string endpoint_str = endpoint;
+  return [this, latency, endpoint_str,
+          inner = std::move(inner)](const HttpRequest& req) {
+    Timer timer;
+    HttpResponse resp;
+    std::string trace_id;
+    uint64_t parent_span = 0;
+    const auto header = req.headers.find(kTraceHeaderName);
+    if (header != req.headers.end() &&
+        ParseTraceHeaderValue(header->second, &trace_id, &parent_span)) {
+      // shardrpc v2: this RPC is part of a distributed trace. The root span
+      // is parented to the coordinator's rpc span id so the stitched tree
+      // at GET /trace/<id> hangs this server's work under that rpc.
+      TraceRecorder recorder(trace_id);
+      {
+        TraceContextScope scope(TraceContext{&recorder, parent_span});
+        ScopedSpan span(endpoint_str,
+                        "shard " + std::to_string(info_.shard_index));
+        resp = inner(req);
+      }
+      traces_.Add(trace_id, recorder.TakeSpans(), recorder.ElapsedMs());
+    } else {
+      resp = inner(req);
+    }
+    latency->Observe(timer.ElapsedMillis());
+    metrics_
+        .GetCounter("yask_shard_requests_total",
+                    {{"endpoint", endpoint_str},
+                     {"code", std::to_string(resp.status)}})
+        ->Add();
+    return resp;
+  };
+}
+
+HttpResponse ShardService::HandleTrace(const HttpRequest& req) {
+  const auto it = req.query_params.find("id");
+  if (it == req.query_params.end() || it->second.empty()) {
+    return HttpResponse::Error(400, "missing ?id=<trace_id>");
+  }
+  const std::optional<TraceStore::Stored> stored = traces_.Get(it->second);
+  if (!stored.has_value()) {
+    return HttpResponse::Error(404, "unknown trace " + it->second);
+  }
+  return HttpResponse::Json(
+      StoredTraceToJson(*stored,
+                        "shard " + std::to_string(info_.shard_index))
+          .Dump());
+}
+
+HttpResponse ShardService::HandleMetrics(const HttpRequest&) {
+  std::string body;
+  metrics_.RenderPrometheus(&body);
+  return HttpResponse{200, "text/plain; version=0.0.4", std::move(body)};
 }
 
 size_t ShardService::open_sessions() const {

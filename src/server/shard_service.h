@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/corpus/corpus.h"
 #include "src/query/topk_engine.h"
 #include "src/server/http_server.h"
@@ -76,9 +78,22 @@ class ShardService {
   /// Open sessions (for tests and /health).
   size_t open_sessions() const;
 
+  /// This server's metric registry (GET /metrics renders it).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// This server's trace store (GET /shard/trace?id=… serves it).
+  const TraceStore& traces() const { return traces_; }
+
  private:
   struct PlaneSession;
   struct ProbeSession;
+
+  /// Wraps a handler with per-endpoint metrics (request counter by response
+  /// code + latency histogram) and, when the request carries an
+  /// `x-yask-trace` header (shardrpc v2), a per-RPC TraceRecorder whose root
+  /// span is parented to the coordinator's propagated span id; the recorded
+  /// spans land in traces_ under the propagated trace id.
+  HttpServer::Handler Instrumented(const char* endpoint,
+                                   HttpServer::Handler inner);
 
   HttpResponse HandleHealth(const HttpRequest& req);
   HttpResponse HandleMeta(const HttpRequest& req);
@@ -94,6 +109,8 @@ class ShardService {
   HttpResponse HandleProbeOpen(const HttpRequest& req);
   HttpResponse HandleProbeRefine(const HttpRequest& req);
   HttpResponse HandleProbeClose(const HttpRequest& req);
+  HttpResponse HandleTrace(const HttpRequest& req);
+  HttpResponse HandleMetrics(const HttpRequest& req);
 
   /// Local id of a global id owned by this shard; nullopt when not owned.
   std::optional<ObjectId> ToLocal(ObjectId global_id) const;
@@ -112,6 +129,8 @@ class ShardService {
   Info info_;
   OracleShardView view_;
   SetRTopKEngine topk_;  // Global dist norm.
+  MetricsRegistry metrics_;
+  TraceStore traces_;
   HttpServer server_;
 
   mutable std::mutex sessions_mu_;

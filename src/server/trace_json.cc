@@ -1,0 +1,44 @@
+#include "src/server/trace_json.h"
+
+#include <cstdio>
+
+namespace yask {
+
+std::string SpanIdHex(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+JsonValue TraceSpanToJson(const TraceSpan& span, const std::string& node) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("id", JsonValue(SpanIdHex(span.id)));
+  out.Set("parent",
+          JsonValue(span.parent == 0 ? std::string() : SpanIdHex(span.parent)));
+  out.Set("name", JsonValue(span.name));
+  if (!span.detail.empty()) out.Set("detail", JsonValue(span.detail));
+  out.Set("start_ms", JsonValue(span.start_ms));
+  out.Set("duration_ms", JsonValue(span.duration_ms));
+  out.Set("node", JsonValue(node));
+  return out;
+}
+
+JsonValue TraceSpansToJson(const std::vector<TraceSpan>& spans,
+                           const std::string& node) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const TraceSpan& span : spans) arr.Append(TraceSpanToJson(span, node));
+  return arr;
+}
+
+JsonValue StoredTraceToJson(const TraceStore::Stored& stored,
+                            const std::string& node) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("trace_id", JsonValue(stored.trace_id));
+  out.Set("total_ms", JsonValue(stored.total_ms));
+  out.Set("pinned", JsonValue(stored.pinned));
+  out.Set("spans", TraceSpansToJson(stored.spans, node));
+  return out;
+}
+
+}  // namespace yask

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// JSON rendering of trace spans — the shared wire shape of the coordinator's
+// GET /trace/<id> and the shard server's GET /shard/trace?id=… endpoints.
+// Span ids are rendered as 16-hex-char STRINGS, not JSON numbers: the ids
+// come from a randomly seeded 64-bit counter and a double-backed JSON number
+// would silently round anything past 2^53, breaking parent/child stitching.
+
+#ifndef YASK_SERVER_TRACE_JSON_H_
+#define YASK_SERVER_TRACE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/trace.h"
+#include "src/server/json.h"
+
+namespace yask {
+
+/// "%016llx" of a span id ("0" stays "0000000000000000"; parent 0 renders
+/// as the empty string at the span level instead — see TraceSpanToJson).
+std::string SpanIdHex(uint64_t id);
+
+/// {"id": hex, "parent": hex|"", "name", "detail", "start_ms",
+///  "duration_ms", "node": node} — `node` tags which process recorded the
+/// span ("coordinator", "shard 2 127.0.0.1:9002", …).
+JsonValue TraceSpanToJson(const TraceSpan& span, const std::string& node);
+
+/// Array of TraceSpanToJson rows.
+JsonValue TraceSpansToJson(const std::vector<TraceSpan>& spans,
+                           const std::string& node);
+
+/// Full stored-trace document: {"trace_id", "total_ms", "pinned", "spans"}.
+JsonValue StoredTraceToJson(const TraceStore::Stored& stored,
+                            const std::string& node);
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_TRACE_JSON_H_

@@ -8,6 +8,9 @@
 #include "src/common/text.h"
 #include "src/common/timer.h"
 #include "src/corpus/remote_whynot_oracle.h"
+#include "src/server/http_client.h"
+#include "src/server/shard_protocol.h"
+#include "src/server/trace_json.h"
 
 namespace yask {
 
@@ -30,24 +33,53 @@ bool ToUint64(double v, uint64_t* out) {
   return true;
 }
 
+/// The trace id the Instrumented wrapper minted for this request thread
+/// ("" on untraced requests) — what the query log records.
+std::string CurrentTraceId() {
+  const TraceContext ctx = CurrentTraceContext();
+  return ctx.recorder != nullptr ? ctx.recorder->trace_id() : std::string();
+}
+
 }  // namespace
 
 YaskService::YaskService(YaskServiceOptions options)
     : options_(options), server_(options.port, options.num_workers) {
-  server_.Route("POST", "/query",
-                [this](const HttpRequest& r) { return HandleQuery(r); });
-  server_.Route("POST", "/whynot",
-                [this](const HttpRequest& r) { return HandleWhyNot(r); });
-  server_.Route("GET", "/objects",
-                [this](const HttpRequest& r) { return HandleObjects(r); });
-  server_.Route("GET", "/log",
-                [this](const HttpRequest& r) { return HandleLog(r); });
-  server_.Route("POST", "/forget",
-                [this](const HttpRequest& r) { return HandleForget(r); });
-  server_.Route("GET", "/health",
-                [this](const HttpRequest& r) { return HandleHealth(r); });
-  server_.Route("POST", "/snapshot",
-                [this](const HttpRequest& r) { return HandleSnapshot(r); });
+  traces_.set_slow_threshold_ms(options.slow_trace_threshold_ms);
+  // Only the two engine-driven endpoints are traced (they are the ones with
+  // a span tree worth keeping); everything data-path is metered.
+  server_.Route("POST", "/query", Instrumented(
+      "/query", /*traced=*/true,
+      [this](const HttpRequest& r) { return HandleQuery(r); }));
+  server_.Route("POST", "/whynot", Instrumented(
+      "/whynot", /*traced=*/true,
+      [this](const HttpRequest& r) { return HandleWhyNot(r); }));
+  server_.Route("GET", "/objects", Instrumented(
+      "/objects", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleObjects(r); }));
+  server_.Route("GET", "/log", Instrumented(
+      "/log", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleLog(r); }));
+  server_.Route("POST", "/forget", Instrumented(
+      "/forget", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleForget(r); }));
+  server_.Route("GET", "/health", Instrumented(
+      "/health", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleHealth(r); }));
+  server_.Route("POST", "/snapshot", Instrumented(
+      "/snapshot", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleSnapshot(r); }));
+  // Observability endpoints are not instrumented: a scrape must not move
+  // the series it reads.
+  server_.Route("GET", "/metrics",
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server_.RoutePrefix("GET", "/trace/",
+                      [this](const HttpRequest& r) { return HandleTrace(r); });
+  metrics_.AddGaugeCallback("yask_cached_queries", {}, [this] {
+    return static_cast<double>(cached_queries());
+  });
+  metrics_.AddGaugeCallback("yask_query_log_entries", {}, [this] {
+    return static_cast<double>(log_.size());
+  });
   // A minimal index page standing in for the demo's map GUI (Figs. 3-5).
   server_.Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse{
@@ -89,6 +121,105 @@ void YaskService::Stop() { server_.Stop(); }
 size_t YaskService::cached_queries() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return query_cache_.size();
+}
+
+// --- Observability -----------------------------------------------------------
+
+HttpServer::Handler YaskService::Instrumented(const char* endpoint,
+                                              bool traced,
+                                              HttpServer::Handler inner) {
+  // The latency histogram is resolved once (stable pointer; the hot path
+  // never takes the registry mutex for it). The code-labelled counter is
+  // resolved per response: one short map probe under the registry mutex,
+  // invisible next to the request's own work.
+  Histogram* latency = metrics_.GetHistogram(
+      "yask_http_request_ms", {{"endpoint", endpoint}});
+  const std::string endpoint_str = endpoint;
+  return [this, latency, endpoint_str, traced,
+          inner = std::move(inner)](const HttpRequest& req) {
+    Timer timer;
+    HttpResponse resp;
+    if (traced) {
+      TraceRecorder recorder(MintTraceId());
+      {
+        TraceContextScope scope(TraceContext{&recorder, 0});
+        ScopedSpan span(req.method + " " + endpoint_str);
+        resp = inner(req);
+      }
+      // Every span doubles as a stage-latency sample, so the aggregate view
+      // (/metrics) and the per-request view (/trace/<id>) never disagree.
+      std::vector<TraceSpan> spans = recorder.TakeSpans();
+      for (const TraceSpan& s : spans) {
+        metrics_.GetHistogram("yask_stage_ms", {{"stage", s.name}})
+            ->Observe(s.duration_ms);
+      }
+      traces_.Add(recorder.trace_id(), std::move(spans),
+                  recorder.ElapsedMs());
+    } else {
+      resp = inner(req);
+    }
+    latency->Observe(timer.ElapsedMillis());
+    metrics_
+        .GetCounter("yask_http_requests_total",
+                    {{"endpoint", endpoint_str},
+                     {"code", std::to_string(resp.status)}})
+        ->Add();
+    return resp;
+  };
+}
+
+HttpResponse YaskService::HandleMetrics(const HttpRequest&) {
+  std::string body;
+  metrics_.RenderPrometheus(&body);
+  if (remote_ != nullptr) {
+    // The remote corpus keeps its own registry (per-replica RPC latency,
+    // retries, failovers, cooldowns, session replays). The family names are
+    // disjoint from the service's, so plain concatenation is a valid
+    // exposition.
+    remote_->metrics().RenderPrometheus(&body);
+  }
+  return HttpResponse{200, "text/plain; version=0.0.4", std::move(body)};
+}
+
+HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
+  const std::string id = req.path.substr(std::string("/trace/").size());
+  if (id.empty()) return HttpResponse::Error(400, "expected /trace/<id>");
+  const std::optional<TraceStore::Stored> stored = traces_.Get(id);
+  if (!stored.has_value()) {
+    return HttpResponse::Error(404, "unknown trace " + id +
+                                        " (evicted or never recorded)");
+  }
+  JsonValue out = StoredTraceToJson(*stored, "coordinator");
+  if (remote_ != nullptr) {
+    // Stitch in the shard-side spans: every replica that served one of this
+    // trace's RPCs holds them keyed by the propagated trace id. Fetched
+    // with throwaway connections, NOT through ReplicaSet::Call — a trace
+    // read must not move RPC metrics or error epochs, and a dead replica
+    // here is simply skipped.
+    JsonValue spans = out.Get("spans");
+    for (size_t s = 0; s < remote_->num_shards(); ++s) {
+      const ReplicaSet& set = remote_->replicas(s);
+      for (size_t r = 0; r < set.num_replicas(); ++r) {
+        const RemoteShard& rep = set.replica(r);
+        HttpClientConnection conn;
+        if (!conn.Connect(rep.host(), rep.port(), /*timeout_ms=*/500).ok()) {
+          continue;
+        }
+        int http_status = 0;
+        auto body = conn.Call("GET",
+                              std::string(shardrpc::kTracePath) + "?id=" + id,
+                              "", /*deadline_ms=*/1000, &http_status);
+        if (!body.ok() || http_status != 200) continue;
+        auto doc = JsonValue::Parse(*body);
+        if (!doc.ok()) continue;
+        for (const JsonValue& span : doc->Get("spans").array_items()) {
+          spans.Append(span);
+        }
+      }
+    }
+    out.Set("spans", std::move(spans));
+  }
+  return HttpResponse::Json(out.Dump());
 }
 
 // --- Corpus-layout-independent accessors -------------------------------------
@@ -221,7 +352,11 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
   }
 
   Timer timer;
-  const TopKResult result = RunTopK(q);
+  TopKResult result;
+  {
+    ScopedSpan span("query/topk", "k=" + std::to_string(q.k));
+    result = RunTopK(q);
+  }
   const double millis = timer.ElapsedMillis();
 
   JsonValue out = JsonValue::MakeObject();
@@ -239,7 +374,7 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
   }
 
   const uint64_t id = CacheQuery(q);
-  log_.Append("topk", q.ToString(vocab()), millis);
+  log_.Append("topk", q.ToString(vocab()), millis, -1.0, CurrentTraceId());
   out.Set("query_id", JsonValue(static_cast<size_t>(id)));
   return HttpResponse::Json(out.Dump());
 }
@@ -346,7 +481,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
       return *failure;
     }
     log_.Append("whynot-combined", q.ToString(vocab()), millis,
-                combined->total_penalty);
+                combined->total_penalty, CurrentTraceId());
     return HttpResponse::Json(out.Dump());
   }
 
@@ -432,7 +567,7 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
   log_.Append("whynot",
               q.ToString(vocab()) + " missing=" +
                   std::to_string(missing.size()),
-              millis, logged_penalty);
+              millis, logged_penalty, CurrentTraceId());
   return HttpResponse::Json(out.Dump());
 }
 
@@ -479,6 +614,7 @@ HttpResponse YaskService::HandleLog(const HttpRequest&) {
     row.Set("description", JsonValue(e.description));
     row.Set("response_millis", JsonValue(e.response_millis));
     if (e.penalty >= 0.0) row.Set("penalty", JsonValue(e.penalty));
+    if (!e.trace_id.empty()) row.Set("trace_id", JsonValue(e.trace_id));
     arr.Append(std::move(row));
   }
   JsonValue out = JsonValue::MakeObject();

@@ -29,7 +29,13 @@
 //            ->    explanations + refined queries + refined results
 //                  ("combined" applies both models in sequence, §3.2)
 //   GET  /objects?limit=N      -> dataset sample (the demo's grey markers)
-//   GET  /log                  -> query log snapshot
+//   GET  /log                  -> query log snapshot (incl. trace_id)
+//   GET  /metrics              -> Prometheus text exposition (this service's
+//                                 registry + the remote corpus's in
+//                                 coordinator mode); docs/observability.md
+//   GET  /trace/<id>           -> one finished request trace as a JSON span
+//                                 tree; in coordinator mode shard-side spans
+//                                 are fetched and stitched in by trace id
 //   POST /forget   {"query_id":..}   -> drops a cached initial query
 //   GET  /health               -> {"status":"ok","objects":N[,"shards":S]}
 //   POST /snapshot [{"path":..}]  -> admin: serialize the warm state to disk
@@ -49,6 +55,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/remote_corpus.h"
 #include "src/corpus/sharded_corpus.h"
@@ -80,6 +88,9 @@ struct YaskServiceOptions {
   /// a client-chosen path would let any local client overwrite any file the
   /// server process can write. Enable only for trusted/admin deployments.
   bool allow_snapshot_path_override = false;
+  /// Traces slower than this are PINNED in the trace store (survive ring
+  /// eviction) — the slow-query debugging knob (docs/observability.md).
+  double slow_trace_threshold_ms = 250.0;
 };
 
 /// The YASK service: owns the HTTP server and the query cache; borrows the
@@ -107,11 +118,26 @@ class YaskService {
   uint16_t port() const { return server_.bound_port(); }
   const QueryLog& log() const { return log_; }
 
+  /// The coordinator's own registry (GET /metrics also appends the remote
+  /// corpus's registry in coordinator mode).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// Finished request traces (GET /trace/<id> serves these, stitched with
+  /// shard-side spans in coordinator mode).
+  const TraceStore& traces() const { return traces_; }
+
   /// Number of cached initial queries (for tests).
   size_t cached_queries() const;
 
  private:
   explicit YaskService(YaskServiceOptions options);
+
+  /// Wraps a handler with per-endpoint metrics (request counter by response
+  /// code + latency histogram). When `traced` is set the wrapper also mints
+  /// a trace id, installs a TraceRecorder for the request thread, roots the
+  /// span tree at "<METHOD> <endpoint>", folds every recorded span into the
+  /// yask_stage_ms{stage=…} histograms and files the trace in traces_.
+  HttpServer::Handler Instrumented(const char* endpoint, bool traced,
+                                   HttpServer::Handler inner);
 
   HttpResponse HandleQuery(const HttpRequest& req);
   HttpResponse HandleWhyNot(const HttpRequest& req);
@@ -120,6 +146,8 @@ class YaskService {
   HttpResponse HandleForget(const HttpRequest& req);
   HttpResponse HandleHealth(const HttpRequest& req);
   HttpResponse HandleSnapshot(const HttpRequest& req);
+  HttpResponse HandleMetrics(const HttpRequest& req);
+  HttpResponse HandleTrace(const HttpRequest& req);
 
   // --- Corpus-layout-independent serving state accessors. ---
   size_t ObjectCount() const;
@@ -153,6 +181,11 @@ class YaskService {
   /// (the sharded oracle runs /query and /whynot over the corpus pool).
   std::optional<WhyNotEngine> engine_;
   YaskServiceOptions options_;
+  // Declared before server_: handlers running on server threads touch both,
+  // and ~YaskService must stop those threads (server_ destroyed first)
+  // before the registry and trace store go away.
+  MetricsRegistry metrics_;
+  TraceStore traces_;
   HttpServer server_;
   QueryLog log_;
 

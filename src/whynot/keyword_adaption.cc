@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <string>
 
+#include "src/common/trace.h"
 #include "src/query/scoring.h"
 #include "src/whynot/whynot_oracle.h"
 
@@ -225,7 +227,10 @@ Result<RefinedKeywordQuery> AdaptKeywords(
                    /*rank_exact=*/true);
         return;
       }
-      widest->RefineLevel();
+      {
+        ScopedSpan span("kw/refine_level", "probes=1");
+        widest->RefineLevel();
+      }
       ++stats.probe_fanouts;
       ++stats.refine_levels;
     }
@@ -311,7 +316,11 @@ Result<RefinedKeywordQuery> AdaptKeywords(
         }
       }
       if (live_count == 0 || to_refine.empty()) break;
-      batch->RefineLevel(to_refine);
+      {
+        ScopedSpan span("kw/refine_level",
+                        "probes=" + std::to_string(to_refine.size()));
+        batch->RefineLevel(to_refine);
+      }
       ++stats.probe_fanouts;
       ++stats.refine_levels;
     }

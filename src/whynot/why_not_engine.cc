@@ -1,5 +1,6 @@
 #include "src/whynot/why_not_engine.h"
 
+#include "src/common/trace.h"
 #include "src/corpus/sharded_whynot_oracle.h"
 #include "src/query/ranking.h"
 
@@ -19,11 +20,18 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     const WhyNotOptions& options) const {
   WhyNotAnswer answer;
 
-  auto explanations = ExplainMissing(*oracle_, query, missing);
-  if (!explanations.ok()) return explanations.status();
-  answer.explanations = std::move(explanations).value();
+  // Stage spans are recorded in EVERY corpus layout (local, sharded,
+  // remote), so a trace's skeleton is layout-independent; remote layouts
+  // additionally hang per-replica rpc spans beneath them.
+  {
+    ScopedSpan span("whynot/explain");
+    auto explanations = ExplainMissing(*oracle_, query, missing);
+    if (!explanations.ok()) return explanations.status();
+    answer.explanations = std::move(explanations).value();
+  }
 
   if (options.run_preference_adjustment) {
+    ScopedSpan span("whynot/preference");
     PreferenceAdjustOptions po;
     po.lambda = options.lambda;
     po.mode = options.pref_mode;
@@ -32,6 +40,7 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     answer.preference = std::move(refined).value();
   }
   if (options.run_keyword_adaption) {
+    ScopedSpan span("whynot/keyword");
     KeywordAdaptOptions ko;
     ko.lambda = options.lambda;
     ko.mode = options.kw_mode;
@@ -59,6 +68,7 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     answer.recommended = RefinementModel::kKeyword;
   }
 
+  ScopedSpan span("whynot/refined_topk");
   switch (answer.recommended) {
     case RefinementModel::kPreference:
       answer.refined_result = oracle_->TopK(answer.preference->refined);
@@ -85,9 +95,15 @@ Result<CombinedRefinement> WhyNotEngine::CombineRefinements(
 
   // Order A: preference first, keyword adaption on the adjusted query.
   auto run_pref_first = [&]() -> Result<CombinedRefinement> {
-    auto pref = AdjustPreference(*oracle_, query, missing, po);
+    auto pref = [&] {
+      ScopedSpan span("whynot/preference", "order=pref-first");
+      return AdjustPreference(*oracle_, query, missing, po);
+    }();
     if (!pref.ok()) return pref.status();
-    auto kw = AdaptKeywords(*oracle_, pref->refined, missing, ko);
+    auto kw = [&] {
+      ScopedSpan span("whynot/keyword", "order=pref-first");
+      return AdaptKeywords(*oracle_, pref->refined, missing, ko);
+    }();
     if (!kw.ok()) return kw.status();
     CombinedRefinement out;
     out.refined = kw->refined;
@@ -101,9 +117,15 @@ Result<CombinedRefinement> WhyNotEngine::CombineRefinements(
   };
   // Order B: keyword adaption first, preference adjustment after.
   auto run_kw_first = [&]() -> Result<CombinedRefinement> {
-    auto kw = AdaptKeywords(*oracle_, query, missing, ko);
+    auto kw = [&] {
+      ScopedSpan span("whynot/keyword", "order=kw-first");
+      return AdaptKeywords(*oracle_, query, missing, ko);
+    }();
     if (!kw.ok()) return kw.status();
-    auto pref = AdjustPreference(*oracle_, kw->refined, missing, po);
+    auto pref = [&] {
+      ScopedSpan span("whynot/preference", "order=kw-first");
+      return AdjustPreference(*oracle_, kw->refined, missing, po);
+    }();
     if (!pref.ok()) return pref.status();
     CombinedRefinement out;
     out.refined = pref->refined;

@@ -1,0 +1,153 @@
+// MetricsRegistry contracts the observability stack leans on:
+//   * concurrency: N threads hammering shared counters and histograms lose
+//     nothing — totals are exact, not approximate;
+//   * instrument identity: same (family, labels) -> same pointer, different
+//     labels -> different instruments;
+//   * histogram quantiles are exact rank selections over the bucket bounds
+//     and monotone in q, including under concurrent observation;
+//   * the Prometheus rendering carries the families, labels, cumulative
+//     buckets and callback gauges a scraper needs.
+
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace yask {
+namespace {
+
+TEST(MetricsTest, CounterConcurrentTotalsAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("yask_test_total", {{"t", "conc"}});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve through the registry inside the thread too: creation is
+      // idempotent and must return the same instrument.
+      Counter* mine = registry.GetCounter("yask_test_total", {{"t", "conc"}});
+      for (int i = 0; i < kPerThread; ++i) mine->Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, LabelsSeparateInstrumentsAndSameLabelsShare) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("f_total", {{"endpoint", "/query"}});
+  Counter* b = registry.GetCounter("f_total", {{"endpoint", "/whynot"}});
+  Counter* a2 = registry.GetCounter("f_total", {{"endpoint", "/query"}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2);
+  a->Add(3);
+  b->Add(5);
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsTest, HistogramConcurrentCountAndQuantilesMonotone) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("yask_test_ms");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // A spread covering several buckets, deterministic per thread.
+        h->Observe(0.001 * (1 + ((t * kPerThread + i) % 5000)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum is a CAS-accumulated double of exactly representable summands times
+  // an exact count of them; it must be positive and finite.
+  EXPECT_GT(h->sum(), 0.0);
+  EXPECT_TRUE(std::isfinite(h->sum()));
+
+  const double p50 = h->Quantile(0.50);
+  const double p95 = h->Quantile(0.95);
+  const double p99 = h->Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Every observation was <= 5 ms; the p99 bound cannot exceed the first
+  // bucket bound covering 5 ms (8.192 ms).
+  EXPECT_LE(p99, 8.192);
+
+  // Cumulative bucket counts must reach the total at the +Inf bucket.
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    cumulative += h->bucket(i);
+  }
+  EXPECT_EQ(cumulative, h->count());
+}
+
+TEST(MetricsTest, QuantileIsExactRankSelection) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rank_ms");
+  // 99 observations in the 0.001ms bucket, 1 far out: p50 stays in the
+  // smallest bucket, p100 lands at the slow one's bound.
+  for (int i = 0; i < 99; ++i) h->Observe(0.0005);
+  h->Observe(100.0);  // Bucket bound 0.001 * 2^17 = 131.072.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.001);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.001);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 131.072);
+  // Empty histogram -> 0.
+  EXPECT_EQ(registry.GetHistogram("empty_ms")->Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, BucketBoundsDoubleFromOneMicrosecond) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 0.002);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 1.024);
+  EXPECT_TRUE(std::isinf(Histogram::BucketBound(Histogram::kBucketCount - 1)));
+}
+
+TEST(MetricsTest, RenderPrometheusCarriesFamiliesLabelsAndBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("yask_requests_total", {{"endpoint", "/query"}})->Add(7);
+  registry.GetGauge("yask_load")->Set(1.5);
+  registry.AddGaugeCallback("yask_cooling", {{"shard", "0"}},
+                            [] { return 2.0; });
+  Histogram* h = registry.GetHistogram("yask_latency_ms");
+  h->Observe(0.5);
+  h->Observe(3.0);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE yask_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("yask_requests_total{endpoint=\"/query\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE yask_load gauge"), std::string::npos);
+  EXPECT_NE(text.find("yask_load 1.5"), std::string::npos);
+  EXPECT_NE(text.find("yask_cooling{shard=\"0\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE yask_latency_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("yask_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("yask_latency_ms_count 2"), std::string::npos);
+  // Cumulative buckets: the 0.512 bound holds one observation, 4.096 both.
+  EXPECT_NE(text.find("yask_latency_ms_bucket{le=\"0.512\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("yask_latency_ms_bucket{le=\"4.096\"} 2"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, FormatMetricLabelsEscapes) {
+  EXPECT_EQ(FormatMetricLabels({}), "");
+  EXPECT_EQ(FormatMetricLabels({{"a", "b"}}), "{a=\"b\"}");
+  EXPECT_EQ(FormatMetricLabels({{"a", "q\"uote\\n"}}),
+            "{a=\"q\\\"uote\\\\n\"}");
+}
+
+}  // namespace
+}  // namespace yask

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/timer.h"
 #include "src/server/json.h"
 
 namespace yask {
@@ -263,11 +264,9 @@ TEST(HttpServerShutdownTest, StopUnderLoadClosesQueuedFdsQuicklyNoLeak) {
     // Stop() must not serve the ~29-request backlog (that would take
     // kClients * kHandlerMillis); it finishes the in-flight request, closes
     // the queued fds and returns.
-    const auto start = std::chrono::steady_clock::now();
+    const Timer stop_timer;
     server.Stop();
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
-    EXPECT_LT(elapsed.count(), kClients * kHandlerMillis / 2)
+    EXPECT_LT(stop_timer.ElapsedMillis(), kClients * kHandlerMillis / 2)
         << "Stop() appears to drain the backlog instead of closing it";
 
     for (const int fd : clients) ::close(fd);
