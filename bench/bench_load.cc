@@ -1,0 +1,469 @@
+// Experiment E15: the coordinator data plane under production-shaped load.
+//
+// Boots a loopback shard fleet, connects TWO coordinators over it — one with
+// the result cache + single-flight coalescing off (the pure event-loop +
+// multiplexed-transport data plane), one with it on — plus the in-process
+// sharded service as the exactness reference, then drives a production-
+// shaped /query workload (Zipfian keyword popularity, geo-clustered
+// hotspots; see bench_util.h ProductionWorkload) from N persistent
+// keep-alive client connections in two disciplines:
+//
+//   * closed loop — every client issues its next request the moment the
+//     previous response lands. Measures capacity (req/s) and the latency
+//     the server CAN deliver, but hides queueing: a slow response slows the
+//     arrival stream down with it.
+//   * open loop — clients fire at a fixed aggregate rate (the closed-loop
+//     capacity measured moments before) regardless of when responses come
+//     back, and each latency is measured from the request's INTENDED start
+//     time, so queueing delay a closed loop would mask (coordinated
+//     omission) is charged to the tail where it belongs.
+//
+// Gates (non-zero exit on failure):
+//   * exactness — every distinct workload shape answered by both
+//     coordinators (and for the caching one: both the miss and the hit)
+//     byte-identical to the in-process sharded service modulo timing fields
+//     and the fresh query_id;
+//   * zero non-200s across every measured phase.
+//
+// Each measured phase runs `--repeats` times and the quietest repeat is
+// reported (highest throughput for the closed phase, lowest p99 for the
+// open ones) — a shared host's scheduler noise lands squarely on the p99 of
+// a seconds-long phase, and best-of-N is this repo's usual discipline for
+// keeping a nightly-gated number from flapping. The error and exactness
+// gates accumulate over EVERY repeat, not just the reported one.
+//
+//   $ ./bench_load [--n=20000] [--shards=2] [--replicas=1] [--conns=64]
+//                  [--seconds=2] [--repeats=3] [--json=BENCH_load.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/corpus/remote_corpus.h"
+#include "src/corpus/sharded_corpus.h"
+#include "src/server/http_client.h"
+#include "src/server/json.h"
+#include "src/server/shard_service.h"
+#include "src/server/yask_service.h"
+
+namespace yask {
+namespace bench {
+namespace {
+
+/// Drops the timing field and the per-request query_id, then re-dumps: what
+/// is left must be byte-identical across data planes.
+JsonValue Strip(const JsonValue& v) {
+  if (v.is_object()) {
+    JsonValue out = JsonValue::MakeObject();
+    for (const auto& [key, value] : v.object_items()) {
+      if (key == "response_millis" || key == "query_id") continue;
+      out.Set(key, Strip(value));
+    }
+    return out;
+  }
+  if (v.is_array()) {
+    JsonValue out = JsonValue::MakeArray();
+    for (const JsonValue& item : v.array_items()) out.Append(Strip(item));
+    return out;
+  }
+  return v;
+}
+
+bool Normalize(const std::string& payload, std::string* out) {
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) return false;
+  *out = Strip(parsed.value()).Dump();
+  return true;
+}
+
+struct PhaseResult {
+  double rps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  uint64_t requests = 0;
+  uint64_t non_200 = 0;
+  uint64_t mismatches = 0;
+};
+
+double Quantile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const size_t rank =
+      static_cast<size_t>(q * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[rank];
+}
+
+/// One load phase against `port`. `open_rate_rps` == 0 runs closed loop;
+/// otherwise each of the `conns` clients fires at rate/conns with latencies
+/// measured from intended start times (coordinated-omission corrected).
+/// Every `kCheckEvery`-th response is normalized and checked against the
+/// shape's reference payload.
+PhaseResult RunPhase(uint16_t port, const ProductionWorkload& workload,
+                     const std::vector<std::string>& bodies,
+                     const std::vector<std::string>& references,
+                     size_t conns, double seconds, double open_rate_rps,
+                     uint64_t seed) {
+  constexpr size_t kCheckEvery = 16;
+  std::atomic<uint64_t> non_200{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(conns);
+  std::vector<uint64_t> counts(conns, 0);
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < conns; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(seed + c * 7919);
+      HttpClientConnection conn;
+      if (!conn.Connect("127.0.0.1", port, 2000).ok()) {
+        non_200.fetch_add(1);
+        return;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const auto end =
+          start + std::chrono::microseconds(
+                      static_cast<int64_t>(seconds * 1e6));
+      const double per_conn_rate =
+          open_rate_rps > 0.0 ? open_rate_rps / static_cast<double>(conns)
+                              : 0.0;
+      const auto interval =
+          per_conn_rate > 0.0
+              ? std::chrono::nanoseconds(
+                    static_cast<int64_t>(1e9 / per_conn_rate))
+              : std::chrono::nanoseconds(0);
+      size_t i = 0;
+      while (true) {
+        auto intended = start + interval * static_cast<int64_t>(i);
+        if (per_conn_rate == 0.0) intended = std::chrono::steady_clock::now();
+        if (intended >= end) break;
+        if (per_conn_rate > 0.0) std::this_thread::sleep_until(intended);
+        const size_t shape = workload.Draw(&rng);
+        int status = 0;
+        auto resp =
+            conn.Call("POST", "/query", bodies[shape], 5000, &status);
+        const auto done = std::chrono::steady_clock::now();
+        if (done >= end && per_conn_rate == 0.0) break;
+        latencies[c].push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                                 intended)
+                .count() /
+            1e6);
+        ++counts[c];
+        if (!resp.ok()) {
+          non_200.fetch_add(1);
+          // Keep-alive socket died (shouldn't under a healthy fleet);
+          // reconnect so one hiccup doesn't zero this client out.
+          if (!conn.Connect("127.0.0.1", port, 2000).ok()) return;
+          ++i;
+          continue;
+        }
+        if (status != 200) non_200.fetch_add(1);
+        if (status == 200 && i % kCheckEvery == 0) {
+          std::string norm;
+          if (!Normalize(*resp, &norm) || norm != references[shape]) {
+            mismatches.fetch_add(1);
+          }
+        }
+        ++i;
+      }
+    });
+  }
+  Timer timer;
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s = timer.ElapsedMillis() / 1000.0;
+
+  PhaseResult r;
+  std::vector<double> all;
+  for (size_t c = 0; c < conns; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    r.requests += counts[c];
+  }
+  r.p50 = Quantile(&all, 0.50);
+  r.p99 = Quantile(&all, 0.99);
+  r.rps = elapsed_s > 0.0 ? static_cast<double>(r.requests) / elapsed_s : 0.0;
+  r.non_200 = non_200.load();
+  r.mismatches = mismatches.load();
+  return r;
+}
+
+/// Reads one un-labelled counter value out of a /metrics exposition.
+double MetricValue(const std::string& exposition, const std::string& family) {
+  std::istringstream lines(exposition);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind(family + " ", 0) == 0 ||
+        line.rfind(family + "{} ", 0) == 0) {
+      return std::strtod(line.c_str() + line.rfind(' ') + 1, nullptr);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace yask
+
+int main(int argc, char** argv) {
+  using namespace yask;
+  using namespace yask::bench;
+
+  size_t n = 20000;
+  size_t shards = 2;
+  size_t replicas = 1;
+  size_t conns = 64;
+  double seconds = 2.0;
+  int repeats = 3;
+  std::string json_path = "BENCH_load.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<size_t>(std::strtoull(arg.c_str() + 4, nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      replicas =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 11, nullptr, 10));
+    } else if (arg.rfind("--conns=", 0) == 0) {
+      conns =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::strtod(arg.c_str() + 10, nullptr);
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      repeats = std::max(
+          1, static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n=N] [--shards=S] [--replicas=R] "
+                   "[--conns=C] [--seconds=T] [--repeats=K] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Timer setup_timer;
+  const ObjectStore store = GenerateDataset(SharedDatasetSpec(n));
+  const ShardedCorpus sharded = ShardedCorpus::Partition(
+      store, GridShardRouter::Fit(store, static_cast<uint32_t>(shards)));
+
+  // The loopback fleet: shards x replicas ShardService processes-in-threads.
+  std::vector<std::unique_ptr<ShardService>> fleet;
+  std::vector<std::string> endpoints;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    std::string group;
+    for (size_t r = 0; r < std::max<size_t>(replicas, 1); ++r) {
+      ShardService::Info info;
+      info.shard_index = static_cast<uint32_t>(s);
+      info.shard_count = static_cast<uint32_t>(sharded.num_shards());
+      info.global_bounds = sharded.bounds();
+      info.dist_norm = sharded.dist_norm();
+      info.to_global = sharded.shard_global_ids(s);
+      info.router = sharded.router_description();
+      auto service = std::make_unique<ShardService>(sharded.shard(s), info,
+                                                    ShardServiceOptions{});
+      if (!service->Start().ok()) {
+        std::fprintf(stderr, "cannot start shard %zu\n", s);
+        return 1;
+      }
+      if (!group.empty()) group += '|';
+      group += "127.0.0.1:" + std::to_string(service->port());
+      fleet.push_back(std::move(service));
+    }
+    endpoints.push_back(std::move(group));
+  }
+
+  auto plain_corpus = RemoteCorpus::Connect(endpoints);
+  auto caching_corpus = RemoteCorpus::Connect(endpoints);
+  if (!plain_corpus.ok() || !caching_corpus.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  YaskService plain(*plain_corpus);  // Result cache off: every request fans out.
+  YaskServiceOptions caching_options;
+  caching_options.enable_result_cache = true;
+  YaskService caching(*caching_corpus, caching_options);
+  YaskService local(sharded);  // The in-process exactness reference.
+  if (!plain.Start().ok() || !caching.Start().ok() || !local.Start().ok()) {
+    std::fprintf(stderr, "cannot start services\n");
+    return 1;
+  }
+
+  // The production-shaped workload and its per-shape reference payloads.
+  const ProductionWorkload workload(store);
+  std::vector<std::string> bodies(workload.distinct());
+  std::vector<std::string> references(workload.distinct());
+  bool exact = true;
+  for (size_t i = 0; i < workload.distinct(); ++i) {
+    const Query& q = workload.shape(i);
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("x", JsonValue(q.loc.x));
+    body.Set("y", JsonValue(q.loc.y));
+    body.Set("keywords", JsonValue(q.doc.ToString(sharded.vocab())));
+    body.Set("k", JsonValue(static_cast<size_t>(q.k)));
+    bodies[i] = body.Dump();
+
+    int status = 0;
+    auto ref = HttpFetch(local.port(), "POST", "/query", bodies[i], &status);
+    if (!ref.ok() || status != 200 || !Normalize(*ref, &references[i])) {
+      std::fprintf(stderr, "reference request %zu failed\n", i);
+      return 1;
+    }
+    // The exactness gate proper: the plain coordinator, then the caching one
+    // twice — the miss (computed over the wire) and the hit (served from the
+    // cache) must both match the in-process reference byte for byte.
+    std::string norm;
+    auto got = HttpFetch(plain.port(), "POST", "/query", bodies[i], &status);
+    exact &= got.ok() && status == 200 && Normalize(*got, &norm) &&
+             norm == references[i];
+    for (int round = 0; round < 2; ++round) {
+      got = HttpFetch(caching.port(), "POST", "/query", bodies[i], &status);
+      exact &= got.ok() && status == 200 && Normalize(*got, &norm) &&
+               norm == references[i];
+    }
+  }
+  if (!exact) {
+    std::fprintf(stderr, "EXACTNESS BUG: coordinator payloads diverge from "
+                         "the in-process sharded service\n");
+    return 1;
+  }
+  std::printf("fleet up: n=%zu, %zu shards x %zu replicas, %zu distinct "
+              "shapes, %zu conns (setup %.0f ms)\n",
+              n, shards, replicas, workload.distinct(), conns,
+              setup_timer.ElapsedMillis());
+
+  // Best-of-`repeats` (see the file comment): every repeat's errors and
+  // mismatches count toward the gates; only the quietest repeat's numbers
+  // are reported. `better(candidate, incumbent)` picks the reported one.
+  uint64_t total_requests = 0, total_non_200 = 0, total_mismatches = 0;
+  auto best_of = [&](auto run, auto better) {
+    PhaseResult best;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const PhaseResult r = run(static_cast<uint64_t>(rep));
+      total_requests += r.requests;
+      total_non_200 += r.non_200;
+      total_mismatches += r.mismatches;
+      if (rep == 0 || better(r, best)) best = r;
+    }
+    return best;
+  };
+  const auto lowest_p99 = [](const PhaseResult& a, const PhaseResult& b) {
+    return a.p99 < b.p99;
+  };
+
+  // --- Phase 1: closed loop against the plain data plane = its capacity. ---
+  const PhaseResult closed = best_of(
+      [&](uint64_t rep) {
+        return RunPhase(plain.port(), workload, bodies, references, conns,
+                        seconds, /*open_rate_rps=*/0.0, kDatasetSeed + rep);
+      },
+      [](const PhaseResult& a, const PhaseResult& b) { return a.rps > b.rps; });
+  std::printf("closed loop (no cache): %.0f req/s, p50 %.2f ms, "
+              "p99 %.2f ms\n",
+              closed.rps, closed.p50, closed.p99);
+
+  // --- Phase 2+3: open loop at ~90% of that capacity, both data planes.
+  // Same arrival process, so the p99s compare apples to apples; latency is
+  // measured from intended start (coordinated omission charged to the tail).
+  const double open_rate = closed.rps * 0.9;
+  const PhaseResult open_plain = best_of(
+      [&](uint64_t rep) {
+        return RunPhase(plain.port(), workload, bodies, references, conns,
+                        seconds, open_rate, kDatasetSeed + 101 + rep);
+      },
+      lowest_p99);
+  std::printf("open loop %.0f req/s (no cache): p50 %.2f ms, p99 %.2f ms\n",
+              open_rate, open_plain.p50, open_plain.p99);
+  const PhaseResult open_cached = best_of(
+      [&](uint64_t rep) {
+        return RunPhase(caching.port(), workload, bodies, references, conns,
+                        seconds, open_rate, kDatasetSeed + 202 + rep);
+      },
+      lowest_p99);
+  std::printf("open loop %.0f req/s (cache+coalesce): p50 %.2f ms, "
+              "p99 %.2f ms\n",
+              open_rate, open_cached.p50, open_cached.p99);
+
+  double hit_ratio = 0.0;
+  if (auto metrics = HttpFetch(caching.port(), "GET", "/metrics");
+      metrics.ok()) {
+    const double hits =
+        MetricValue(*metrics, "yask_result_cache_hits_total");
+    const double misses =
+        MetricValue(*metrics, "yask_result_cache_misses_total");
+    if (hits + misses > 0.0) hit_ratio = hits / (hits + misses);
+  }
+  std::printf("result cache hit ratio: %.3f\n", hit_ratio);
+
+  const uint64_t non_200 = total_non_200;
+  const uint64_t mismatches = total_mismatches;
+  if (non_200 != 0) std::printf("ZERO-ERROR GATE FAILED (%llu non-200)\n",
+                                static_cast<unsigned long long>(non_200));
+  if (mismatches != 0) std::printf("EXACTNESS BUG UNDER LOAD (%llu)\n",
+                                   static_cast<unsigned long long>(
+                                       mismatches));
+
+  plain.Stop();
+  caching.Stop();
+  local.Stop();
+  for (auto& service : fleet) service->Stop();
+
+  JsonValue context = JsonValue::MakeObject();
+  context.Set("bench", JsonValue("load"));
+  context.Set("n", JsonValue(n));
+  context.Set("shards", JsonValue(shards));
+  context.Set("replicas", JsonValue(replicas));
+  context.Set("conns", JsonValue(conns));
+  context.Set("open_rate_rps", JsonValue(open_rate));
+  context.Set("repeats", JsonValue(static_cast<size_t>(repeats)));
+  context.Set("requests", JsonValue(static_cast<size_t>(total_requests)));
+  context.Set("non_200", JsonValue(static_cast<size_t>(non_200)));
+  context.Set("mismatches", JsonValue(static_cast<size_t>(mismatches)));
+  context.Set("cache_hit_ratio", JsonValue(hit_ratio));
+  context.Set("results_match", JsonValue(non_200 == 0 && mismatches == 0));
+
+  JsonValue benches = JsonValue::MakeArray();
+  auto bench_row = [&](const std::string& name, double value,
+                       const std::string& unit) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("name", JsonValue(name));
+    row.Set("run_type", JsonValue("iteration"));
+    row.Set("iterations", JsonValue(static_cast<size_t>(1)));
+    row.Set("real_time", JsonValue(value));
+    row.Set("cpu_time", JsonValue(value));
+    row.Set("time_unit", JsonValue(unit));
+    benches.Append(std::move(row));
+  };
+  const std::string tag = "/conns:" + std::to_string(conns) + "/" +
+                          std::to_string(n);
+  bench_row("load/closed_rps" + tag, closed.rps, "req/s");
+  bench_row("load/closed_p50" + tag, closed.p50, "ms");
+  bench_row("load/closed_p99" + tag, closed.p99, "ms");
+  bench_row("load/open_p50" + tag, open_plain.p50, "ms");
+  bench_row("load/open_p99" + tag, open_plain.p99, "ms");
+  bench_row("load/open_cached_p50" + tag, open_cached.p50, "ms");
+  bench_row("load/open_cached_p99" + tag, open_cached.p99, "ms");
+  bench_row("load/cache_hit_ratio" + tag, hit_ratio, "ratio");
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("context", std::move(context));
+  doc.Set("benchmarks", std::move(benches));
+  std::ofstream out(json_path, std::ios::trunc);
+  out << doc.Dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return non_200 == 0 && mismatches == 0 ? 0 : 1;
+}

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::string remote_shards;
   bool serve = false;
+  bool result_cache = false;
   size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +84,12 @@ int main(int argc, char** argv) {
       snapshot_path = argv[++i];
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--result-cache") {
+      // Production read-traffic mode: repeated identical /query requests are
+      // served the cached bytes (same query_id) instead of minting a fresh
+      // id per request, and concurrent identical misses coalesce into one
+      // fan-out. See YaskServiceOptions::enable_result_cache.
+      result_cache = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (shards == 0) shards = 1;
@@ -91,7 +98,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--snapshot <path>] [--serve] [--shards N] "
-                   "[--remote-shards host:port[|host:port...],...]\n",
+                   "[--remote-shards host:port[|host:port...],...] "
+                   "[--result-cache]\n",
                    argv[0]);
       return 2;
     }
@@ -196,6 +204,7 @@ int main(int argc, char** argv) {
 
   YaskServiceOptions service_options;
   service_options.snapshot_path = snapshot_path;
+  service_options.enable_result_cache = result_cache;
   // The demo is a local admin playground; a production deployment would
   // leave the override off and snapshot only to its configured path.
   service_options.allow_snapshot_path_override = true;

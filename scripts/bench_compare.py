@@ -33,6 +33,7 @@ EXACTNESS_GATED = {
     "BENCH_whynot_sharded.json",
     "BENCH_remote_shards.json",
     "BENCH_replica_failover.json",
+    "BENCH_load.json",
 }
 
 

@@ -5,14 +5,17 @@
 #   scripts/check.sh              # configure + build + ctest
 #   scripts/check.sh --bench      # additionally run bench_snapshot,
 #                                 # bench_sharded, bench_whynot_sharded,
-#                                 # bench_remote_shards and
-#                                 # bench_replica_failover, leaving
-#                                 # BENCH_*.json in the build dir (each
-#                                 # sharded/remote bench fails the run on
-#                                 # any divergence from the unsharded
+#                                 # bench_remote_shards,
+#                                 # bench_replica_failover and bench_load,
+#                                 # leaving BENCH_*.json in the build dir
+#                                 # (each sharded/remote bench fails the run
+#                                 # on any divergence from the unsharded
 #                                 # answers; the failover bench additionally
 #                                 # fails on any client-visible error while
-#                                 # replicas are killed under load)
+#                                 # replicas are killed under load; the load
+#                                 # bench drives open-loop traffic over 64
+#                                 # keep-alive connections and fails on any
+#                                 # non-200 or payload divergence)
 #   scripts/check.sh --fleet      # additionally run scripts/fleet_smoke.sh:
 #                                 # a real loopback process fleet (2 shards
 #                                 # x 2 replicas of yask_shard_server booted
@@ -111,6 +114,7 @@ if [[ "$run_bench" -eq 1 ]]; then
   run_phase bench-whynot-sharded env -C "$build_dir" ./bench_whynot_sharded --json=BENCH_whynot_sharded.json
   run_phase bench-remote-shards env -C "$build_dir" ./bench_remote_shards --json=BENCH_remote_shards.json
   run_phase bench-replica-failover env -C "$build_dir" ./bench_replica_failover --json=BENCH_replica_failover.json
+  run_phase bench-load env -C "$build_dir" ./bench_load --json=BENCH_load.json
 fi
 
 # The fleet smoke emits its satellite CHECK-RESULT line itself (pass/fail/

@@ -29,6 +29,28 @@ RemoteShard::RemoteShard(std::string host, uint16_t port,
   errors_ = metrics->GetCounter("yask_replica_errors_total", labels);
   retries_ = metrics->GetCounter("yask_replica_retries_total", labels);
   latency_ = metrics->GetHistogram("yask_replica_rpc_latency_ms", labels);
+  const size_t channels =
+      options_.mux_connections == 0 ? 1 : options_.mux_connections;
+  channels_.reserve(channels);
+  for (size_t i = 0; i < channels; ++i) {
+    channels_.push_back(std::make_unique<PipelinedHttpChannel>(host_, port_));
+  }
+}
+
+PipelinedHttpChannel* RemoteShard::PickChannel() {
+  const size_t n = channels_.size();
+  const size_t start = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  PipelinedHttpChannel* best = channels_[start].get();
+  size_t best_load = best->inflight();
+  for (size_t i = 1; i < n && best_load > 0; ++i) {
+    PipelinedHttpChannel* ch = channels_[(start + i) % n].get();
+    const size_t load = ch->inflight();
+    if (load < best_load) {
+      best = ch;
+      best_load = load;
+    }
+  }
+  return best;
 }
 
 Result<std::string> RemoteShard::Call(const std::string& method,
@@ -49,77 +71,60 @@ Result<std::string> RemoteShard::CallInternal(const std::string& method,
   // Propagate the trace context (if any) on every attempt; old servers
   // ignore the header, untraced requests send nothing.
   const std::string trace_header = TraceHeaderLine();
-  // Issues the RPC on one connection; on success pools the connection and
-  // fills `*done` with the final result. False = transport failure (the
-  // connection is dropped and the caller tries another).
-  auto attempt_on = [&](std::unique_ptr<HttpClientConnection> conn,
-                        Status* transport_error,
-                        std::optional<Result<std::string>>* done) {
-    requests_->Add();
+
+  Status last = Status::Unavailable("no attempt made");
+  // Each attempt pipelines onto a channel (rotating on retry, so a retry
+  // lands on a different connection while the failed one redials lazily).
+  // The channel absorbs keep-alive staleness itself: a half-closed idle
+  // socket is redialled WITHOUT counting as an attempt, so recycling cannot
+  // burn the retry budget; `attempted` only flips once a live connection
+  // carried the request — connect failures don't move the requests meter.
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    if (attempt > 0) retries_->Add();
+    PipelinedHttpChannel* channel = PickChannel();
+    bool attempted = false;
     int http_status = 0;
-    Result<std::string> resp = conn->Call(method, path, body,
-                                          options_.call_deadline_ms,
-                                          &http_status, trace_header);
+    Result<std::string> resp = channel->Call(
+        method, path, body, options_.connect_timeout_ms,
+        options_.call_deadline_ms, &http_status, trace_header, &attempted);
+    if (attempted) requests_->Add();
     if (!resp.ok()) {
-      *transport_error = resp.status();
-      return false;
+      last = resp.status();
+      continue;
     }
-    {
-      std::lock_guard<std::mutex> lock(pool_mu_);
-      idle_.push_back(std::move(conn));
-    }
-    if (http_status == 200) {
-      *done = std::move(resp);
-      return true;
-    }
+    if (http_status == 200) return resp;
     // Semantic error: surface immediately (a retry would just repeat it).
     const std::string detail = "shard " + host_ + ":" +
                                std::to_string(port_) + " " + path + " -> " +
                                std::to_string(http_status) + " " + *resp;
     switch (http_status) {
-      case 404: *done = Status::NotFound(detail); break;
-      case 501: *done = Status::FailedPrecondition(detail); break;
-      default: *done = Status::Unavailable(detail); break;
+      case 404: return Status::NotFound(detail);
+      case 501: return Status::FailedPrecondition(detail);
+      default: return Status::Unavailable(detail);
     }
-    return true;
-  };
-
-  Status last = Status::Unavailable("no attempt made");
-  std::optional<Result<std::string>> done;
-
-  // Pooled connections first. The server recycles idle keep-alive
-  // connections, so a pooled socket failing on first use is EXPECTED — it
-  // must not consume the fresh-dial retry budget (a burst could otherwise
-  // burn every attempt on equally-stale sockets and 503 a healthy shard).
-  // LooksAlive() discards most half-closed sockets without even writing the
-  // request. The loop is bounded by the pool's size: failed connections are
-  // dropped, not returned.
-  while (true) {
-    std::unique_ptr<HttpClientConnection> conn;
-    {
-      std::lock_guard<std::mutex> lock(pool_mu_);
-      if (idle_.empty()) break;
-      conn = std::move(idle_.back());
-      idle_.pop_back();
-    }
-    if (!conn->connected() || !conn->LooksAlive()) continue;
-    if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
-  }
-
-  // Fresh dials, up to the retry budget.
-  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
-    if (attempt > 0) retries_->Add();
-    auto conn = std::make_unique<HttpClientConnection>();
-    if (Status s = conn->Connect(host_, port_, options_.connect_timeout_ms);
-        !s.ok()) {
-      last = s;
-      continue;
-    }
-    if (attempt_on(std::move(conn), &last, &done)) return *std::move(done);
   }
   errors_->Add();
   return Status::Unavailable("shard " + host_ + ":" + std::to_string(port_) +
                              " unreachable: " + last.message());
+}
+
+Result<std::string> RemoteShard::CallUnmetered(const std::string& method,
+                                               const std::string& path,
+                                               std::string_view body,
+                                               int deadline_ms) {
+  int http_status = 0;
+  // A dead replica must not stall the caller for the full RPC dial budget:
+  // the read's own deadline also bounds the (re)dial.
+  const int connect_ms = std::min(options_.connect_timeout_ms, deadline_ms);
+  Result<std::string> resp = PickChannel()->Call(method, path, body,
+                                                 connect_ms, deadline_ms,
+                                                 &http_status);
+  if (!resp.ok()) return resp;
+  if (http_status != 200) {
+    return Status::Unavailable("shard " + endpoint() + " " + path + " -> " +
+                               std::to_string(http_status));
+  }
+  return resp;
 }
 
 // --- ReplicaSet --------------------------------------------------------------

@@ -26,9 +26,12 @@
 // everything the in-process fan-outs read from their ShardedCorpus, except
 // the indexes, which stay behind the wire.
 //
-// Transport: one pooled keep-alive connection set per replica with per-call
-// deadlines and retry-on-fresh-connection (transport errors only — HTTP
-// error statuses are semantic and surface immediately). Server-side session
+// Transport: a small FIXED set of pipelined keep-alive connections per
+// replica (PipelinedHttpChannel) — concurrent calls multiplex onto them in
+// ticket order instead of checking a connection out of a pool, so a fan-out
+// pays no per-call checkout and idle sockets stay warm. Per-call deadlines
+// and retry-on-another-channel apply to transport errors only — HTTP error
+// statuses are semantic and surface immediately. Server-side session
 // state (Eqn. (3) plane sessions, Eqn. (4) probe batches) is replica-sticky;
 // its failover — re-establish on a live replica and REPLAY to the same level
 // — lives with the sessions in src/corpus/remote_whynot_oracle.cc. Failures
@@ -76,11 +79,17 @@ struct RemoteShardOptions {
   /// restarted replica rejoins). Base 0 disables cooldown.
   int cooldown_base_ms = 200;
   int cooldown_max_ms = 3000;
+  /// Pipelined keep-alive connections per replica. Concurrent calls
+  /// multiplex onto these; each connection serialises its own responses, so
+  /// this is also the replica's server-side concurrency from one
+  /// coordinator.
+  size_t mux_connections = 4;
 };
 
-/// One replica endpoint as the coordinator talks to it: a connection pool
-/// plus the retry/deadline policy. Thread-safe; calls from concurrent
-/// fan-outs each check a connection out of the pool.
+/// One replica endpoint as the coordinator talks to it: a fixed set of
+/// pipelined multiplexed connections plus the retry/deadline policy.
+/// Thread-safe; calls from concurrent fan-outs pipeline onto the
+/// least-loaded channel.
 class RemoteShard {
  public:
   /// `metrics` (must outlive the shard) receives this replica's meters:
@@ -94,11 +103,20 @@ class RemoteShard {
   /// One RPC. Returns the response body on HTTP 200; a semantic HTTP error
   /// becomes a Status with the mapped code (404 -> NotFound, 501 ->
   /// FailedPrecondition, else Unavailable) and is NOT retried; transport
-  /// errors retry per the options (each on a fresh connection — pooled
-  /// sockets found half-closed are discarded for free), then surface as
-  /// Unavailable and bump this replica's error epoch.
+  /// errors retry per the options (channels found with a half-closed idle
+  /// socket redial for free), then surface as Unavailable and bump this
+  /// replica's error epoch.
   Result<std::string> Call(const std::string& method, const std::string& path,
                            std::string_view body);
+
+  /// One best-effort RPC that moves NO meters and NO error epochs: no
+  /// requests/errors/retries counts, no latency observation, no rpc span,
+  /// no retry. The /trace/<id> stitcher reads shard spans through this —
+  /// observing a trace must not perturb the metrics being observed — while
+  /// still riding the warm channel set instead of a throwaway connection.
+  Result<std::string> CallUnmetered(const std::string& method,
+                                    const std::string& path,
+                                    std::string_view body, int deadline_ms);
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
@@ -115,6 +133,8 @@ class RemoteShard {
   Result<std::string> CallInternal(const std::string& method,
                                    const std::string& path,
                                    std::string_view body);
+  /// The least-loaded channel, round-robin tie-broken.
+  PipelinedHttpChannel* PickChannel();
 
   std::string host_;
   uint16_t port_;
@@ -126,8 +146,10 @@ class RemoteShard {
   Counter* errors_ = nullptr;
   Counter* retries_ = nullptr;
   Histogram* latency_ = nullptr;
-  std::mutex pool_mu_;
-  std::vector<std::unique_ptr<HttpClientConnection>> idle_;
+  /// Fixed at construction (options.mux_connections, min 1); each channel
+  /// is itself thread-safe, so calls never contend on shard-wide state.
+  std::vector<std::unique_ptr<PipelinedHttpChannel>> channels_;
+  std::atomic<uint64_t> rr_{0};
 };
 
 /// One logical shard's replicas plus their health state and routing policy.

@@ -37,6 +37,7 @@ void HttpClientConnection::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  pending_.clear();
 }
 
 bool HttpClientConnection::LooksAlive() {
@@ -112,19 +113,16 @@ Status HttpClientConnection::Connect(const std::string& host, uint16_t port,
   return Status::OK();
 }
 
-Result<std::string> HttpClientConnection::Call(const std::string& method,
-                                               const std::string& path,
-                                               std::string_view body,
-                                               int deadline_ms,
-                                               int* status_out,
-                                               const std::string& extra_headers) {
+Status HttpClientConnection::SendRequest(const std::string& method,
+                                         const std::string& path,
+                                         std::string_view body, int timeout_ms,
+                                         const std::string& extra_headers) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  const int64_t deadline = NowMillis() + deadline_ms;
-  // Bound the send side too: a stalled peer must not block past the
-  // deadline once the kernel send buffer fills.
+  // Bound the send side: a stalled peer must not block past the deadline
+  // once the kernel send buffer fills.
   timeval send_tv{};
-  send_tv.tv_sec = deadline_ms / 1000;
-  send_tv.tv_usec = (deadline_ms % 1000) * 1000;
+  send_tv.tv_sec = timeout_ms / 1000;
+  send_tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
 
   std::ostringstream req;
@@ -146,9 +144,16 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
 
-  // Read one Content-Length framed response under the deadline.
-  std::string raw;
+Result<std::string> HttpClientConnection::ReadResponse(int deadline_ms,
+                                                       int* status_out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const int64_t deadline = NowMillis() + deadline_ms;
+  // Start from the pipelined leftover of the previous read, if any.
+  std::string raw = std::move(pending_);
+  pending_.clear();
   char buf[8192];
   size_t header_end = std::string::npos;
   size_t content_length = 0;
@@ -183,7 +188,7 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
     const int64_t remaining = deadline - NowMillis();
     if (remaining <= 0) {
       Close();  // The stale response would desynchronise the next call.
-      return Status::Unavailable("call to " + path + " timed out");
+      return Status::Unavailable("response read timed out");
     }
     SetRecvTimeout(fd_, static_cast<int>(std::min<int64_t>(remaining, 500)));
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -208,7 +213,129 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
       }
     }
   }
+  // Keep whatever followed this response — the next pipelined one.
+  const size_t consumed = header_end + 4 + content_length;
+  if (raw.size() > consumed) pending_ = raw.substr(consumed);
   return raw.substr(header_end + 4, content_length);
+}
+
+Result<std::string> HttpClientConnection::Call(const std::string& method,
+                                               const std::string& path,
+                                               std::string_view body,
+                                               int deadline_ms,
+                                               int* status_out,
+                                               const std::string& extra_headers) {
+  if (Status s = SendRequest(method, path, body, deadline_ms, extra_headers);
+      !s.ok()) {
+    return s;
+  }
+  return ReadResponse(deadline_ms, status_out);
+}
+
+void PipelinedHttpChannel::FailGenerationLocked() {
+  ++generation_;
+  conn_.Close();
+  inflight_ = 0;
+  next_ticket_ = 0;
+  next_read_ = 0;
+  kill_pending_ = false;
+  cv_.notify_all();
+}
+
+size_t PipelinedHttpChannel::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+Result<std::string> PipelinedHttpChannel::Call(
+    const std::string& method, const std::string& path, std::string_view body,
+    int connect_timeout_ms, int deadline_ms, int* status_out,
+    const std::string& extra_headers, bool* attempted_out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!conn_.connected()) {
+    if (inflight_ > 0) {
+      // A concurrent call is mid-teardown; don't redial under its feet.
+      return Status::Unavailable("channel resetting");
+    }
+    if (Status s = conn_.Connect(host_, port_, connect_timeout_ms); !s.ok()) {
+      return s;
+    }
+    next_ticket_ = 0;
+    next_read_ = 0;
+  } else if (inflight_ == 0 && !conn_.LooksAlive()) {
+    // The peer recycled the idle keep-alive: redial silently — a stale
+    // socket must not burn the caller's retry budget.
+    if (Status s = conn_.Connect(host_, port_, connect_timeout_ms); !s.ok()) {
+      return s;
+    }
+    next_ticket_ = 0;
+    next_read_ = 0;
+  }
+
+  if (attempted_out != nullptr) *attempted_out = true;
+  const uint64_t gen = generation_;
+  const uint64_t ticket = next_ticket_++;
+  ++inflight_;
+  // Send under the lock: ticket order must equal wire order.
+  if (Status s =
+          conn_.SendRequest(method, path, body, deadline_ms, extra_headers);
+      !s.ok()) {
+    FailGenerationLocked();
+    return s;
+  }
+
+  // Wait for this ticket's turn at the read head.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (generation_ == gen && (reader_active_ || next_read_ != ticket)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        generation_ == gen && (reader_active_ || next_read_ != ticket)) {
+      // The pipeline is stuck ahead of us. Abandoning a ticket would
+      // desynchronise every later response, so the whole pipe dies: either
+      // right now, or — if a reader is blocked on the wire — as soon as it
+      // surfaces (its own deadline bounds that).
+      if (reader_active_) {
+        kill_pending_ = true;
+      } else {
+        FailGenerationLocked();
+      }
+      return Status::Unavailable("pipelined call to " + path + " timed out");
+    }
+  }
+  if (generation_ != gen) {
+    return Status::Unavailable("connection reset mid-pipeline (a concurrent "
+                               "call on this channel failed)");
+  }
+
+  reader_active_ = true;
+  lock.unlock();
+  const int64_t remaining_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now())
+          .count();
+  int status = 0;
+  Result<std::string> resp = conn_.ReadResponse(
+      static_cast<int>(remaining_ms < 1 ? 1 : remaining_ms), &status);
+  lock.lock();
+  reader_active_ = false;
+  if (!resp.ok()) {
+    // ReadResponse already closed the socket; fail the generation so every
+    // pipelined waiter returns instead of waiting for bytes that can't come.
+    FailGenerationLocked();
+    return resp;
+  }
+  ++next_read_;
+  if (inflight_ > 0) --inflight_;
+  if (kill_pending_) {
+    // A waiter abandoned its ticket while we were reading: its response is
+    // still on the wire and would desynchronise the next read. Kill the pipe
+    // now that the socket is quiet (our own response was consumed).
+    FailGenerationLocked();
+  } else {
+    cv_.notify_all();
+  }
+  if (status_out != nullptr) *status_out = status;
+  return resp;
 }
 
 }  // namespace yask

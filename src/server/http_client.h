@@ -1,10 +1,20 @@
 // Copyright (c) 2026 The YASK reproduction authors.
-// A blocking HTTP/1.1 keep-alive client connection — the transport half of
-// the coordinator -> shard-server RPC path. One connection carries many
-// request/response pairs back to back (the shard protocol rides thousands of
-// small oracle calls per why-not question, so per-call TCP handshakes would
-// dominate); RemoteCorpus pools these per shard and retries a failed call on
-// a fresh connection.
+// The transport half of the coordinator -> shard-server RPC path.
+//
+// Two layers:
+//   * HttpClientConnection — a blocking HTTP/1.1 keep-alive connection. One
+//     connection carries many request/response pairs back to back (the shard
+//     protocol rides thousands of small oracle calls per why-not question,
+//     so per-call TCP handshakes would dominate). Call() is the classic
+//     lock-step round trip; SendRequest()/ReadResponse() expose the two
+//     halves separately so several requests can be on the wire at once
+//     (HTTP/1.1 pipelining — responses come back in request order).
+//   * PipelinedHttpChannel — a thread-safe multiplexer over ONE connection:
+//     concurrent callers' requests are pipelined onto the wire in ticket
+//     order and each caller reads exactly its own response when its ticket
+//     reaches the head of the line. RemoteShard holds a small fixed set of
+//     these per replica instead of a one-request-per-checkout pool, so a
+//     fan-out pays no connection checkout and idle sockets stay warm.
 //
 // Scope: exactly what the shard protocol needs. Content-Length framed
 // responses only (which is all HttpServer emits), loopback/IPv4 hosts,
@@ -13,7 +23,9 @@
 #ifndef YASK_SERVER_HTTP_CLIENT_H_
 #define YASK_SERVER_HTTP_CLIENT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -22,8 +34,8 @@
 namespace yask {
 
 /// One persistent client connection. Not thread-safe: a connection serves
-/// one in-flight call at a time (pool several for concurrency). Not
-/// copyable/movable — hold it behind a unique_ptr.
+/// one in-flight call at a time (PipelinedHttpChannel multiplexes one safely
+/// across threads). Not copyable/movable — hold it behind a unique_ptr.
 class HttpClientConnection {
  public:
   HttpClientConnection() = default;
@@ -45,17 +57,29 @@ class HttpClientConnection {
   /// request on it — the connection is closed and false returned, so a pool
   /// of stale sockets never burns the caller's retry budget. A connection
   /// with unexpected readable bytes is dead too (the next response would
-  /// desynchronise).
+  /// desynchronise). Only valid with no response outstanding.
   bool LooksAlive();
+
+  /// Writes one request onto the wire (send side only; pair with
+  /// ReadResponse). `timeout_ms` bounds a blocked send once the kernel
+  /// buffer fills. On error the connection is closed. `extra_headers` is
+  /// spliced verbatim into the request header block (zero or more full
+  /// "Name: value\r\n" lines — the RPC path injects the x-yask-trace context
+  /// this way).
+  Status SendRequest(const std::string& method, const std::string& path,
+                     std::string_view body, int timeout_ms,
+                     const std::string& extra_headers = std::string());
+
+  /// Reads the next Content-Length framed response off the wire (responses
+  /// to pipelined requests arrive in request order; leftover bytes beyond
+  /// one response are buffered for the next call). Returns the body; the
+  /// HTTP status lands in `*status_out`. On any transport error (peer gone,
+  /// deadline, framing) the connection is closed and a non-OK Status
+  /// returned — every response still on the wire is lost with it.
+  Result<std::string> ReadResponse(int deadline_ms, int* status_out);
 
   /// One request/response round-trip; the connection stays open for the
   /// next call. `deadline_ms` bounds the whole call (send + wait + read).
-  /// Returns the response body; the HTTP status lands in `*status_out`.
-  /// On any transport error (peer gone, deadline, framing) the connection
-  /// is closed and a non-OK Status returned — the caller retries on a fresh
-  /// connection if it wants to. `extra_headers` is spliced verbatim into the
-  /// request header block (zero or more full "Name: value\r\n" lines — the
-  /// RPC path injects the x-yask-trace context this way).
   Result<std::string> Call(const std::string& method, const std::string& path,
                            std::string_view body, int deadline_ms,
                            int* status_out,
@@ -63,6 +87,55 @@ class HttpClientConnection {
 
  private:
   int fd_ = -1;
+  std::string pending_;  // Pipelined response bytes beyond the last one read.
+};
+
+/// A thread-safe multiplexer over one keep-alive connection: concurrent
+/// Call()s are assigned FIFO tickets, their requests pipelined onto the wire
+/// in ticket order, and each caller reads its own response when its ticket
+/// reaches the head of the line (HTTP/1.1 has no response ids — arrival
+/// order IS the demux key). Any wire failure kills the whole pipeline: every
+/// in-flight call on this channel fails, the connection is torn down, and
+/// the next call redials. A stale idle socket (peer recycled the keep-alive)
+/// is detected and redialled silently, burning none of the caller's budget.
+class PipelinedHttpChannel {
+ public:
+  PipelinedHttpChannel(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  PipelinedHttpChannel(const PipelinedHttpChannel&) = delete;
+  PipelinedHttpChannel& operator=(const PipelinedHttpChannel&) = delete;
+
+  /// One round trip through the pipeline. `attempted_out` (if non-null) is
+  /// set to true once a live connection existed and the request was handed
+  /// to the wire — the caller's "requests" meter counts attempts, not
+  /// connect failures, exactly like the old checkout pool.
+  Result<std::string> Call(const std::string& method, const std::string& path,
+                           std::string_view body, int connect_timeout_ms,
+                           int deadline_ms, int* status_out,
+                           const std::string& extra_headers = std::string(),
+                           bool* attempted_out = nullptr);
+
+  /// Calls currently on the wire (send done or queued behind the reader).
+  size_t inflight() const;
+
+ private:
+  /// Kills the current pipeline generation: closes the connection, fails
+  /// every waiter. Caller holds mu_; must not be the active reader.
+  void FailGenerationLocked();
+
+  const std::string host_;
+  const uint16_t port_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  HttpClientConnection conn_;
+  uint64_t generation_ = 0;   // Bumped on every pipeline failure.
+  uint64_t next_ticket_ = 0;  // Next ticket to hand out (== requests sent).
+  uint64_t next_read_ = 0;    // Ticket whose response is next off the wire.
+  bool reader_active_ = false;
+  bool kill_pending_ = false;  // A waiter gave up; reader must kill the pipe.
+  size_t inflight_ = 0;
 };
 
 }  // namespace yask

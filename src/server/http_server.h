@@ -4,34 +4,40 @@
 // "using the standard HTTP post method" (§3.2); this server accepts GET and
 // POST, routes by exact path, and answers with Content-Length framed bodies.
 //
-// Design: one accept thread plus a fixed worker pool consuming a connection
-// queue; a worker serves a connection's requests back to back (HTTP/1.1
-// keep-alive — the coordinator->shard RPC path of the remote tier reuses one
-// connection for thousands of small oracle calls) until the peer closes,
-// asks for Connection: close, sends a malformed request, or goes idle past
-// the keep-alive timeout. This is deliberately simple — the YASK engines,
-// not the transport, are the point — but it is a real TCP server the
-// examples and integration tests exercise end-to-end over loopback. A tiny
-// blocking one-shot client (HttpFetch) is included for those tests; the
-// persistent client lives in src/server/http_client.h.
+// Design: one epoll event loop owns every socket — it accepts, reads request
+// bytes as they become ready, and writes response bytes as the peer can take
+// them — and a fixed worker pool runs the handlers. A connection costs a few
+// hundred bytes of parse state while idle, not a blocked thread, so tens of
+// thousands of keep-alive connections (HTTP/1.1 keep-alive — the
+// coordinator->shard RPC path reuses one connection for thousands of small
+// oracle calls, and now pipelines them) can sit on the loop while the workers
+// stay busy with requests that actually arrived. Handlers never see the
+// event loop: they get a fully-parsed request and return a response, exactly
+// as before. A tiny blocking one-shot client (HttpFetch) is included for the
+// tests; the persistent client lives in src/server/http_client.h.
 //
 // Hardening (the shard endpoints make this server internet-facing between
 // nodes): oversized header blocks (> 1 MiB) and declared bodies (> 32 MiB)
 // are rejected with 431/413 and the connection dropped; unparseable request
 // lines get 400; a known path with the wrong method gets 405; requests that
-// stall mid-transfer are dropped on a deadline.
+// stall mid-transfer are dropped on a deadline; idle keep-alive connections
+// are reaped by the loop's sweep (see idle_reaped()) without ever touching a
+// worker, so a burst of abandoned connections cannot pin worker capacity.
 
 #ifndef YASK_SERVER_HTTP_SERVER_H_
 #define YASK_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -67,10 +73,9 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   /// `port` 0 picks an ephemeral port (see bound_port() after Start()).
-  /// `keep_alive_idle_ms` bounds how long a worker waits for the next
-  /// request on an idle keep-alive connection before recycling it (clients
-  /// reconnect transparently); it also bounds Stop() latency together with
-  /// the internal 500 ms poll tick.
+  /// `keep_alive_idle_ms` bounds how long an idle keep-alive connection may
+  /// sit between requests before the event loop's sweep recycles it
+  /// (clients reconnect transparently).
   explicit HttpServer(uint16_t port = 0, size_t num_workers = 4,
                       int keep_alive_idle_ms = 5000);
   ~HttpServer();
@@ -88,12 +93,13 @@ class HttpServer {
   void RoutePrefix(const std::string& method, const std::string& prefix,
                    Handler handler);
 
-  /// Binds, listens and spawns the accept/worker threads.
+  /// Binds, listens and spawns the event loop + worker threads.
   Status Start();
 
-  /// Stops accepting and joins the workers. Connections already being
-  /// handled finish; connections still queued are closed unserved (so Stop()
-  /// neither leaks fds nor blocks behind a backlog). Idempotent.
+  /// Stops accepting and joins the workers, then the loop. Requests already
+  /// being handled finish (their responses are still written); requests
+  /// queued for a worker are abandoned and their connections closed unserved
+  /// (so Stop() neither leaks fds nor blocks behind a backlog). Idempotent.
   void Stop();
 
   /// The actual port after Start() (useful with port 0).
@@ -101,27 +107,68 @@ class HttpServer {
 
   bool running() const { return running_.load(); }
 
+  /// How many idle keep-alive connections the event loop's sweep has
+  /// recycled (they never occupied a worker).
+  uint64_t idle_reaped() const { return idle_reaped_.load(); }
+
  private:
-  void AcceptLoop();
+  struct Conn;  // Per-connection loop state; defined in the .cc.
+  struct Task {
+    uint64_t conn_id;
+    HttpRequest req;
+    bool keep_alive;
+  };
+  struct Completion {
+    uint64_t conn_id;
+    std::string bytes;  // Fully serialised response.
+    bool close_after;
+  };
+
+  void EventLoop();
   void WorkerLoop();
-  void HandleConnection(int fd);
+  void Wake();
+
+  // Loop-thread-only helpers (Conn state is owned by the loop).
+  void AcceptReady();
+  void FlushCompletions();
+  void SweepDeadlines();
+  void CloseConn(uint64_t id);
+  bool ReadReady(Conn* c);
+  bool AdvanceRead(Conn* c);
+  bool DirectError(Conn* c, int status, const std::string& message);
+  bool StartWrite(Conn* c, std::string bytes, bool close_after);
+  bool ContinueWrite(Conn* c);
+
+  HttpResponse Dispatch(const HttpRequest& req) const;
 
   uint16_t port_;
   size_t num_workers_;
   int keep_alive_idle_ms_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> loop_exit_{false};
+  std::atomic<uint64_t> idle_reaped_{0};
 
   std::map<std::pair<std::string, std::string>, Handler> routes_;
   // (method, prefix) -> handler; consulted after the exact map misses.
   std::map<std::pair<std::string, std::string>, Handler> prefix_routes_;
 
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<int> pending_;  // Accepted connection fds.
+
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<Task> tasks_;  // Parsed requests awaiting a worker.
+
+  std::mutex done_mu_;
+  std::deque<Completion> done_;  // Responses awaiting the loop's writer.
+
+  // Loop-owned: connections keyed by id (ids are never reused, unlike fds).
+  uint64_t next_conn_id_ = 3;  // 1/2 tag the listener / wake eventfd.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
 };
 
 /// Percent-decodes a URL component.

@@ -1,0 +1,140 @@
+#include "src/server/result_cache.h"
+
+#include <utility>
+
+namespace yask {
+
+namespace {
+
+size_t EntryCost(const std::string& key, const HttpResponse& resp) {
+  // Body dominates; the rest keeps many tiny entries from reading as free.
+  return key.size() + resp.body.size() + resp.content_type.size() + 64;
+}
+
+}  // namespace
+
+std::optional<HttpResponse> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.resp;
+}
+
+void ResultCache::Put(const std::string& key, const HttpResponse& resp,
+                      uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    // Replace in place (a single-flight race can double-Put the same key).
+    EraseLocked(it);
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.resp = resp;
+  e.query_id = query_id;
+  e.cost = EntryCost(key, resp);
+  e.lru_pos = lru_.begin();
+  bytes_ += e.cost;
+  map_.emplace(key, std::move(e));
+  by_query_.emplace(query_id, key);
+  while (!lru_.empty() &&
+         ((max_entries_ > 0 && map_.size() > max_entries_) ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    auto victim = map_.find(lru_.back());
+    if (victim == map_.end()) break;  // Unreachable; defensive.
+    EraseLocked(victim);
+    if (evictions_ != nullptr) evictions_->Add();
+  }
+}
+
+size_t ResultCache::InvalidateQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  auto range = by_query_.equal_range(query_id);
+  // EraseLocked mutates by_query_; collect keys first.
+  std::list<std::string> keys;
+  for (auto it = range.first; it != range.second; ++it) {
+    keys.push_back(it->second);
+  }
+  for (const std::string& key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    EraseLocked(it);
+    ++dropped;
+    if (invalidations_ != nullptr) invalidations_->Add();
+  }
+  return dropped;
+}
+
+size_t ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t dropped = map_.size();
+  if (invalidations_ != nullptr) {
+    for (size_t i = 0; i < dropped; ++i) invalidations_->Add();
+  }
+  map_.clear();
+  lru_.clear();
+  by_query_.clear();
+  bytes_ = 0;
+  return dropped;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void ResultCache::EraseLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  bytes_ -= it->second.cost;
+  lru_.erase(it->second.lru_pos);
+  auto range = by_query_.equal_range(it->second.query_id);
+  for (auto q = range.first; q != range.second; ++q) {
+    if (q->second == it->first) {
+      by_query_.erase(q);
+      break;
+    }
+  }
+  map_.erase(it);
+}
+
+SingleFlight::Ticket SingleFlight::Join(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it != flights_.end()) return Ticket{it->second, /*leader=*/false};
+  auto flight = std::make_shared<Flight>();
+  flights_.emplace(key, flight);
+  return Ticket{std::move(flight), /*leader=*/true};
+}
+
+void SingleFlight::Finish(const std::string& key, const Ticket& ticket,
+                          HttpResponse resp, bool ok) {
+  {
+    // Retire the key first so a request arriving after the outcome is
+    // published starts a fresh flight instead of joining a finished one.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == ticket.flight) {
+      flights_.erase(it);
+    }
+  }
+  std::lock_guard<std::mutex> lock(ticket.flight->mu);
+  ticket.flight->done = true;
+  ticket.flight->ok = ok;
+  ticket.flight->resp = std::move(resp);
+  ticket.flight->cv.notify_all();
+}
+
+std::optional<HttpResponse> SingleFlight::Wait(const Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(ticket.flight->mu);
+  ticket.flight->cv.wait(lock, [&] { return ticket.flight->done; });
+  if (!ticket.flight->ok) return std::nullopt;
+  return ticket.flight->resp;
+}
+
+}  // namespace yask

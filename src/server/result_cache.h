@@ -1,0 +1,148 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// The coordinator-side response cache and its single-flight companion.
+//
+// Under production read traffic the same handful of hot queries arrives over
+// and over (keyword popularity is Zipfian, map hotspots are few). Re-running
+// the full shard fan-out for a byte-identical answer wastes replica capacity,
+// so the coordinator can memoise RENDERED responses:
+//
+//   * ResultCache — an LRU + byte-bounded map from a canonical request key to
+//     the exact HttpResponse served for it. Correctness hinges on the key,
+//     not the cache: the caller folds the corpus ERROR EPOCH into every key,
+//     so any replica failure (which may change which replica answers, and
+//     therefore is the only event that could change an answer) makes every
+//     prior entry unreachable. Entries also carry the query_id they were
+//     rendered for, so POST /forget — which invalidates the server-side
+//     meaning of that id — can surgically drop exactly the responses that
+//     mention it.
+//
+//   * SingleFlight — request coalescing for cache misses. When N identical
+//     queries are in flight, one leader computes and N-1 followers wait and
+//     are served the leader's bytes. A leader failure never poisons the
+//     followers: they are woken empty-handed and each computes independently.
+//
+// Both classes are transport-agnostic (they store HttpResponse values) and
+// thread-safe. Neither knows anything about query semantics — canonical key
+// construction lives with the service, which is the layer that knows which
+// request fields are answer-relevant.
+
+#ifndef YASK_SERVER_RESULT_CACHE_H_
+#define YASK_SERVER_RESULT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/metrics.h"
+#include "src/server/http_server.h"
+
+namespace yask {
+
+/// LRU + byte-bounded cache of rendered responses. Thread-safe.
+class ResultCache {
+ public:
+  /// `max_entries` / `max_bytes` bound the cache (0 = that bound disabled;
+  /// both 0 means unbounded — don't). `evictions` / `invalidations` are
+  /// optional counters bumped once per entry dropped by capacity pressure /
+  /// per InvalidateQuery or Clear victim.
+  ResultCache(size_t max_entries, size_t max_bytes,
+              Counter* evictions = nullptr, Counter* invalidations = nullptr)
+      : max_entries_(max_entries), max_bytes_(max_bytes),
+        evictions_(evictions), invalidations_(invalidations) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached response for `key`, marked most-recently-used; nullopt on
+  /// miss. The returned value is a copy — serving it never races an evict.
+  std::optional<HttpResponse> Get(const std::string& key);
+
+  /// Inserts (or replaces) the response for `key`. `query_id` is the cached
+  /// initial query this response mentions (the id /query minted, or the id
+  /// /whynot answered for) — InvalidateQuery(query_id) will drop it.
+  void Put(const std::string& key, const HttpResponse& resp,
+           uint64_t query_id);
+
+  /// Drops every entry rendered for `query_id` (the /forget contract: once
+  /// the id is forgotten, a cached 200 that mentions it must not outlive
+  /// it). Returns the number of entries dropped.
+  size_t InvalidateQuery(uint64_t query_id);
+
+  /// Drops everything; returns the number of entries dropped.
+  size_t Clear();
+
+  size_t entries() const;
+  size_t bytes() const;
+
+ private:
+  struct Entry {
+    HttpResponse resp;
+    uint64_t query_id = 0;
+    size_t cost = 0;  // Accounted bytes (body + content type + key).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Erases one entry (all three structures + the byte count). Caller holds
+  /// mu_ and must not reuse the iterator.
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+
+  const size_t max_entries_;
+  const size_t max_bytes_;
+  Counter* const evictions_;
+  Counter* const invalidations_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // Most recently used at the front.
+  /// query_id -> keys rendered for it (a /query entry plus any /whynot
+  /// entries that referenced the same initial query).
+  std::unordered_multimap<uint64_t, std::string> by_query_;
+  size_t bytes_ = 0;
+};
+
+/// Cache-miss coalescing: concurrent identical requests elect one leader to
+/// compute; followers block until the leader finishes and share its bytes.
+class SingleFlight {
+ public:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;        // Leader produced a shareable (200) response.
+    HttpResponse resp;
+  };
+
+  /// A participant's handle. `leader == true` means this caller must compute
+  /// and MUST later call Finish exactly once; followers call Wait.
+  struct Ticket {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+  };
+
+  /// Joins (or starts) the flight for `key`.
+  Ticket Join(const std::string& key);
+
+  /// Leader only: publishes the outcome and wakes every follower. `ok`
+  /// false marks the flight failed — followers get nullopt from Wait and
+  /// recompute independently, so one leader's 503 never fans out. The key
+  /// is retired either way; the next miss starts a fresh flight.
+  void Finish(const std::string& key, const Ticket& ticket, HttpResponse resp,
+              bool ok);
+
+  /// Follower only: blocks until the leader Finishes. Returns the leader's
+  /// response, or nullopt if the leader failed.
+  std::optional<HttpResponse> Wait(const Ticket& ticket);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace yask
+
+#endif  // YASK_SERVER_RESULT_CACHE_H_

@@ -39,9 +39,11 @@ namespace yask {
 
 struct ShardServiceOptions {
   uint16_t port = 0;  // 0 = ephemeral.
-  /// Each keep-alive connection pins a worker while open, and a coordinator
-  /// keeps one connection per in-flight request — so this bounds coordinator
-  /// concurrency per shard.
+  /// Each keep-alive connection pins a worker while open. A coordinator
+  /// multiplexes all its in-flight requests for this replica over a small
+  /// fixed set of pipelined connections (RemoteShardOptions::mux_connections,
+  /// default 4), so num_workers only needs to cover that set times the number
+  /// of coordinators, not peak request concurrency.
   size_t num_workers = 8;
   /// Upper bound on open plane/probe sessions; beyond it the oldest is
   /// evicted (a later call on it answers 404). Coordinators close sessions

@@ -1,6 +1,8 @@
 #include "src/server/yask_service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -38,6 +40,51 @@ bool ToUint64(double v, uint64_t* out) {
 std::string CurrentTraceId() {
   const TraceContext ctx = CurrentTraceContext();
   return ctx.recorder != nullptr ? ctx.recorder->trace_id() : std::string();
+}
+
+/// Bit-exact double rendering for canonical cache keys: two doubles map to
+/// the same key iff they are the same value (decimal formatting would
+/// collapse distinct inputs and split equal ones).
+std::string HexBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+/// Canonical /query key. Every answer-relevant input is folded in: the
+/// corpus error epoch (a replica failure may change which replica answers,
+/// so it retires all prior entries), k, the bit-exact location, and the
+/// resolved term-id set (already sorted/deduplicated, so "wifi coffee" and
+/// "coffee wifi coffee" share one key — they ARE the same query). The weight
+/// vector is a server-side constant (§3.2) and is deliberately absent.
+std::string QueryCacheKey(uint64_t epoch, const Query& q) {
+  std::string key = "q|e" + std::to_string(epoch) + "|k" +
+                    std::to_string(q.k) + '|' + HexBits(q.loc.x) + ',' +
+                    HexBits(q.loc.y) + '|';
+  for (const TermId t : q.doc) {
+    key += std::to_string(t);
+    key += ',';
+  }
+  return key;
+}
+
+/// Canonical /whynot key. query_id alone pins the initial query (ids are
+/// minted monotonically and never reused); `missing` stays in request order
+/// because explanations are rendered per missing object in that order.
+std::string WhyNotCacheKey(uint64_t epoch, uint64_t query_id,
+                           const std::vector<ObjectId>& missing,
+                           const std::string& model, double lambda) {
+  std::string key = "w|e" + std::to_string(epoch) + "|q" +
+                    std::to_string(query_id) + '|' + model + '|' +
+                    HexBits(lambda) + '|';
+  for (const ObjectId id : missing) {
+    key += std::to_string(id);
+    key += ',';
+  }
+  return key;
 }
 
 }  // namespace
@@ -80,6 +127,23 @@ YaskService::YaskService(YaskServiceOptions options)
   metrics_.AddGaugeCallback("yask_query_log_entries", {}, [this] {
     return static_cast<double>(log_.size());
   });
+  if (options_.enable_result_cache) {
+    result_cache_ = std::make_unique<ResultCache>(
+        options_.result_cache_max_entries, options_.result_cache_max_bytes,
+        metrics_.GetCounter("yask_result_cache_evictions_total", {}),
+        metrics_.GetCounter("yask_result_cache_invalidations_total", {}));
+    cache_hits_ = metrics_.GetCounter("yask_result_cache_hits_total", {});
+    cache_misses_ = metrics_.GetCounter("yask_result_cache_misses_total", {});
+    coalesced_ = metrics_.GetCounter("yask_coalesced_requests_total", {});
+    coalesce_leader_failures_ =
+        metrics_.GetCounter("yask_coalesce_leader_failures_total", {});
+    metrics_.AddGaugeCallback("yask_result_cache_entries", {}, [this] {
+      return static_cast<double>(result_cache_->entries());
+    });
+    metrics_.AddGaugeCallback("yask_result_cache_bytes", {}, [this] {
+      return static_cast<double>(result_cache_->bytes());
+    });
+  }
   // A minimal index page standing in for the demo's map GUI (Figs. 3-5).
   server_.Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse{
@@ -192,24 +256,19 @@ HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
   JsonValue out = StoredTraceToJson(*stored, "coordinator");
   if (remote_ != nullptr) {
     // Stitch in the shard-side spans: every replica that served one of this
-    // trace's RPCs holds them keyed by the propagated trace id. Fetched
-    // with throwaway connections, NOT through ReplicaSet::Call — a trace
-    // read must not move RPC metrics or error epochs, and a dead replica
-    // here is simply skipped.
+    // trace's RPCs holds them keyed by the propagated trace id. Fetched via
+    // CallUnmetered through the replica's warm channel set — no connection
+    // setup per read, and still NOT through ReplicaSet::Call: a trace read
+    // must not move RPC metrics or error epochs, and a dead replica here is
+    // simply skipped.
     JsonValue spans = out.Get("spans");
     for (size_t s = 0; s < remote_->num_shards(); ++s) {
       const ReplicaSet& set = remote_->replicas(s);
       for (size_t r = 0; r < set.num_replicas(); ++r) {
-        const RemoteShard& rep = set.replica(r);
-        HttpClientConnection conn;
-        if (!conn.Connect(rep.host(), rep.port(), /*timeout_ms=*/500).ok()) {
-          continue;
-        }
-        int http_status = 0;
-        auto body = conn.Call("GET",
-                              std::string(shardrpc::kTracePath) + "?id=" + id,
-                              "", /*deadline_ms=*/1000, &http_status);
-        if (!body.ok() || http_status != 200) continue;
+        auto body = set.replica(r).CallUnmetered(
+            "GET", std::string(shardrpc::kTracePath) + "?id=" + id, "",
+            /*deadline_ms=*/1000);
+        if (!body.ok()) continue;
         auto doc = JsonValue::Parse(*body);
         if (!doc.ok()) continue;
         for (const JsonValue& span : doc->Get("spans").array_items()) {
@@ -283,15 +342,26 @@ std::optional<HttpResponse> YaskService::RemoteFailure(uint64_t before) const {
 // --- Query cache (LRU) -------------------------------------------------------
 
 uint64_t YaskService::CacheQuery(const Query& query) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  const uint64_t id = next_query_id_++;
-  lru_.push_front(id);
-  query_cache_[id] = CacheEntry{query, lru_.begin()};
-  if (options_.max_cached_queries > 0 &&
-      query_cache_.size() > options_.max_cached_queries) {
-    const uint64_t evicted = lru_.back();
-    lru_.pop_back();
-    query_cache_.erase(evicted);
+  uint64_t id = 0;
+  uint64_t evicted = 0;
+  bool did_evict = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    id = next_query_id_++;
+    lru_.push_front(id);
+    query_cache_[id] = CacheEntry{query, lru_.begin()};
+    if (options_.max_cached_queries > 0 &&
+        query_cache_.size() > options_.max_cached_queries) {
+      evicted = lru_.back();
+      lru_.pop_back();
+      query_cache_.erase(evicted);
+      did_evict = true;
+    }
+  }
+  if (did_evict && result_cache_ != nullptr) {
+    // The evicted id now answers 404, so any cached response rendered for
+    // it (its /query entry, its /whynot entries) must go with it.
+    result_cache_->InvalidateQuery(evicted);
   }
   return id;
 }
@@ -351,6 +421,17 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
     return HttpResponse::Error(400, s.message());
   }
 
+  if (result_cache_ == nullptr) {
+    uint64_t ignored = 0;
+    return ComputeQuery(q, epoch, &ignored);
+  }
+  return CachedCompute(
+      QueryCacheKey(epoch, q), epoch,
+      [&](uint64_t* id) { return ComputeQuery(q, epoch, id); });
+}
+
+HttpResponse YaskService::ComputeQuery(const Query& q, uint64_t epoch,
+                                       uint64_t* query_id_out) {
   Timer timer;
   TopKResult result;
   {
@@ -374,9 +455,42 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
   }
 
   const uint64_t id = CacheQuery(q);
+  *query_id_out = id;
   log_.Append("topk", q.ToString(vocab()), millis, -1.0, CurrentTraceId());
   out.Set("query_id", JsonValue(static_cast<size_t>(id)));
   return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::CachedCompute(
+    const std::string& key, uint64_t epoch,
+    const std::function<HttpResponse(uint64_t*)>& compute) {
+  uint64_t assoc_id = 0;
+  if (result_cache_ == nullptr) return compute(&assoc_id);
+  if (auto hit = result_cache_->Get(key); hit.has_value()) {
+    cache_hits_->Add();
+    return *hit;
+  }
+  cache_misses_->Add();
+  SingleFlight::Ticket ticket = single_flight_.Join(key);
+  if (!ticket.leader) {
+    coalesced_->Add();
+    if (auto shared = single_flight_.Wait(ticket); shared.has_value()) {
+      return *shared;
+    }
+    // The leader failed (non-200); its outcome must not fan out to the
+    // whole herd. Each follower computes independently.
+    coalesce_leader_failures_->Add();
+    return compute(&assoc_id);
+  }
+  HttpResponse resp = compute(&assoc_id);
+  // Only a success computed under a still-current error epoch is reusable:
+  // the epoch moving mid-compute means a shard call failed over, and the
+  // next identical request must run its own fan-out.
+  if (resp.status == 200 && RemoteEpoch() == epoch) {
+    result_cache_->Put(key, resp, assoc_id);
+  }
+  single_flight_.Finish(key, ticket, resp, resp.status == 200);
+  return resp;
 }
 
 namespace {
@@ -449,11 +563,32 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     }
   }
 
-  WhyNotOptions options;
-  options.lambda = in.Get("lambda").is_number() ? in.Get("lambda").as_number()
-                                                : options_.default_lambda;
+  const double lambda = in.Get("lambda").is_number()
+                            ? in.Get("lambda").as_number()
+                            : options_.default_lambda;
   const std::string model =
       in.Get("model").is_string() ? in.Get("model").as_string() : "both";
+
+  // /whynot is idempotent for a fixed (query_id, missing, model, lambda):
+  // query ids are never reused, so the cached-query lookup above pins the
+  // exact same initial query for every repeat.
+  if (result_cache_ == nullptr) {
+    return ComputeWhyNot(q, missing, model, lambda, epoch);
+  }
+  return CachedCompute(
+      WhyNotCacheKey(epoch, query_id, missing, model, lambda), epoch,
+      [&](uint64_t* id) {
+        *id = query_id;
+        return ComputeWhyNot(q, missing, model, lambda, epoch);
+      });
+}
+
+HttpResponse YaskService::ComputeWhyNot(const Query& q,
+                                        const std::vector<ObjectId>& missing,
+                                        const std::string& model,
+                                        double lambda, uint64_t epoch) {
+  WhyNotOptions options;
+  options.lambda = lambda;
 
   if (model == "combined") {
     // §3.2: apply the two refinement functions simultaneously.
@@ -641,6 +776,12 @@ HttpResponse YaskService::HandleForget(const HttpRequest& req) {
       query_cache_.erase(it);
       erased = true;
     }
+  }
+  if (result_cache_ != nullptr) {
+    // Forgetting the query invalidates every response rendered for it: the
+    // /query response that minted the id (a later cache hit would hand out
+    // an id that now answers 404) and every /whynot answer referencing it.
+    result_cache_->InvalidateQuery(id);
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("forgotten", JsonValue(erased));

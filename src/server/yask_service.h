@@ -48,12 +48,14 @@
 #ifndef YASK_SERVER_YASK_SERVICE_H_
 #define YASK_SERVER_YASK_SERVICE_H_
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
@@ -63,6 +65,7 @@
 #include "src/server/http_server.h"
 #include "src/server/json.h"
 #include "src/server/query_log.h"
+#include "src/server/result_cache.h"
 #include "src/whynot/why_not_engine.h"
 
 namespace yask {
@@ -91,6 +94,18 @@ struct YaskServiceOptions {
   /// Traces slower than this are PINNED in the trace store (survive ring
   /// eviction) — the slow-query debugging knob (docs/observability.md).
   double slow_trace_threshold_ms = 250.0;
+  /// Coordinator result cache + single-flight coalescing for /query and
+  /// idempotent /whynot. OFF by default — with the cache on, a repeated
+  /// identical /query is served the cached bytes INCLUDING the original
+  /// query_id instead of minting a fresh id and log entry, which is the
+  /// right trade for a read-heavy production front end but changes the
+  /// fresh-id-per-request contract the scripted demo/CI flows lean on.
+  /// Cache keys fold in the corpus error epoch, so every replica failure
+  /// implicitly invalidates all prior entries; POST /forget additionally
+  /// drops exactly the entries rendered for the forgotten query_id.
+  bool enable_result_cache = false;
+  size_t result_cache_max_entries = 1024;
+  size_t result_cache_max_bytes = 64u << 20;
 };
 
 /// The YASK service: owns the HTTP server and the query cache; borrows the
@@ -141,6 +156,24 @@ class YaskService {
 
   HttpResponse HandleQuery(const HttpRequest& req);
   HttpResponse HandleWhyNot(const HttpRequest& req);
+  /// The uncached /query body: runs the fan-out, renders the rows, mints the
+  /// query_id (returned via `query_id_out` for cache association).
+  HttpResponse ComputeQuery(const Query& q, uint64_t epoch,
+                            uint64_t* query_id_out);
+  /// The uncached /whynot body for an already-resolved request.
+  HttpResponse ComputeWhyNot(const Query& q,
+                             const std::vector<ObjectId>& missing,
+                             const std::string& model, double lambda,
+                             uint64_t epoch);
+  /// Result-cache + single-flight wrapper. With the cache off it just runs
+  /// `compute`. On a miss one leader computes; followers share a 200 leader
+  /// response byte-for-byte and recompute independently when the leader
+  /// fails. Only 200 responses computed under a still-current error epoch
+  /// are cached. `compute` receives a slot for the query_id its response
+  /// was rendered for (the /forget invalidation hook).
+  HttpResponse CachedCompute(
+      const std::string& key, uint64_t epoch,
+      const std::function<HttpResponse(uint64_t*)>& compute);
   HttpResponse HandleObjects(const HttpRequest& req);
   HttpResponse HandleLog(const HttpRequest& req);
   HttpResponse HandleForget(const HttpRequest& req);
@@ -199,6 +232,16 @@ class YaskService {
   std::unordered_map<uint64_t, CacheEntry> query_cache_;
   std::list<uint64_t> lru_;
   uint64_t next_query_id_ = 1;
+
+  // Result cache + single-flight (null / unused when disabled). Counter
+  // pointers are resolved once in the constructor — the hot path never takes
+  // the registry mutex for them.
+  std::unique_ptr<ResultCache> result_cache_;
+  SingleFlight single_flight_;
+  Counter* cache_hits_ = nullptr;
+  Counter* cache_misses_ = nullptr;
+  Counter* coalesced_ = nullptr;
+  Counter* coalesce_leader_failures_ = nullptr;
 };
 
 }  // namespace yask

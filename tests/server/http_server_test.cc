@@ -425,6 +425,43 @@ TEST(HttpClientConnectionTest, KeepAliveCallsAndDeadlines) {
   EXPECT_FALSE(dead.Connect("127.0.0.1", server.bound_port(), 200).ok());
 }
 
+TEST(HttpServerIdleSweepTest, AbandonedKeepAliveConnectionsAreReaped) {
+  // A client that completes a request and then walks away must not pin
+  // server-side connection state forever: the event loop's sweep recycles
+  // the idle socket once keep_alive_idle_ms passes.
+  HttpServer server(0, /*num_workers=*/2, /*keep_alive_idle_ms=*/150);
+  server.Route("GET", "/ping",
+               [](const HttpRequest&) { return HttpResponse::Json("{}"); });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.idle_reaped(), 0u);
+
+  HttpClientConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.bound_port(), 1000).ok());
+  int status = 0;
+  ASSERT_TRUE(conn.Call("GET", "/ping", "", 2000, &status).ok());
+  EXPECT_EQ(status, 200);
+
+  // Now idle. The sweep (100 ms tick) should close us within a few ticks.
+  const Timer timer;
+  while (server.idle_reaped() == 0 && timer.ElapsedMillis() < 3000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.idle_reaped(), 1u);
+  // The server closed its end; the client's liveness probe sees EOF.
+  EXPECT_FALSE(conn.LooksAlive());
+
+  // An ACTIVE connection is not reaped: keep a request/response cadence
+  // faster than the idle bound going and the socket stays up.
+  HttpClientConnection busy;
+  ASSERT_TRUE(busy.Connect("127.0.0.1", server.bound_port(), 1000).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(busy.Call("GET", "/ping", "", 2000, &status).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  EXPECT_TRUE(busy.connected());
+  server.Stop();
+}
+
 TEST(HttpResponseTest, ErrorHelperFormatsJson) {
   const HttpResponse r = HttpResponse::Error(400, "bad \"input\"");
   EXPECT_EQ(r.status, 400);
