@@ -35,6 +35,7 @@ RemoteShard::RemoteShard(std::string host, uint16_t port,
   for (size_t i = 0; i < channels; ++i) {
     channels_.push_back(std::make_unique<PipelinedHttpChannel>(host_, port_));
   }
+  trace_channel_ = std::make_unique<PipelinedHttpChannel>(host_, port_);
 }
 
 PipelinedHttpChannel* RemoteShard::PickChannel() {
@@ -116,9 +117,14 @@ Result<std::string> RemoteShard::CallUnmetered(const std::string& method,
   // A dead replica must not stall the caller for the full RPC dial budget:
   // the read's own deadline also bounds the (re)dial.
   const int connect_ms = std::min(options_.connect_timeout_ms, deadline_ms);
-  Result<std::string> resp = PickChannel()->Call(method, path, body,
-                                                 connect_ms, deadline_ms,
-                                                 &http_status);
+  // Never the metered channels: a transport failure on a pipelined channel
+  // fails every call in flight on it, so a trace read timing out at the
+  // head of a shared pipeline would fail concurrent metered RPCs — moving
+  // the very requests/errors meters (and error epoch) the trace reader is
+  // trying to observe. Trace reads get their own keep-alive channel.
+  Result<std::string> resp = trace_channel_->Call(method, path, body,
+                                                  connect_ms, deadline_ms,
+                                                  &http_status);
   if (!resp.ok()) return resp;
   if (http_status != 200) {
     return Status::Unavailable("shard " + endpoint() + " " + path + " -> " +

@@ -112,8 +112,11 @@ class RemoteShard {
   /// One best-effort RPC that moves NO meters and NO error epochs: no
   /// requests/errors/retries counts, no latency observation, no rpc span,
   /// no retry. The /trace/<id> stitcher reads shard spans through this —
-  /// observing a trace must not perturb the metrics being observed — while
-  /// still riding the warm channel set instead of a throwaway connection.
+  /// observing a trace must not perturb the metrics being observed. Rides a
+  /// DEDICATED keep-alive channel (warm across trace reads, but never one
+  /// of the metered channels: a pipelined channel fails every in-flight
+  /// call on any transport error, so a slow trace read sharing a pipe
+  /// could fail concurrent metered RPCs and move the meters it observes).
   Result<std::string> CallUnmetered(const std::string& method,
                                     const std::string& path,
                                     std::string_view body, int deadline_ms);
@@ -149,6 +152,9 @@ class RemoteShard {
   /// Fixed at construction (options.mux_connections, min 1); each channel
   /// is itself thread-safe, so calls never contend on shard-wide state.
   std::vector<std::unique_ptr<PipelinedHttpChannel>> channels_;
+  /// CallUnmetered's own channel — trace-read failures must stay off the
+  /// metered pipelines.
+  std::unique_ptr<PipelinedHttpChannel> trace_channel_;
   std::atomic<uint64_t> rr_{0};
 };
 

@@ -40,6 +40,20 @@ void HttpClientConnection::Close() {
   pending_.clear();
 }
 
+void HttpClientConnection::FailTransport(bool close_on_error) {
+  if (close_on_error) {
+    Close();
+    return;
+  }
+  // Deferred teardown (PipelinedHttpChannel): other threads may hold fd_ in
+  // send()/recv() right now, so the fd number must stay valid — close()ing
+  // it here could hand the number to an unrelated socket mid-write.
+  // shutdown() kills the byte stream both ways (wakes a blocked reader with
+  // EOF) without freeing the fd; the owner close()s under its lock once no
+  // reader is active.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 bool HttpClientConnection::LooksAlive() {
   if (fd_ < 0) return false;
   pollfd pfd{fd_, POLLIN, 0};
@@ -116,7 +130,8 @@ Status HttpClientConnection::Connect(const std::string& host, uint16_t port,
 Status HttpClientConnection::SendRequest(const std::string& method,
                                          const std::string& path,
                                          std::string_view body, int timeout_ms,
-                                         const std::string& extra_headers) {
+                                         const std::string& extra_headers,
+                                         bool close_on_error) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   // Bound the send side: a stalled peer must not block past the deadline
   // once the kernel send buffer fills.
@@ -138,7 +153,7 @@ Status HttpClientConnection::SendRequest(const std::string& method,
     const ssize_t n =
         ::send(fd_, head.data() + sent, head.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
-      Close();
+      FailTransport(close_on_error);
       return Status::Unavailable("send failed: " + std::string(
                                      n < 0 ? std::strerror(errno) : "closed"));
     }
@@ -148,7 +163,8 @@ Status HttpClientConnection::SendRequest(const std::string& method,
 }
 
 Result<std::string> HttpClientConnection::ReadResponse(int deadline_ms,
-                                                       int* status_out) {
+                                                       int* status_out,
+                                                       bool close_on_error) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   const int64_t deadline = NowMillis() + deadline_ms;
   // Start from the pipelined leftover of the previous read, if any.
@@ -176,7 +192,7 @@ Result<std::string> HttpClientConnection::ReadResponse(int deadline_ms,
           }
         }
         if (!have_length) {
-          Close();
+          FailTransport(close_on_error);
           return Status::Unavailable("response without Content-Length");
         }
       }
@@ -187,7 +203,9 @@ Result<std::string> HttpClientConnection::ReadResponse(int deadline_ms,
     }
     const int64_t remaining = deadline - NowMillis();
     if (remaining <= 0) {
-      Close();  // The stale response would desynchronise the next call.
+      // The stale response would desynchronise the next call, so the
+      // connection must die with the deadline.
+      FailTransport(close_on_error);
       return Status::Unavailable("response read timed out");
     }
     SetRecvTimeout(fd_, static_cast<int>(std::min<int64_t>(remaining, 500)));
@@ -199,7 +217,7 @@ Result<std::string> HttpClientConnection::ReadResponse(int deadline_ms,
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
       continue;  // Tick; the deadline check above bounds the total wait.
     }
-    Close();
+    FailTransport(close_on_error);
     return Status::Unavailable("connection closed mid-response");
   }
 
@@ -233,6 +251,9 @@ Result<std::string> HttpClientConnection::Call(const std::string& method,
 }
 
 void PipelinedHttpChannel::FailGenerationLocked() {
+  // Contract: never called while a reader holds the fd outside mu_ —
+  // Close() frees the fd number, and a recv() racing that close could land
+  // on an unrelated socket if the number is reused.
   ++generation_;
   conn_.Close();
   inflight_ = 0;
@@ -276,11 +297,21 @@ Result<std::string> PipelinedHttpChannel::Call(
   const uint64_t gen = generation_;
   const uint64_t ticket = next_ticket_++;
   ++inflight_;
-  // Send under the lock: ticket order must equal wire order.
-  if (Status s =
-          conn_.SendRequest(method, path, body, deadline_ms, extra_headers);
+  // Send under the lock: ticket order must equal wire order. close_on_error
+  // is off for every conn_ call on this channel — a reader may be blocked in
+  // recv() on this fd with mu_ released, so error paths only shutdown() the
+  // socket; the actual close() happens in FailGenerationLocked, which only
+  // ever runs with no reader active.
+  if (Status s = conn_.SendRequest(method, path, body, deadline_ms,
+                                   extra_headers, /*close_on_error=*/false);
       !s.ok()) {
-    FailGenerationLocked();
+    if (reader_active_) {
+      // SendRequest shut the socket down, so the reader surfaces promptly
+      // (EOF or error) and runs the teardown once it relocks.
+      kill_pending_ = true;
+    } else {
+      FailGenerationLocked();
+    }
     return s;
   }
 
@@ -315,11 +346,14 @@ Result<std::string> PipelinedHttpChannel::Call(
           .count();
   int status = 0;
   Result<std::string> resp = conn_.ReadResponse(
-      static_cast<int>(remaining_ms < 1 ? 1 : remaining_ms), &status);
+      static_cast<int>(remaining_ms < 1 ? 1 : remaining_ms), &status,
+      /*close_on_error=*/false);
   lock.lock();
   reader_active_ = false;
   if (!resp.ok()) {
-    // ReadResponse already closed the socket; fail the generation so every
+    // ReadResponse shut the socket down but left the fd open (a concurrent
+    // sender may still hold it); now that we are back under mu_ with no
+    // reader active, fail the generation — which close()s — so every
     // pipelined waiter returns instead of waiting for bytes that can't come.
     FailGenerationLocked();
     return resp;

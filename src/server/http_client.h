@@ -62,21 +62,27 @@ class HttpClientConnection {
 
   /// Writes one request onto the wire (send side only; pair with
   /// ReadResponse). `timeout_ms` bounds a blocked send once the kernel
-  /// buffer fills. On error the connection is closed. `extra_headers` is
-  /// spliced verbatim into the request header block (zero or more full
-  /// "Name: value\r\n" lines — the RPC path injects the x-yask-trace context
-  /// this way).
+  /// buffer fills. On error the connection is closed — unless
+  /// `close_on_error` is false, in which case it is only shutdown() (the fd
+  /// stays valid for threads that still hold it; the owner must Close()
+  /// later, see PipelinedHttpChannel). `extra_headers` is spliced verbatim
+  /// into the request header block (zero or more full "Name: value\r\n"
+  /// lines — the RPC path injects the x-yask-trace context this way).
   Status SendRequest(const std::string& method, const std::string& path,
                      std::string_view body, int timeout_ms,
-                     const std::string& extra_headers = std::string());
+                     const std::string& extra_headers = std::string(),
+                     bool close_on_error = true);
 
   /// Reads the next Content-Length framed response off the wire (responses
   /// to pipelined requests arrive in request order; leftover bytes beyond
   /// one response are buffered for the next call). Returns the body; the
   /// HTTP status lands in `*status_out`. On any transport error (peer gone,
-  /// deadline, framing) the connection is closed and a non-OK Status
-  /// returned — every response still on the wire is lost with it.
-  Result<std::string> ReadResponse(int deadline_ms, int* status_out);
+  /// deadline, framing) a non-OK Status is returned and the connection is
+  /// closed — or, with `close_on_error` false, shutdown() only, deferring
+  /// the Close() to the owner — and every response still on the wire is
+  /// lost with it.
+  Result<std::string> ReadResponse(int deadline_ms, int* status_out,
+                                   bool close_on_error = true);
 
   /// One request/response round-trip; the connection stays open for the
   /// next call. `deadline_ms` bounds the whole call (send + wait + read).
@@ -86,6 +92,11 @@ class HttpClientConnection {
                            const std::string& extra_headers = std::string());
 
  private:
+  /// The transport-error epilogue: Close(), or with `close_on_error` false
+  /// just shutdown() — killing the byte stream (and waking a blocked
+  /// reader) without freeing the fd number other threads may still hold.
+  void FailTransport(bool close_on_error);
+
   int fd_ = -1;
   std::string pending_;  // Pipelined response bytes beyond the last one read.
 };
@@ -121,7 +132,11 @@ class PipelinedHttpChannel {
 
  private:
   /// Kills the current pipeline generation: closes the connection, fails
-  /// every waiter. Caller holds mu_; must not be the active reader.
+  /// every waiter. Caller holds mu_ AND no reader may be active (the reader
+  /// uses the fd with mu_ released; closing under its feet would race the
+  /// recv — and a reused fd number could belong to another socket). Error
+  /// paths that fire while a reader is out set kill_pending_ instead and
+  /// let the reader run the teardown when it relocks.
   void FailGenerationLocked();
 
   const std::string host_;

@@ -90,6 +90,10 @@ struct HttpServer::Conn {
   std::string out;    // Response bytes being written.
   size_t out_off = 0;
   bool close_after = false;
+  /// Peer hung up while a worker held its request: the fd has been
+  /// deregistered from epoll (HUP/ERR cannot be masked and would otherwise
+  /// spin the loop) and the connection is closed when the completion lands.
+  bool doomed = false;
   int64_t idle_since = 0;  // Last activity; drives the idle sweep.
   int64_t deadline = 0;    // Stall deadline for the transfer in flight; 0 off.
 
@@ -383,9 +387,18 @@ void HttpServer::EventLoop() {
         auto it = conns_.find(tag);
         if (it == conns_.end()) continue;
         Conn* c = it->second.get();
-        // A worker owns this request; even masked fds still report HUP/ERR,
-        // which the write attempt will surface as a failed send.
-        if (c->state == Conn::State::kProcessing) continue;
+        if (c->state == Conn::State::kProcessing) {
+          // A worker owns this request; the fd's events are masked, but
+          // HUP/ERR cannot be masked and are level-triggered — left
+          // registered, a dead peer would wake epoll_wait on every
+          // iteration and busy-spin the loop for the whole handler run.
+          // Deregister and let the completion path discard the response.
+          if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 && !c->doomed) {
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+            c->doomed = true;
+          }
+          continue;
+        }
         const uint32_t ev = events[i].events;
         bool alive = true;
         if ((ev & (EPOLLHUP | EPOLLERR)) != 0 &&
@@ -456,6 +469,12 @@ void HttpServer::FlushCompletions() {
     auto it = conns_.find(completion.conn_id);
     if (it == conns_.end()) continue;  // Peer vanished while processing.
     Conn* c = it->second.get();
+    if (c->doomed) {
+      // Peer hung up mid-handler; its fd is already out of epoll. There is
+      // nobody to write to — drop the response with the connection.
+      CloseConn(completion.conn_id);
+      continue;
+    }
     if (!StartWrite(c, std::move(completion.bytes), completion.close_after)) {
       CloseConn(completion.conn_id);
     }

@@ -257,10 +257,11 @@ HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
   if (remote_ != nullptr) {
     // Stitch in the shard-side spans: every replica that served one of this
     // trace's RPCs holds them keyed by the propagated trace id. Fetched via
-    // CallUnmetered through the replica's warm channel set — no connection
-    // setup per read, and still NOT through ReplicaSet::Call: a trace read
-    // must not move RPC metrics or error epochs, and a dead replica here is
-    // simply skipped.
+    // CallUnmetered over a dedicated warm keep-alive channel per replica —
+    // no connection setup per read, never sharing a pipeline with metered
+    // RPCs, and still NOT through ReplicaSet::Call: a trace read must not
+    // move RPC metrics or error epochs (neither by being counted nor by
+    // failing a shared pipe), and a dead replica here is simply skipped.
     JsonValue spans = out.Get("spans");
     for (size_t s = 0; s < remote_->num_shards(); ++s) {
       const ReplicaSet& set = remote_->replicas(s);
@@ -487,7 +488,17 @@ HttpResponse YaskService::CachedCompute(
   // the epoch moving mid-compute means a shard call failed over, and the
   // next identical request must run its own fan-out.
   if (resp.status == 200 && RemoteEpoch() == epoch) {
-    result_cache_->Put(key, resp, assoc_id);
+    // The Put must be atomic with a query-cache membership re-check, under
+    // the same lock the forget/eviction paths erase under. Otherwise a
+    // POST /forget (or an LRU eviction) landing between this compute and
+    // the Put would InvalidateQuery() first and then watch a 200 naming the
+    // now-404 id get inserted afterwards. Both erase paths release cache_mu_
+    // BEFORE calling InvalidateQuery, so if the id is still present here,
+    // that invalidation is guaranteed to run after this Put and drop it.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (query_cache_.count(assoc_id) != 0) {
+      result_cache_->Put(key, resp, assoc_id);
+    }
   }
   single_flight_.Finish(key, ticket, resp, resp.status == 200);
   return resp;

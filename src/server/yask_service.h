@@ -170,7 +170,10 @@ class YaskService {
   /// response byte-for-byte and recompute independently when the leader
   /// fails. Only 200 responses computed under a still-current error epoch
   /// are cached. `compute` receives a slot for the query_id its response
-  /// was rendered for (the /forget invalidation hook).
+  /// was rendered for (the /forget invalidation hook); the insert re-checks
+  /// that id's query-cache membership under cache_mu_ so a /forget or LRU
+  /// eviction racing the compute can never resurrect a response for an id
+  /// that now answers 404.
   HttpResponse CachedCompute(
       const std::string& key, uint64_t epoch,
       const std::function<HttpResponse(uint64_t*)>& compute);
