@@ -12,13 +12,16 @@
 //   * batched keyword adaption must issue exactly one probe-refine fan-out
 //     per refinement level (stats.probe_fanouts == stats.refine_levels);
 //   * per question, the batched search must spend no more wire round-trips
-//     than the per-probe search it replaces.
+//     than the per-probe search it replaces;
+//   * the batched Eqn. (3) sweep (segment CountAboveBatch fan-outs) must
+//     return the byte-same refinement with identical crossing/candidate
+//     counters as the per-event sweep, in no more round-trips per question.
 //
-// The headline number: HTTP round-trips per why-not answer, before
-// (per-probe refinement, KeywordAdaptOptions::batch_probes = false) and
-// after (level-synchronous batching, the default) — the quantity that
-// dominates remote why-not latency once shards leave the coordinator's
-// address space.
+// The headline numbers: HTTP round-trips per why-not answer, before and
+// after batching — for the Eqn. (4) probes (KeywordAdaptOptions::
+// batch_probes) and the Eqn. (3) weight sweep (PreferenceAdjustOptions::
+// batch_sweep) — the quantity that dominates remote why-not latency once
+// shards leave the coordinator's address space.
 //
 //   $ ./bench_remote_shards [--n=50000] [--queries=40] [--questions=10]
 //                           [--json=BENCH_remote_shards.json]
@@ -146,10 +149,24 @@ struct RemoteRun {
   double whynot_ms_per_question = 0.0;
   double batched_rt_per_question = 0.0;    // Round-trips, keyword adaption.
   double perprobe_rt_per_question = 0.0;
+  double sweep_batched_rt_per_question = 0.0;  // Round-trips, Eqn. (3) sweep.
+  double sweep_perevent_rt_per_question = 0.0;
   bool exact = true;
   bool fanout_gate = true;  // probe_fanouts == refine_levels (batched).
   bool batching_gate = true;  // batched round-trips <= per-probe.
+  bool sweep_gate = true;  // batched sweep round-trips <= per-event.
 };
+
+bool SamePreference(const RefinedPreferenceQuery& a,
+                    const RefinedPreferenceQuery& b) {
+  return a.refined.w.ws == b.refined.w.ws && a.refined.k == b.refined.k &&
+         a.penalty.value == b.penalty.value &&
+         a.original_rank == b.original_rank &&
+         a.refined_rank == b.refined_rank &&
+         a.already_in_result == b.already_in_result &&
+         a.stats.crossings_found == b.stats.crossings_found &&
+         a.stats.candidates_evaluated == b.stats.candidates_evaluated;
+}
 
 }  // namespace
 }  // namespace bench
@@ -211,8 +228,9 @@ int main(int argc, char** argv) {
     expected_answers.push_back(std::move(answer).value());
   }
 
-  std::printf("%-10s %10s %12s %14s %14s  %s\n", "shards", "topk ms/q",
-              "whynot ms/q", "kw rt batched", "kw rt perprobe", "gates");
+  std::printf("%-10s %10s %12s %14s %14s %15s %16s  %s\n", "shards",
+              "topk ms/q", "whynot ms/q", "kw rt batched", "kw rt perprobe",
+              "sweep rt batched", "sweep rt perevent", "gates");
   std::vector<RemoteRun> runs;
   for (const size_t shards : {1, 2, 4}) {
     const ShardedCorpus sharded = ShardedCorpus::Partition(
@@ -291,18 +309,58 @@ int main(int argc, char** argv) {
     run.perprobe_rt_per_question =
         static_cast<double>(perprobe_rt) / questions.size();
 
-    std::printf("%-10zu %10.2f %12.2f %14.1f %14.1f  %s%s%s\n", shards,
-                run.topk_ms_per_query, run.whynot_ms_per_question,
-                run.batched_rt_per_question, run.perprobe_rt_per_question,
-                run.exact ? "exact" : "EXACTNESS BUG",
-                run.fanout_gate ? "" : " FANOUT BUG",
-                run.batching_gate ? "" : " BATCHING BUG");
+    // (d) The Eqn. (3) sweep round-trip meter: the speculative segment sweep
+    // (CountAboveBatch, one /shard/plane/count_batch per segment) vs the
+    // per-event sweep it replaces (one /shard/plane/count per candidate
+    // weight per anchor), both over the wire, both gated to the byte-same
+    // refinement with identical crossing/candidate counters.
+    uint64_t sweep_batched_rt = 0;
+    uint64_t sweep_perevent_rt = 0;
+    for (const Question& q : questions) {
+      PreferenceAdjustOptions batched;
+      batched.batch_sweep = true;
+      PreferenceAdjustOptions perevent;
+      perevent.batch_sweep = false;
+
+      uint64_t before = remote.total_requests();
+      auto rb = AdjustPreference(oracle, q.query, q.missing, batched);
+      const uint64_t rb_rt = remote.total_requests() - before;
+      before = remote.total_requests();
+      auto rp = AdjustPreference(oracle, q.query, q.missing, perevent);
+      const uint64_t rp_rt = remote.total_requests() - before;
+      sweep_batched_rt += rb_rt;
+      sweep_perevent_rt += rp_rt;
+
+      if (!rb.ok() || !rp.ok() || !SamePreference(*rb, *rp)) {
+        run.exact = false;
+        continue;
+      }
+      auto local = AdjustPreference(baseline.store(), q.query, q.missing,
+                                    perevent);
+      if (!local.ok() || !SamePreference(*rb, *local)) run.exact = false;
+      if (rb_rt > rp_rt) run.sweep_gate = false;
+    }
+    run.sweep_batched_rt_per_question =
+        static_cast<double>(sweep_batched_rt) / questions.size();
+    run.sweep_perevent_rt_per_question =
+        static_cast<double>(sweep_perevent_rt) / questions.size();
+
+    std::printf(
+        "%-10zu %10.2f %12.2f %14.1f %14.1f %15.1f %16.1f  %s%s%s%s\n",
+        shards, run.topk_ms_per_query, run.whynot_ms_per_question,
+        run.batched_rt_per_question, run.perprobe_rt_per_question,
+        run.sweep_batched_rt_per_question, run.sweep_perevent_rt_per_question,
+        run.exact ? "exact" : "EXACTNESS BUG",
+        run.fanout_gate ? "" : " FANOUT BUG",
+        run.batching_gate ? "" : " BATCHING BUG",
+        run.sweep_gate ? "" : " SWEEP BUG");
     runs.push_back(run);
   }
 
   bool all_ok = true;
   for (const RemoteRun& r : runs) {
-    all_ok = all_ok && r.exact && r.fanout_gate && r.batching_gate;
+    all_ok = all_ok && r.exact && r.fanout_gate && r.batching_gate &&
+             r.sweep_gate;
   }
 
   JsonValue context = JsonValue::MakeObject();
@@ -328,6 +386,16 @@ int main(int argc, char** argv) {
                       ? last.perprobe_rt_per_question /
                             last.batched_rt_per_question
                       : 0.0));
+    context.Set("sweep_roundtrips_batched_4_shards",
+                JsonValue(last.sweep_batched_rt_per_question));
+    context.Set("sweep_roundtrips_perevent_4_shards",
+                JsonValue(last.sweep_perevent_rt_per_question));
+    context.Set(
+        "sweep_roundtrip_reduction_4_shards",
+        JsonValue(last.sweep_batched_rt_per_question > 0.0
+                      ? last.sweep_perevent_rt_per_question /
+                            last.sweep_batched_rt_per_question
+                      : 0.0));
   }
 
   JsonValue benches = JsonValue::MakeArray();
@@ -351,6 +419,10 @@ int main(int argc, char** argv) {
               r.batched_rt_per_question, "roundtrips");
     bench_row("remote_shards/kw_roundtrips_perprobe" + tag,
               r.perprobe_rt_per_question, "roundtrips");
+    bench_row("remote_shards/sweep_roundtrips_batched" + tag,
+              r.sweep_batched_rt_per_question, "roundtrips");
+    bench_row("remote_shards/sweep_roundtrips_perevent" + tag,
+              r.sweep_perevent_rt_per_question, "roundtrips");
   }
 
   JsonValue doc = JsonValue::MakeObject();

@@ -237,7 +237,11 @@ int main(int argc, char** argv) {
     // (b) Scatter-gather model: per-question latency = the slowest shard's
     // accumulated fan-out busy time plus the coordinator remainder (wall
     // minus ALL shard busy time, clamped — on a multicore host fan-out
-    // overlap can push the raw remainder below zero).
+    // overlap can push the raw remainder below zero). The busy-time hook is
+    // not safe under concurrent oracle calls, so stage overlap is off for
+    // this arm (the model sums per-stage busy time anyway).
+    WhyNotOptions scatter_options;
+    scatter_options.overlap_stages = false;
     oracle_handle->set_shard_busy_ms(&busy);
     run.scatter_ms = 1e300;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -245,7 +249,7 @@ int main(int argc, char** argv) {
       for (const Question& q : workload) {
         std::fill(busy.begin(), busy.end(), 0.0);
         Timer timer;
-        auto answer = engine.Answer(q.query, q.missing);
+        auto answer = engine.Answer(q.query, q.missing, scatter_options);
         const double wall = timer.ElapsedMillis();
         if (!answer.ok()) run.results_match = false;
         double busy_sum = 0.0;

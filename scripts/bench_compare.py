@@ -139,6 +139,30 @@ def main(argv):
                          f"{value:.3f} {unit} |")
         lines.append("")
 
+    # Round-trip rollup: the batching trajectory (Eqn. (3) sweep segments and
+    # Eqn. (4) probe levels vs their unbatched twins) in one table. These rows
+    # come from exactness-gated benches whose binaries already fail on any
+    # batched-vs-unbatched divergence or round-trip regression, so here they
+    # are reported, not re-gated.
+    trips = []
+    for bench in sorted(current):
+        for name, (value, unit) in sorted(current[bench].items()):
+            if unit != "roundtrips":
+                continue
+            prev = previous.get(bench, {}).get(name)
+            trips.append((bench, name,
+                          prev[0] if prev is not None else None, value))
+    if trips:
+        lines.append("## Round-trips per question")
+        lines.append("")
+        lines.append("| bench | row | previous | current |")
+        lines.append("|---|---|---:|---:|")
+        for bench, name, prev_value, value in trips:
+            prev_text = (f"{prev_value:.1f}" if prev_value is not None
+                         else "—")
+            lines.append(f"| {bench} | {name} | {prev_text} | {value:.1f} |")
+        lines.append("")
+
     if regressions:
         lines.append(f"## FAILED: {len(regressions)} regression(s) beyond "
                      f"{threshold * 100.0:.0f}%")

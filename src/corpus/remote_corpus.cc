@@ -157,6 +157,28 @@ ReplicaSet::ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
     }
     return cooling;
   });
+  metrics->AddGaugeCallback("yask_shard_rpc_ewma_ms", labels,
+                            [this] { return rpc_ewma_ms(); });
+  metrics->AddGaugeCallback("yask_sweep_batch_events", labels, [this] {
+    return static_cast<double>(adaptive_sweep_batch());
+  });
+}
+
+void ReplicaSet::ObserveLatency(double ms) const {
+  call_latency_->Observe(ms);
+  // EWMA seeded by the first sample. CAS loop: concurrent fan-out threads
+  // land observations here, and a lost update would silently drop samples.
+  double prev = rpc_ewma_ms_->load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev == 0.0 ? ms : prev + 0.2 * (ms - prev);
+  } while (!rpc_ewma_ms_->compare_exchange_weak(prev, next,
+                                                std::memory_order_relaxed));
+}
+
+size_t ReplicaSet::adaptive_sweep_batch() const {
+  const double events = 8.0 + 4.0 * rpc_ewma_ms();
+  return static_cast<size_t>(std::min(256.0, std::max(8.0, events)));
 }
 
 std::string ReplicaSet::description() const {
@@ -231,14 +253,14 @@ Result<std::string> ReplicaSet::Call(const std::string& method,
       // it on a sibling would just repeat it.
       MarkSuccess(*r);
       if (failed_over) NoteFailover();
-      call_latency_->Observe(timer.ElapsedMillis());
+      ObserveLatency(timer.ElapsedMillis());
       return resp;
     }
     last = resp.status();
     failed_over = true;
     MarkFailure(*r);
   }
-  call_latency_->Observe(timer.ElapsedMillis());
+  ObserveLatency(timer.ElapsedMillis());
   return Status::Unavailable("all " + std::to_string(replicas_.size()) +
                              " replica(s) of " + description() +
                              " failed: " + last.message());
@@ -249,7 +271,7 @@ Result<std::string> ReplicaSet::CallOn(size_t r, const std::string& method,
                                        std::string_view body) const {
   Timer timer;
   Result<std::string> resp = replicas_[r]->Call(method, path, body);
-  call_latency_->Observe(timer.ElapsedMillis());
+  ObserveLatency(timer.ElapsedMillis());
   if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable) {
     MarkFailure(r);
   } else {
@@ -324,10 +346,13 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
         return Status::InvalidArgument(endpoint + ": bad shard meta: " +
                                        meta.status().message());
       }
-      if (meta->protocol_version != shardrpc::kProtocolVersion) {
+      if (meta->protocol_version < shardrpc::kMinSupportedProtocolVersion ||
+          meta->protocol_version > shardrpc::kProtocolVersion) {
         return Status::FailedPrecondition(
             endpoint + " speaks shard protocol version " +
-            std::to_string(meta->protocol_version) + ", coordinator speaks " +
+            std::to_string(meta->protocol_version) +
+            ", coordinator supports " +
+            std::to_string(shardrpc::kMinSupportedProtocolVersion) + ".." +
             std::to_string(shardrpc::kProtocolVersion));
       }
       if (group.replicas.empty()) {
@@ -440,13 +465,17 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     corpus.vocab_ = std::move(vocab);
   }
 
-  // Coordinator fan-out pool, sized like ShardedCorpus::pool().
+  // Coordinator fan-out pool. Unlike the in-process ShardedCorpus::pool()
+  // (CPU-bound shard scans, where a 1-core host gains nothing from extra
+  // threads), remote fan-out tasks BLOCK on the wire — without a pool every
+  // multi-shard plane count or crossing collection degrades to sequential
+  // per-shard RPCs and one slow shard serializes the whole round. So every
+  // multi-shard corpus gets a pool, one thread per shard unless overridden.
   if (shard_count > 1) {
-    const size_t hw = std::max(1u, std::thread::hardware_concurrency());
     size_t threads = options.fanout_threads;
-    if (threads == 0) threads = hw <= 1 ? 0 : hw;
+    if (threads == 0) threads = shard_count;
     threads = std::min(threads, static_cast<size_t>(shard_count));
-    if (threads > 0) corpus.pool_ = std::make_unique<ThreadPool>(threads);
+    corpus.pool_ = std::make_unique<ThreadPool>(threads);
   }
   corpus.session_replays_ =
       metrics->GetCounter("yask_session_replays_total");

@@ -70,8 +70,11 @@ struct RemoteShardOptions {
   /// Extra attempts after a TRANSPORT failure, each on a fresh connection
   /// (covers server-side keep-alive recycling of pooled idle connections).
   int retries = 2;
-  /// Worker threads of the coordinator fan-out pool (0 = auto like
-  /// CorpusOptions::fanout_threads: one per shard, none on 1-core hosts).
+  /// Worker threads of the coordinator fan-out pool (0 = one per shard).
+  /// Unlike the in-process CorpusOptions::fanout_threads (CPU-bound shard
+  /// scans), these tasks BLOCK on the wire, so even 1-core hosts get a pool
+  /// — without one, every multi-shard round is sequential RPCs and one slow
+  /// shard serializes the whole fan-out.
   size_t fanout_threads = 0;
   /// Replica cooldown after a failed call: base * 2^(consecutive failures-1),
   /// capped at max. A cooling replica is skipped by routing while healthy
@@ -211,7 +214,23 @@ class ReplicaSet {
   /// counter.
   uint64_t failovers() const { return failovers_->value(); }
 
+  /// EWMA (α = 0.2) of this shard's observed per-call RPC latency in ms,
+  /// fed by the same observations as yask_shard_rpc_latency_ms; 0.0 until
+  /// the first sample. Exposed as the yask_shard_rpc_ewma_ms gauge.
+  double rpc_ewma_ms() const {
+    return rpc_ewma_ms_->load(std::memory_order_relaxed);
+  }
+  /// How many Eqn. (3) candidate weights a Step-4 sweep segment should
+  /// speculate on against this shard: clamp(8, 256, 8 + 4·ewma_ms). The
+  /// slower the wire, the more a saved round-trip is worth relative to
+  /// over-fetched counts past the floor cut. Exposed as the
+  /// yask_sweep_batch_events gauge.
+  size_t adaptive_sweep_batch() const;
+
  private:
+  /// Latency bookkeeping shared by Call/CallOn: the histogram observation
+  /// plus the EWMA update (CAS loop — fan-out threads race here).
+  void ObserveLatency(double ms) const;
   /// Per-replica health. Heap-allocated so the set stays movable.
   struct Health {
     std::atomic<uint32_t> consecutive_failures{0};
@@ -226,6 +245,9 @@ class ReplicaSet {
   Counter* failovers_ = nullptr;
   Counter* cooldown_entries_ = nullptr;
   Histogram* call_latency_ = nullptr;
+  /// Heap-allocated like Health so the set stays movable. 0.0 = no sample.
+  std::unique_ptr<std::atomic<double>> rpc_ewma_ms_ =
+      std::make_unique<std::atomic<double>>(0.0);
 };
 
 /// The coordinator's serving-state view over N remote shards. Construct via

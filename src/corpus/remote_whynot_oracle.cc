@@ -277,6 +277,14 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
         oracle_(oracle),
         query_(query),
         optimized_(mode == PrefAdjustMode::kOptimized) {
+    // The batch route is v3; with any older shard in the fleet the session
+    // falls back to the per-pair route (the base-class CountAboveBatch loop)
+    // and advertises segment size 1 so the sweep doesn't speculate for
+    // nothing.
+    batch_route_ = true;
+    for (size_t s = 0; s < corpus->num_shards(); ++s) {
+      batch_route_ = batch_route_ && corpus->meta(s).protocol_version >= 3;
+    }
     BufWriter req;
     shardrpc::PutQuery(&req, *query);
     req.PutU8(optimized_ ? 1 : 0);
@@ -335,6 +343,73 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
     return total;
   }
 
+  std::vector<size_t> CountAboveBatch(
+      const std::vector<double>& weights,
+      const std::vector<PlanePoint>& anchors,
+      PreferenceAdjustStats* stats) const override {
+    if (!batch_route_) {
+      // Pre-v3 shard in the fleet: per-pair /shard/plane/count calls (the
+      // base-class loop over CountAbove) — identical counts, more trips.
+      return ScorePlaneSession::CountAboveBatch(weights, anchors, stats);
+    }
+    BufWriter req;
+    req.PutU64(0);  // Session slot, stamped by the channel.
+    req.PutVarU64(weights.size());
+    for (const double w : weights) req.PutF64(w);
+    req.PutVarU64(anchors.size());
+    for (const PlanePoint& anchor : anchors) {
+      shardrpc::PutPlanePoint(&req, anchor);
+    }
+    const std::string body = req.data();
+    const size_t pairs = weights.size() * anchors.size();
+    const size_t n = channels_.size();
+    std::vector<std::vector<size_t>> counts(n);
+    std::vector<size_t> nodes(n, 0);
+    corpus_->ForEachShard([&](size_t s) {
+      if (!channels_[s]->live()) return;  // Open failed; epoch already bumped.
+      Result<std::string> raw =
+          channels_[s]->Call(shardrpc::kPlaneCountBatchPath, body,
+                             /*mutates=*/false);
+      if (!raw.ok()) {
+        corpus_->RecordError(raw.status());
+        return;
+      }
+      BufReader in(raw->data(), raw->size());
+      const uint64_t count = in.GetVarU64();
+      if (count != pairs) {
+        corpus_->RecordError(
+            Status::InvalidArgument("bad /shard/plane/count_batch response"));
+        return;
+      }
+      counts[s].reserve(pairs);
+      for (uint64_t i = 0; i < pairs; ++i) counts[s].push_back(in.GetU64());
+      nodes[s] = in.GetU64();
+      if (!in.ok()) {
+        corpus_->RecordError(in.status());
+        counts[s].clear();
+      }
+    });
+    std::vector<size_t> total(pairs, 0);
+    for (size_t s = 0; s < n; ++s) {
+      if (counts[s].empty()) continue;  // Failed shard: epoch already bumped.
+      for (size_t i = 0; i < pairs; ++i) total[i] += counts[s][i];
+      stats->index_nodes_visited += nodes[s];
+    }
+    if (!optimized_) stats->full_rescans += pairs;
+    return total;
+  }
+
+  size_t PreferredSweepBatch() const override {
+    if (!batch_route_) return 1;  // No batch route: speculation buys nothing.
+    // The fleet's slowest shard gates every fan-out, so IT sets how much a
+    // saved round-trip is worth.
+    size_t batch = 1;
+    for (size_t s = 0; s < corpus_->num_shards(); ++s) {
+      batch = std::max(batch, corpus_->replicas(s).adaptive_sweep_batch());
+    }
+    return batch;
+  }
+
   void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
                         std::vector<double>* events,
                         PreferenceAdjustStats* stats) const override {
@@ -380,6 +455,7 @@ class RemoteScorePlaneSession : public ScorePlaneSession {
   const WhyNotOracle* oracle_;
   const Query* query_;
   bool optimized_;
+  bool batch_route_ = true;  // Every shard speaks shardrpc v3+.
   // mutable: channels fail over (re-open + re-pin) inside const sweeps.
   mutable std::vector<std::unique_ptr<ShardSessionChannel>> channels_;
 };

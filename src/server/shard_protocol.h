@@ -23,7 +23,8 @@
 //   POST /shard/find       name -> first matching GLOBAL id
 //   POST /shard/topk       query + prune_below -> thresholded shard top-k
 //   POST /shard/count      batched tie-aware outscoring counts (scan / SetR)
-//   POST /shard/plane/open|count|crossings|close    Eqn. (3) sessions
+//   POST /shard/plane/open|count|count_batch|crossings|close  Eqn. (3)
+//                                                              sessions
 //   POST /shard/probe/open|refine|close             Eqn. (4) probe batches
 //   GET  /shard/trace?id=…  JSON spans recorded under a propagated trace id
 //   GET  /metrics           Prometheus text exposition (docs/observability.md)
@@ -45,12 +46,22 @@ namespace yask {
 namespace shardrpc {
 
 /// Bumped on any incompatible message change; the coordinator refuses a
-/// shard server speaking a different version at Connect() time.
+/// shard server speaking a version outside
+/// [kMinSupportedProtocolVersion, kProtocolVersion] at Connect() time.
 /// v2: request framing carries an optional `x-yask-trace` header
 /// ("<trace_id>:<parent_span_hex>") on every RPC, and the shard server
 /// grows GET /shard/trace (+ /metrics). A server must TOLERATE the header's
 /// absence — untraced requests are served identically.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: adds POST /shard/plane/count_batch (K weights × A anchors per
+/// request — the Eqn. (3) sweep-segment batch). Purely additive: every v2
+/// route is unchanged, so a v3 coordinator serves a v2 shard by falling
+/// back to per-pair /shard/plane/count, and a v3 shard serves a v2
+/// coordinator verbatim.
+inline constexpr uint32_t kProtocolVersion = 3;
+
+/// Oldest shard-server version this coordinator still speaks (v3 only added
+/// a route, so v2 servers remain fully usable minus the batch fast path).
+inline constexpr uint32_t kMinSupportedProtocolVersion = 2;
 
 inline constexpr char kHealthPath[] = "/health";
 inline constexpr char kMetaPath[] = "/shard/meta";
@@ -61,6 +72,10 @@ inline constexpr char kTopKPath[] = "/shard/topk";
 inline constexpr char kCountPath[] = "/shard/count";
 inline constexpr char kPlaneOpenPath[] = "/shard/plane/open";
 inline constexpr char kPlaneCountPath[] = "/shard/plane/count";
+/// v3+. Request: u64 session slot, varu64 K + K raw-F64 weights, varu64 A +
+/// A plane points. Response: varu64 K*A + K*A u64 counts (row-major, weight
+///-major: index wi*A + a), u64 nodes_visited.
+inline constexpr char kPlaneCountBatchPath[] = "/shard/plane/count_batch";
 inline constexpr char kPlaneCrossingsPath[] = "/shard/plane/crossings";
 inline constexpr char kPlaneClosePath[] = "/shard/plane/close";
 inline constexpr char kProbeOpenPath[] = "/shard/probe/open";

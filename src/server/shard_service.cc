@@ -119,6 +119,9 @@ ShardService::ShardService(const Corpus& corpus, Info info,
   server_.Route("POST", shardrpc::kPlaneCountPath, Instrumented(
       shardrpc::kPlaneCountPath,
       [this](const HttpRequest& r) { return HandlePlaneCount(r); }));
+  server_.Route("POST", shardrpc::kPlaneCountBatchPath, Instrumented(
+      shardrpc::kPlaneCountBatchPath,
+      [this](const HttpRequest& r) { return HandlePlaneCountBatch(r); }));
   server_.Route("POST", shardrpc::kPlaneCrossingsPath, Instrumented(
       shardrpc::kPlaneCrossingsPath,
       [this](const HttpRequest& r) { return HandlePlaneCrossings(r); }));
@@ -156,6 +159,14 @@ ShardService::ShardService(const Corpus& corpus, Info info,
   metrics_.AddGaugeCallback("yask_shard_objects", shard_label, [this] {
     return static_cast<double>(corpus_->size());
   });
+  MetricLabels plane_labels = shard_label;
+  plane_labels.emplace_back("kind", "plane");
+  plane_evictions_ =
+      metrics_.GetCounter("yask_shard_sessions_evicted_total", plane_labels);
+  MetricLabels probe_labels = shard_label;
+  probe_labels.emplace_back("kind", "probe");
+  probe_evictions_ =
+      metrics_.GetCounter("yask_shard_sessions_evicted_total", probe_labels);
 }
 
 HttpServer::Handler ShardService::Instrumented(const char* endpoint,
@@ -416,7 +427,10 @@ HttpResponse ShardService::HandlePlaneOpen(const HttpRequest& req) {
     id = next_session_id_++;
     session->last_use = ++use_clock_;
     planes_[id] = std::move(session);
-    if (planes_.size() > max_sessions_) EvictLeastRecentlyUsed(&planes_);
+    if (planes_.size() > max_sessions_) {
+      EvictLeastRecentlyUsed(&planes_);
+      plane_evictions_->Add();
+    }
   }
   BufWriter out;
   out.PutU64(id);
@@ -443,6 +457,45 @@ HttpResponse ShardService::HandlePlaneCount(const HttpRequest& req) {
   }
   BufWriter out;
   out.PutU64(count);
+  out.PutU64(nodes);
+  return Binary(out);
+}
+
+HttpResponse ShardService::HandlePlaneCountBatch(const HttpRequest& req) {
+  BufReader in(req.body.data(), req.body.size());
+  const uint64_t id = in.GetU64();
+  const uint64_t num_weights = in.GetVarU64();
+  if (!in.CheckCount(num_weights, sizeof(double))) return BadBody(in);
+  std::vector<double> weights;
+  weights.reserve(num_weights);
+  for (uint64_t i = 0; i < num_weights; ++i) weights.push_back(in.GetF64());
+  const uint64_t num_anchors = in.GetVarU64();
+  if (!in.CheckCount(num_anchors, 20)) return BadBody(in);
+  std::vector<PlanePoint> anchors;
+  anchors.reserve(num_anchors);
+  for (uint64_t i = 0; i < num_anchors; ++i) {
+    anchors.push_back(shardrpc::GetPlanePoint(&in));
+  }
+  if (!in.ok() || !in.AtEnd()) return BadBody(in);
+  if (num_weights == 0 || num_anchors == 0) {
+    return HttpResponse::Error(400, "empty plane count batch");
+  }
+  const std::shared_ptr<PlaneSession> session = FindPlane(id);
+  if (session == nullptr) {
+    return HttpResponse::Error(404, "unknown plane session");
+  }
+  // Thresholds are computed inside CountAboveBatch from the same
+  // anchor.ScoreAt(w) expression HandlePlaneCount evaluates, so each batched
+  // count is the same double-for-double computation as its per-call twin.
+  std::vector<size_t> counts(weights.size() * anchors.size(), 0);
+  size_t nodes = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->plane->CountAboveBatch(weights, anchors, &counts, &nodes);
+  }
+  BufWriter out;
+  out.PutVarU64(counts.size());
+  for (size_t c : counts) out.PutU64(c);
   out.PutU64(nodes);
   return Binary(out);
 }
@@ -520,7 +573,10 @@ HttpResponse ShardService::HandleProbeOpen(const HttpRequest& req) {
     id = next_session_id_++;
     session->last_use = ++use_clock_;
     probes_[id] = session;
-    if (probes_.size() > max_sessions_) EvictLeastRecentlyUsed(&probes_);
+    if (probes_.size() > max_sessions_) {
+      EvictLeastRecentlyUsed(&probes_);
+      probe_evictions_->Add();
+    }
   }
   out.PutU64(id);
   for (const auto& member : session->members) {

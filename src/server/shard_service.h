@@ -106,6 +106,7 @@ class ShardService {
   HttpResponse HandleCount(const HttpRequest& req);
   HttpResponse HandlePlaneOpen(const HttpRequest& req);
   HttpResponse HandlePlaneCount(const HttpRequest& req);
+  HttpResponse HandlePlaneCountBatch(const HttpRequest& req);
   HttpResponse HandlePlaneCrossings(const HttpRequest& req);
   HttpResponse HandlePlaneClose(const HttpRequest& req);
   HttpResponse HandleProbeOpen(const HttpRequest& req);
@@ -141,6 +142,11 @@ class ShardService {
   std::map<uint64_t, std::shared_ptr<PlaneSession>> planes_;
   std::map<uint64_t, std::shared_ptr<ProbeSession>> probes_;
   size_t max_sessions_;
+  /// Capacity evictions by session kind — an evicted session forces the
+  /// coordinator into a 404 reopen + replay, so silent churn here is a
+  /// latency bug a dashboard must see (yask_shard_sessions_evicted_total).
+  Counter* plane_evictions_ = nullptr;
+  Counter* probe_evictions_ = nullptr;
 };
 
 }  // namespace yask

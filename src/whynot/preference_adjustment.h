@@ -61,6 +61,18 @@ struct PreferenceAdjustOptions {
   /// The λ of Eqn. (3): weight of the ∆k term versus the ∆w term.
   double lambda = 0.5;
   PrefAdjustMode mode = PrefAdjustMode::kOptimized;
+  /// Evaluate the Step-4 sweep in speculative nearest-to-w0 segments via
+  /// ScorePlaneSession::CountAboveBatch (one oracle fan-out per segment)
+  /// instead of one fan-out per candidate weight. The refinement and the
+  /// crossing/candidate counters are bit-identical either way: the ∆w floor
+  /// is monotone in the nearest-first event order, so the floor cut is
+  /// re-applied while consuming a segment and over-fetched results past the
+  /// cut are discarded deterministically.
+  bool batch_sweep = true;
+  /// Events per speculative segment. 0 = ask the session
+  /// (ScorePlaneSession::PreferredSweepBatch — latency-adaptive for remote
+  /// oracles, 1 for in-process ones, where speculation buys nothing).
+  size_t sweep_batch_size = 0;
 };
 
 /// Work counters (benchmarks E4/E5/E7).
@@ -69,6 +81,7 @@ struct PreferenceAdjustStats {
   size_t candidates_evaluated = 0;  // Penalty evaluations.
   size_t index_nodes_visited = 0;   // ScorePlaneIndex traversal nodes.
   size_t full_rescans = 0;          // O(n) rank scans (basic mode).
+  size_t sweep_fanouts = 0;         // Oracle count fan-outs in the sweep.
 };
 
 /// The outcome: a refined query plus its cost and diagnostics.

@@ -66,6 +66,20 @@ size_t ShardPlane::CountAbove(double w, double threshold,
   return above;
 }
 
+void ShardPlane::CountAboveBatch(const std::vector<double>& weights,
+                                 const std::vector<PlanePoint>& anchors,
+                                 std::vector<size_t>* counts,
+                                 size_t* nodes_visited) const {
+  const size_t na = anchors.size();
+  for (size_t wi = 0; wi < weights.size(); ++wi) {
+    for (size_t a = 0; a < na; ++a) {
+      const double threshold = anchors[a].ScoreAt(weights[wi]);
+      (*counts)[wi * na + a] =
+          CountAbove(weights[wi], threshold, anchors[a], nodes_visited);
+    }
+  }
+}
+
 void ShardPlane::CollectCrossings(const PlanePoint& anchor, double wlo,
                                   double whi, std::vector<double>* events,
                                   size_t* nodes_visited) const {

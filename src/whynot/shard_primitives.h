@@ -62,6 +62,17 @@ class ShardPlane {
   size_t CountAbove(double w, double threshold, const PlanePoint& anchor,
                     size_t* nodes_visited) const;
 
+  /// Batched CountAbove over the (weights × anchors) grid:
+  /// (*counts)[wi * anchors.size() + a] = CountAbove(weights[wi], anchors[a])
+  /// with threshold anchors[a].ScoreAt(weights[wi]) — the same expression
+  /// every caller of CountAbove evaluates, so each batched count is the same
+  /// double-for-double computation as its per-call twin. `counts` must be
+  /// pre-sized to weights.size() * anchors.size().
+  void CountAboveBatch(const std::vector<double>& weights,
+                       const std::vector<PlanePoint>& anchors,
+                       std::vector<size_t>* counts,
+                       size_t* nodes_visited) const;
+
   /// Appends every crossing weight of `anchor`'s score line with one of this
   /// shard's lines inside [wlo, whi] to `events` (duplicates allowed — the
   /// caller sorts and deduplicates the merged set).

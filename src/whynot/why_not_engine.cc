@@ -1,5 +1,7 @@
 #include "src/whynot/why_not_engine.h"
 
+#include <thread>
+
 #include "src/common/trace.h"
 #include "src/corpus/sharded_whynot_oracle.h"
 #include "src/query/ranking.h"
@@ -30,23 +32,51 @@ Result<WhyNotAnswer> WhyNotEngine::Answer(
     answer.explanations = std::move(explanations).value();
   }
 
-  if (options.run_preference_adjustment) {
-    ScopedSpan span("whynot/preference");
-    PreferenceAdjustOptions po;
-    po.lambda = options.lambda;
-    po.mode = options.pref_mode;
-    auto refined = AdjustPreference(*oracle_, query, missing, po);
-    if (!refined.ok()) return refined.status();
-    answer.preference = std::move(refined).value();
-  }
-  if (options.run_keyword_adaption) {
-    ScopedSpan span("whynot/keyword");
-    KeywordAdaptOptions ko;
-    ko.lambda = options.lambda;
-    ko.mode = options.kw_mode;
-    auto refined = AdaptKeywords(*oracle_, query, missing, ko);
-    if (!refined.ok()) return refined.status();
-    answer.keyword = std::move(refined).value();
+  PreferenceAdjustOptions po;
+  po.lambda = options.lambda;
+  po.mode = options.pref_mode;
+  KeywordAdaptOptions ko;
+  ko.lambda = options.lambda;
+  ko.mode = options.kw_mode;
+
+  if (options.run_preference_adjustment && options.run_keyword_adaption &&
+      options.overlap_stages) {
+    // Overlap the Eqn. (3) weight sweep with the Eqn. (4) probe fan-outs.
+    // The two refinements share no mutable state (each opens its own oracle
+    // sessions; a remote oracle's channels/health/meters are thread-safe),
+    // so the keyword search runs on a helper thread while the preference
+    // sweep runs here — a why-not question costs max(pref, kw) instead of
+    // pref + kw of wire waiting. Both finish before anything is read;
+    // errors surface preference-first like the sequential path.
+    std::optional<Result<RefinedKeywordQuery>> kw;
+    const TraceContext trace_ctx = CurrentTraceContext();
+    std::thread kw_thread([&] {
+      TraceContextScope scope(trace_ctx);
+      ScopedSpan span("whynot/keyword");
+      kw.emplace(AdaptKeywords(*oracle_, query, missing, ko));
+    });
+    Result<RefinedPreferenceQuery> pref = [&] {
+      ScopedSpan span("whynot/preference");
+      return AdjustPreference(*oracle_, query, missing, po);
+    }();
+    kw_thread.join();
+    if (!pref.ok()) return pref.status();
+    answer.preference = std::move(pref).value();
+    if (!kw->ok()) return kw->status();
+    answer.keyword = std::move(*kw).value();
+  } else {
+    if (options.run_preference_adjustment) {
+      ScopedSpan span("whynot/preference");
+      auto refined = AdjustPreference(*oracle_, query, missing, po);
+      if (!refined.ok()) return refined.status();
+      answer.preference = std::move(refined).value();
+    }
+    if (options.run_keyword_adaption) {
+      ScopedSpan span("whynot/keyword");
+      auto refined = AdaptKeywords(*oracle_, query, missing, ko);
+      if (!refined.ok()) return refined.status();
+      answer.keyword = std::move(refined).value();
+    }
   }
 
   // Recommend the cheaper model; ties prefer preference adjustment (it does

@@ -118,6 +118,32 @@ class MultiShardScorePlaneSession : public ScorePlaneSession {
     return total;
   }
 
+  std::vector<size_t> CountAboveBatch(
+      const std::vector<double>& weights,
+      const std::vector<PlanePoint>& anchors,
+      PreferenceAdjustStats* stats) const override {
+    const size_t n = planes_.size();
+    const size_t pairs = weights.size() * anchors.size();
+    // ONE fan-out for the whole (weights × anchors) grid: each shard task
+    // counts every pair, and per-pair totals are the same partition-sums
+    // CountAbove computes — bit-identical merges, one pool dispatch.
+    std::vector<std::vector<size_t>> counts(n);
+    std::vector<size_t> nodes(n, 0);
+    ForEachShard(*ctx_, [&](size_t s) {
+      counts[s].resize(pairs);
+      planes_[s]->CountAboveBatch(weights, anchors, &counts[s], &nodes[s]);
+    });
+    std::vector<size_t> total(pairs, 0);
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t i = 0; i < pairs; ++i) total[i] += counts[s][i];
+      stats->index_nodes_visited += nodes[s];
+    }
+    // One logical dataset rescan per (weight, anchor) pair, mirroring the
+    // per-call accounting of CountAbove in basic mode.
+    if (!optimized_) stats->full_rescans += pairs;
+    return total;
+  }
+
   void CollectCrossings(const PlanePoint& anchor, double wlo, double whi,
                         std::vector<double>* events,
                         PreferenceAdjustStats* stats) const override {
@@ -296,6 +322,21 @@ class WrappedRankProbeBatch : public RankProbeBatch {
 };
 
 }  // namespace
+
+// --- ScorePlaneSession defaults ----------------------------------------------
+
+std::vector<size_t> ScorePlaneSession::CountAboveBatch(
+    const std::vector<double>& weights, const std::vector<PlanePoint>& anchors,
+    PreferenceAdjustStats* stats) const {
+  std::vector<size_t> counts;
+  counts.reserve(weights.size() * anchors.size());
+  for (const double w : weights) {
+    for (const PlanePoint& anchor : anchors) {
+      counts.push_back(CountAbove(w, anchor, stats));
+    }
+  }
+  return counts;
+}
 
 // --- WhyNotOracle defaults ---------------------------------------------------
 

@@ -92,6 +92,23 @@ class ScorePlaneSession {
   virtual void CollectCrossings(const PlanePoint& anchor, double wlo,
                                 double whi, std::vector<double>* events,
                                 PreferenceAdjustStats* stats) const = 0;
+
+  /// Batched CountAbove: counts[wi * anchors.size() + a] ==
+  /// CountAbove(weights[wi], anchors[a]) for every (weight, anchor) pair,
+  /// answerable in ONE fan-out (one request per shard for a remote session)
+  /// instead of one per pair. The base implementation loops; layout-aware
+  /// sessions override. Each count is the same partition-sum either way, so
+  /// results are bit-identical to per-call CountAbove.
+  virtual std::vector<size_t> CountAboveBatch(
+      const std::vector<double>& weights,
+      const std::vector<PlanePoint>& anchors,
+      PreferenceAdjustStats* stats) const;
+
+  /// How many candidate weights per CountAboveBatch this session wants the
+  /// Step-4 sweep to speculate on. In-process sessions return 1 (a fan-out
+  /// costs microseconds; speculated work past the floor cut is pure waste);
+  /// remote sessions size the segment from observed RPC latency.
+  virtual size_t PreferredSweepBatch() const { return 1; }
 };
 
 /// A progressive rank interval for one (candidate query, missing object)

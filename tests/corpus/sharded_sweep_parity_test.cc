@@ -1,0 +1,258 @@
+// Batched Eqn. (3) sweep acceptance — the parity contract of
+// PreferenceAdjustOptions::batch_sweep: for randomized datasets, shard
+// counts (1/2/4/8), routers, modes and segment sizes, the speculative
+// segment sweep (ScorePlaneSession::CountAboveBatch, one fan-out per
+// segment) must return BYTE-identical refinements to the per-event sweep it
+// replaces — every refined-query field, every penalty term compared with ==,
+// and identical crossing/candidate work counters. The only licensed
+// difference is sweep_fanouts: the batched sweep must spend no more count
+// fan-outs than the per-event sweep, and strictly fewer once a segment
+// covers more than one candidate.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/corpus/sharded_corpus.h"
+#include "src/corpus/sharded_whynot_oracle.h"
+#include "src/query/topk_engine.h"
+#include "src/storage/dataset_generator.h"
+#include "src/storage/hotel_generator.h"
+#include "src/whynot/preference_adjustment.h"
+#include "src/whynot/whynot_oracle.h"
+
+namespace yask {
+namespace {
+
+/// Missing objects ranked just outside the top-k.
+std::vector<ObjectId> PickMissing(const ObjectStore& store, const Query& q,
+                                  size_t count, size_t offset) {
+  Query probe = q;
+  probe.k = static_cast<uint32_t>(q.k + offset + count + 5);
+  const TopKResult wide = TopKScan(store, probe);
+  std::vector<ObjectId> missing;
+  for (size_t i = q.k + offset; i < wide.size() && missing.size() < count;
+       ++i) {
+    missing.push_back(wide[i].id);
+  }
+  return missing;
+}
+
+/// `speculative` = the segment can cover more than one candidate, so counts
+/// past the floor cut may be FETCHED (index nodes visited, rescans run) and
+/// then discarded. The refinement and the crossing/candidate counters are
+/// identical regardless; the traversal-work counters are identical only when
+/// nothing is over-fetched (segment <= 1), and >= otherwise.
+void ExpectSameRefinement(const RefinedPreferenceQuery& batched,
+                          const RefinedPreferenceQuery& per_event,
+                          const std::string& label,
+                          bool speculative = false) {
+  EXPECT_EQ(batched.already_in_result, per_event.already_in_result) << label;
+  EXPECT_EQ(batched.refined.w.ws, per_event.refined.w.ws) << label;
+  EXPECT_EQ(batched.refined.w.wt, per_event.refined.w.wt) << label;
+  EXPECT_EQ(batched.refined.k, per_event.refined.k) << label;
+  EXPECT_EQ(batched.refined.doc.ids(), per_event.refined.doc.ids()) << label;
+  EXPECT_EQ(batched.original_rank, per_event.original_rank) << label;
+  EXPECT_EQ(batched.refined_rank, per_event.refined_rank) << label;
+  EXPECT_EQ(batched.penalty.value, per_event.penalty.value) << label;
+  EXPECT_EQ(batched.penalty.k_term, per_event.penalty.k_term) << label;
+  EXPECT_EQ(batched.penalty.mod_term, per_event.penalty.mod_term) << label;
+  EXPECT_EQ(batched.penalty.delta_k, per_event.penalty.delta_k) << label;
+  EXPECT_EQ(batched.penalty.delta_w, per_event.penalty.delta_w) << label;
+  EXPECT_EQ(batched.penalty.delta_doc, per_event.penalty.delta_doc) << label;
+  // The work the sweep does is identical — only how it is shipped differs.
+  EXPECT_EQ(batched.stats.crossings_found, per_event.stats.crossings_found)
+      << label;
+  EXPECT_EQ(batched.stats.candidates_evaluated,
+            per_event.stats.candidates_evaluated)
+      << label;
+  if (speculative) {
+    EXPECT_GE(batched.stats.index_nodes_visited,
+              per_event.stats.index_nodes_visited)
+        << label;
+    EXPECT_GE(batched.stats.full_rescans, per_event.stats.full_rescans)
+        << label;
+  } else {
+    EXPECT_EQ(batched.stats.index_nodes_visited,
+              per_event.stats.index_nodes_visited)
+        << label;
+    EXPECT_EQ(batched.stats.full_rescans, per_event.stats.full_rescans)
+        << label;
+  }
+  EXPECT_LE(batched.stats.sweep_fanouts, per_event.stats.sweep_fanouts)
+      << label;
+}
+
+struct ParityOptions {
+  std::vector<uint32_t> shard_counts = {1, 2, 4, 8};
+  bool use_hash_router = false;
+  int trials = 4;
+  PrefAdjustMode mode = PrefAdjustMode::kOptimized;
+  /// Forced segment sizes to sweep besides the session default (0).
+  std::vector<size_t> segment_sizes = {0, 1, 3, 64};
+};
+
+void RunSweepParityTrials(const ObjectStore& store, uint64_t query_seed,
+                          const ParityOptions& popt = {}) {
+  CorpusOptions options;
+  options.fanout_threads = 3;  // Force the pooled fan-out path on 1-core CI.
+  for (const uint32_t shards : popt.shard_counts) {
+    std::unique_ptr<ShardRouter> router;
+    if (popt.use_hash_router) {
+      router = std::make_unique<HashShardRouter>(shards);
+    } else {
+      router = GridShardRouter::Fit(store, shards);
+    }
+    const std::string label = router->Describe();
+    const ShardedCorpus sharded =
+        ShardedCorpus::Partition(store, std::move(router), options);
+    const ShardedWhyNotOracle oracle(sharded);
+
+    Rng rng(query_seed);
+    for (int trial = 0; trial < popt.trials; ++trial) {
+      Query q;
+      q.loc = SampleQueryLocation(store, &rng);
+      q.doc = SampleQueryKeywords(store, 1 + trial % 3, &rng);
+      q.k = 3 + static_cast<uint32_t>(rng.NextBounded(5));
+      q.w = Weights::FromWs(rng.NextDouble(0.2, 0.8));
+      const size_t m_count = 1 + trial % 2;
+      const std::vector<ObjectId> missing =
+          PickMissing(store, q, m_count, /*offset=*/2 + trial);
+      if (missing.size() != m_count) continue;
+
+      PreferenceAdjustOptions per_event;
+      per_event.mode = popt.mode;
+      per_event.batch_sweep = false;
+      auto reference = AdjustPreference(oracle, q, missing, per_event);
+      ASSERT_TRUE(reference.ok())
+          << label << ": " << reference.status().ToString();
+
+      for (const size_t segment : popt.segment_sizes) {
+        PreferenceAdjustOptions batched = per_event;
+        batched.batch_sweep = true;
+        batched.sweep_batch_size = segment;
+        auto result = AdjustPreference(oracle, q, missing, batched);
+        ASSERT_TRUE(result.ok())
+            << label << ": " << result.status().ToString();
+        ExpectSameRefinement(*result, *reference,
+                             label + " trial " + std::to_string(trial) +
+                                 " segment " + std::to_string(segment),
+                             /*speculative=*/segment > 1);
+      }
+    }
+  }
+}
+
+TEST(ShardedSweepParityTest, ClusteredSyntheticDataset) {
+  DatasetSpec spec;
+  spec.num_objects = 900;
+  spec.vocabulary_size = 60;
+  spec.min_keywords = 2;
+  spec.max_keywords = 5;
+  spec.seed = 281;
+  RunSweepParityTrials(GenerateDataset(spec), /*query_seed=*/311);
+}
+
+TEST(ShardedSweepParityTest, HashRouterScatter) {
+  // A locality-free router: every shard holds a slice of every
+  // neighbourhood, so every segment fan-out genuinely merges all shards.
+  DatasetSpec spec;
+  spec.num_objects = 500;
+  spec.vocabulary_size = 40;
+  spec.min_keywords = 2;
+  spec.max_keywords = 4;
+  spec.seed = 282;
+  ParityOptions popt;
+  popt.use_hash_router = true;
+  popt.shard_counts = {2, 4, 8};
+  RunSweepParityTrials(GenerateDataset(spec), /*query_seed=*/312, popt);
+}
+
+TEST(ShardedSweepParityTest, BasicModeAgrees) {
+  // The paper's baseline (full rescan per candidate) batches too — and its
+  // full_rescans meter must count the same logical rescans per pair.
+  DatasetSpec spec;
+  spec.num_objects = 400;
+  spec.vocabulary_size = 30;
+  spec.min_keywords = 2;
+  spec.max_keywords = 4;
+  spec.seed = 283;
+  ParityOptions popt;
+  popt.mode = PrefAdjustMode::kBasic;
+  popt.shard_counts = {1, 4};
+  popt.trials = 3;
+  RunSweepParityTrials(GenerateDataset(spec), /*query_seed=*/313, popt);
+}
+
+TEST(ShardedSweepParityTest, TieHeavyDegenerateDataset) {
+  // Exact score ties everywhere: clones at shared points with shared docs.
+  // The floor cut and the per-event tie candidates (±kStepPastCrossing) must
+  // land identically when fetched speculatively.
+  ObjectStore store;
+  const TermId a = store.mutable_vocab()->Intern("a");
+  const TermId b = store.mutable_vocab()->Intern("b");
+  const TermId c = store.mutable_vocab()->Intern("c");
+  for (int i = 0; i < 240; ++i) {
+    const double x = 0.1 + 0.2 * (i % 5);  // Five stacked columns.
+    KeywordSet doc(i % 3 == 0   ? std::vector<TermId>{a}
+                   : i % 3 == 1 ? std::vector<TermId>{a, b}
+                                : std::vector<TermId>{b, c});
+    store.Add(Point{x, 0.5}, std::move(doc), "clone");
+  }
+  ParityOptions popt;
+  popt.trials = 3;
+  RunSweepParityTrials(store, /*query_seed=*/314, popt);
+}
+
+TEST(ShardedSweepParityTest, HotelDemoDataset) {
+  ParityOptions popt;
+  popt.trials = 3;
+  RunSweepParityTrials(GenerateHotelDataset(), /*query_seed=*/315, popt);
+}
+
+TEST(ShardedSweepParityTest, LambdaExtremesAgree) {
+  // λ near 0 makes the feasible interval tiny (few events, floor cuts
+  // early — over-fetch discard dominates); λ near 1 makes it huge (long
+  // multi-segment sweeps). Both ends must stay bit-identical.
+  DatasetSpec spec;
+  spec.num_objects = 500;
+  spec.vocabulary_size = 40;
+  spec.seed = 284;
+  const ObjectStore store = GenerateDataset(spec);
+  const ShardedCorpus sharded =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 4));
+  const ShardedWhyNotOracle oracle(sharded);
+
+  Rng rng(316);
+  for (const double lambda : {0.05, 0.5, 0.95}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Query q;
+      q.loc = SampleQueryLocation(store, &rng);
+      q.doc = SampleQueryKeywords(store, 2, &rng);
+      q.k = 4;
+      const std::vector<ObjectId> missing =
+          PickMissing(store, q, 1, /*offset=*/2 + trial);
+      if (missing.empty()) continue;
+
+      PreferenceAdjustOptions per_event;
+      per_event.lambda = lambda;
+      per_event.batch_sweep = false;
+      PreferenceAdjustOptions batched = per_event;
+      batched.batch_sweep = true;
+      batched.sweep_batch_size = 7;
+      auto reference = AdjustPreference(oracle, q, missing, per_event);
+      auto result = AdjustPreference(oracle, q, missing, batched);
+      ASSERT_TRUE(reference.ok());
+      ASSERT_TRUE(result.ok());
+      ExpectSameRefinement(*result, *reference,
+                           "lambda " + std::to_string(lambda) + " trial " +
+                               std::to_string(trial),
+                           /*speculative=*/true);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace yask

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
@@ -266,6 +267,8 @@ TEST(ObservabilityTest, MetricsFamiliesOnCoordinatorAndShard) {
            "# TYPE yask_session_replays_total counter",
            "# TYPE yask_replicas_cooling gauge",
            "# TYPE yask_cached_queries gauge",
+           "# TYPE yask_shard_rpc_ewma_ms gauge",
+           "# TYPE yask_sweep_batch_events gauge",
        }) {
     EXPECT_NE(metrics.find(needle), std::string::npos) << needle;
   }
@@ -284,10 +287,27 @@ TEST(ObservabilityTest, MetricsFamiliesOnCoordinatorAndShard) {
            "# TYPE yask_shard_request_ms histogram",
            "# TYPE yask_shard_open_plane_sessions gauge",
            "# TYPE yask_shard_open_probe_sessions gauge",
+           "# TYPE yask_shard_sessions_evicted_total counter",
+           "yask_shard_sessions_evicted_total{kind=\"plane\",shard=\"0\"} 0",
+           "yask_shard_sessions_evicted_total{kind=\"probe\",shard=\"0\"} 0",
            "yask_shard_objects{shard=\"0\"}",
        }) {
     EXPECT_NE(shard_metrics.find(needle), std::string::npos) << needle;
   }
+
+  // The adaptive fan-out gauges carry real samples once traffic has flowed:
+  // the RPC EWMA is positive, and the sweep segment preference sits inside
+  // its documented clamp [8, 256].
+  const auto gauge_value = [&](const std::string& family) {
+    const std::string needle = family + "{shard=\"0\"} ";
+    const size_t at = metrics.find(needle);
+    EXPECT_NE(at, std::string::npos) << family;
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(metrics.c_str() + at + needle.size(), nullptr);
+  };
+  EXPECT_GT(gauge_value("yask_shard_rpc_ewma_ms"), 0.0);
+  EXPECT_GE(gauge_value("yask_sweep_batch_events"), 8.0);
+  EXPECT_LE(gauge_value("yask_sweep_batch_events"), 256.0);
 
   // /health still reports the same numbers the registry exports (single
   // source of truth): zero failovers and per-replica request counts > 0.

@@ -367,6 +367,78 @@ TEST(ReplicaFailoverTest, ProbeBatchFailsOverMidBatchWithReplay) {
   EXPECT_GE(remote_corpus.total_failovers(), 1u);
 }
 
+TEST(ReplicaFailoverTest, BatchedSweepSegmentFailsOverWithReplay) {
+  // The Eqn. (3) batched sweep under chaos: kills land so that a
+  // /shard/plane/count_batch segment call hits a dead replica mid-sweep and
+  // must re-open the session on the sibling, REPLAY its recorded history,
+  // and re-issue the whole segment — returning the same counts the healthy
+  // fleet returns.
+  const ObjectStore store = GenerateHotelDataset();
+  const ShardedCorpus sharded =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 2));
+  ReplicaFleet fleet(sharded, /*replicas=*/2);
+  RemoteShardOptions options;
+  options.connect_timeout_ms = 500;
+  options.retries = 1;
+  auto connected = RemoteCorpus::Connect(fleet.Endpoints(), options);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  const RemoteCorpus remote_corpus = std::move(connected).value();
+  const RemoteShardOracle oracle(remote_corpus);
+
+  Query query;
+  query.loc = Point{114.158, 22.281};
+  query.doc = LookupKeywords("clean comfortable", remote_corpus.vocab());
+  query.k = 3;
+  const ObjectId missing = 81;
+  const std::vector<double> weights{0.25, 0.4, 0.55, 0.7};
+
+  // Reference segments on an all-healthy fleet.
+  PreferenceAdjustStats stats;
+  std::vector<size_t> expected;
+  PlanePoint anchor{};
+  {
+    auto session =
+        oracle.PrepareScorePlane(query, PrefAdjustMode::kOptimized);
+    anchor = session->Anchor(missing);
+    expected = session->CountAboveBatch(weights, {anchor}, &stats);
+  }
+  ASSERT_EQ(expected.size(), weights.size());
+
+  // Chaos run: one replica per shard dies between segment calls, twice, so
+  // wherever each shard's session landed at least one batched segment lands
+  // on a dead replica and forces re-open + replay on the sibling.
+  const std::vector<PlanePoint> anchors{anchor};
+  auto session = oracle.PrepareScorePlane(query, PrefAdjustMode::kOptimized);
+  EXPECT_EQ(session->CountAboveBatch({weights[0], weights[1]}, anchors,
+                                     &stats),
+            (std::vector<size_t>{expected[0], expected[1]}));
+  fleet.KillEverywhere(0);
+  EXPECT_EQ(session->CountAboveBatch({weights[2]}, anchors, &stats),
+            (std::vector<size_t>{expected[2]}));
+  fleet.RestartEverywhere(0);
+  fleet.KillEverywhere(1);
+  EXPECT_EQ(session->CountAboveBatch({weights[3]}, anchors, &stats),
+            (std::vector<size_t>{expected[3]}));
+
+  EXPECT_EQ(remote_corpus.error_epoch(), 0u);
+  EXPECT_GE(remote_corpus.total_failovers(), 1u);
+
+  // End to end on the degraded fleet (replica 1 of every shard still dead):
+  // the full batched sweep — session open, segment fan-outs, floor cut —
+  // must return the refinement the unsharded reference computes.
+  PreferenceAdjustOptions batched;
+  batched.batch_sweep = true;
+  auto remote_refined = AdjustPreference(oracle, query, {missing}, batched);
+  auto local_refined = AdjustPreference(store, query, {missing}, batched);
+  ASSERT_TRUE(remote_refined.ok()) << remote_refined.status().ToString();
+  ASSERT_TRUE(local_refined.ok());
+  EXPECT_EQ(remote_refined->refined.w.ws, local_refined->refined.w.ws);
+  EXPECT_EQ(remote_refined->refined.k, local_refined->refined.k);
+  EXPECT_EQ(remote_refined->penalty.value, local_refined->penalty.value);
+  EXPECT_EQ(remote_refined->refined_rank, local_refined->refined_rank);
+  EXPECT_EQ(remote_corpus.error_epoch(), 0u);
+}
+
 TEST(ReplicaFailoverTest, ShardWithNoLiveReplicaIs503) {
   const ObjectStore store = GenerateHotelDataset();
   const ShardedCorpus sharded =

@@ -291,6 +291,97 @@ TEST(AdjustPreferenceTest, StatsPopulatedInOptimizedMode) {
   EXPECT_EQ(result->stats.full_rescans, 0u);
 }
 
+TEST(AdjustPreferenceTest, BatchedSweepMatchesPerEventSweep) {
+  // The speculative segment sweep must return the byte-identical refinement
+  // and identical crossing/candidate counters at every segment size — the
+  // floor cut discards over-fetched counts deterministically.
+  const ObjectStore store = MakeStore(600, 10);
+  Rng rng(17);
+  for (double lambda : {0.2, 0.5, 0.8}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Query q;
+      q.loc = SampleQueryLocation(store, &rng);
+      q.doc = SampleQueryKeywords(store, 2, &rng);
+      q.k = 4;
+      const std::vector<ObjectId> missing = PickMissing(store, q, 1 + trial % 2);
+      if (missing.empty()) continue;
+
+      PreferenceAdjustOptions per_event;
+      per_event.lambda = lambda;
+      per_event.batch_sweep = false;
+      auto reference = AdjustPreference(store, q, missing, per_event);
+      ASSERT_TRUE(reference.ok());
+
+      for (size_t segment : {size_t{0}, size_t{1}, size_t{3}, size_t{100}}) {
+        PreferenceAdjustOptions batched = per_event;
+        batched.batch_sweep = true;
+        batched.sweep_batch_size = segment;
+        auto result = AdjustPreference(store, q, missing, batched);
+        ASSERT_TRUE(result.ok());
+        const std::string tag = "lambda=" + std::to_string(lambda) +
+                                " trial=" + std::to_string(trial) +
+                                " segment=" + std::to_string(segment);
+        EXPECT_EQ(result->refined.w.ws, reference->refined.w.ws) << tag;
+        EXPECT_EQ(result->refined.k, reference->refined.k) << tag;
+        EXPECT_EQ(result->refined_rank, reference->refined_rank) << tag;
+        EXPECT_EQ(result->penalty.value, reference->penalty.value) << tag;
+        EXPECT_EQ(result->stats.crossings_found,
+                  reference->stats.crossings_found)
+            << tag;
+        EXPECT_EQ(result->stats.candidates_evaluated,
+                  reference->stats.candidates_evaluated)
+            << tag;
+        if (segment <= 1) {
+          // Segment-of-one sweeps fetch exactly what per-event evaluates.
+          EXPECT_EQ(result->stats.index_nodes_visited,
+                    reference->stats.index_nodes_visited)
+              << tag;
+        } else {
+          // Speculation may fetch (and discard) counts past the floor cut.
+          EXPECT_GE(result->stats.index_nodes_visited,
+                    reference->stats.index_nodes_visited)
+              << tag;
+        }
+        // Batching never spends MORE fan-outs than per-event.
+        EXPECT_LE(result->stats.sweep_fanouts, reference->stats.sweep_fanouts)
+            << tag;
+      }
+    }
+  }
+}
+
+TEST(AdjustPreferenceTest, BatchedSweepSavesFanouts) {
+  // With a multi-candidate segment, the sweep must actually amortize: one
+  // fan-out covers all anchors of Step 1 (instead of |M|) and each segment
+  // covers several candidates (instead of candidates × anchors fan-outs).
+  const ObjectStore store = MakeStore(800, 11);
+  Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    Query q;
+    q.loc = SampleQueryLocation(store, &rng);
+    q.doc = SampleQueryKeywords(store, 2, &rng);
+    q.k = 4;
+    const std::vector<ObjectId> missing = PickMissing(store, q, 2);
+    if (missing.size() != 2) continue;
+
+    PreferenceAdjustOptions per_event;
+    per_event.batch_sweep = false;
+    PreferenceAdjustOptions batched;
+    batched.batch_sweep = true;
+    batched.sweep_batch_size = 8;
+    auto rp = AdjustPreference(store, q, missing, per_event);
+    auto rb = AdjustPreference(store, q, missing, batched);
+    ASSERT_TRUE(rp.ok());
+    ASSERT_TRUE(rb.ok());
+    if (rb->already_in_result || rb->stats.candidates_evaluated < 4) continue;
+    EXPECT_EQ(rb->penalty.value, rp->penalty.value);
+    // Per-event spends ≥ one fan-out per (candidate, anchor) pair; batched
+    // spends ⌈candidates-ish/8⌉ segments plus one Step-1 fan-out.
+    EXPECT_LT(rb->stats.sweep_fanouts, rp->stats.sweep_fanouts / 2)
+        << "candidates=" << rb->stats.candidates_evaluated;
+  }
+}
+
 TEST(AdjustPreferenceTest, DuplicateMissingIdsAreDeduplicated) {
   const ObjectStore store = MakeStore(300, 9);
   Query q;
