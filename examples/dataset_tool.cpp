@@ -9,6 +9,9 @@
 //                                                snapshot file per shard
 //                                                (<prefix>.shard-<i>.snap)
 //   dataset_tool inspect-snapshot <file.snap>    header + section table
+//   dataset_tool reshard <in_prefix> <out_prefix> <shards> [--router grid|hash]
+//                                                rewrite N per-shard snapshots
+//                                                into M under a new prefix
 //
 // With no arguments it runs a self-demo into a temporary file, so it can be
 // exercised without any setup.
@@ -21,6 +24,7 @@
 #include "src/common/geo.h"
 #include "src/common/timer.h"
 #include "src/corpus/corpus.h"
+#include "src/corpus/reshard.h"
 #include "src/corpus/sharded_corpus.h"
 #include "src/snapshot/snapshot_codec.h"
 #include "src/storage/dataset_generator.h"
@@ -143,6 +147,26 @@ int CmdBuildShards(const std::string& in_path, const std::string& prefix,
   return 0;
 }
 
+int CmdReshard(const std::string& in_prefix, const std::string& out_prefix,
+               size_t num_shards, const std::string& router) {
+  ReshardOptions options;
+  options.num_shards = static_cast<uint32_t>(num_shards);
+  options.router = router;
+  Timer timer;
+  auto report = ReshardSnapshots(in_prefix, out_prefix, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf(
+      "resharded %zu objects: %u -> %u shards (%s) in %.1f ms; wrote "
+      "%s.shard-0..%u.snap (%zu bytes total)\n"
+      "the input files under %s are untouched — cut the fleet over, then "
+      "delete them\n",
+      report->objects, report->from_shards, report->to_shards,
+      report->router.c_str(), timer.ElapsedMillis(), out_prefix.c_str(),
+      report->to_shards - 1, static_cast<size_t>(report->bytes_written),
+      in_prefix.c_str());
+  return 0;
+}
+
 /// For a per-shard file "<prefix>.shard-<i>.snap", recovers "<prefix>";
 /// empty when the name does not follow the ShardedCorpus::Save convention.
 std::string ShardPrefixOf(const std::string& path, uint32_t shard_index) {
@@ -242,14 +266,31 @@ int main(int argc, char** argv) {
     if (cmd == "inspect-snapshot" && argc == 3) {
       return CmdInspectSnapshot(argv[2]);
     }
+    if (cmd == "reshard" && (argc == 5 || argc == 7)) {
+      const size_t shards =
+          static_cast<size_t>(std::strtoull(argv[4], nullptr, 10));
+      if (shards == 0) return Fail("shards must be a positive integer");
+      std::string router = "grid";
+      if (argc == 7) {
+        if (std::string(argv[5]) != "--router") {
+          return Fail("unknown option '" + std::string(argv[5]) +
+                      "' (want --router grid|hash)");
+        }
+        router = argv[6];
+      }
+      return CmdReshard(argv[2], argv[3], shards, router);
+    }
     std::fprintf(stderr,
                  "usage: %s generate <n> <out.tsv> [seed]\n"
                  "       %s hotels <out.tsv>\n"
                  "       %s stats <file.tsv>\n"
                  "       %s build-snapshot <in.tsv> <out.snap>\n"
                  "       %s build-shards <in.tsv> <prefix> <shards>\n"
-                 "       %s inspect-snapshot <file.snap>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "       %s inspect-snapshot <file.snap>\n"
+                 "       %s reshard <in_prefix> <out_prefix> <shards> "
+                 "[--router grid|hash]\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
 

@@ -47,9 +47,11 @@
 
 #include "src/common/string_util.h"
 #include "src/common/timer.h"
+#include "src/common/version.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/remote_corpus.h"
 #include "src/corpus/sharded_corpus.h"
+#include "src/server/shard_protocol.h"
 #include "src/server/yask_service.h"
 #include "src/storage/hotel_generator.h"
 
@@ -80,7 +82,15 @@ int main(int argc, char** argv) {
   size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--snapshot" && i + 1 < argc) {
+    if (arg == "--version") {
+      // Machine-readable build identity: the rolling-upgrade CI job asserts
+      // every process in the fleet runs the expected sha, and operators
+      // check protocol compatibility before a mixed-version cutover.
+      std::printf("yask_server_demo %s shardrpc=%u..%u\n", BuildGitSha(),
+                  shardrpc::kMinSupportedProtocolVersion,
+                  shardrpc::kProtocolVersion);
+      return 0;
+    } else if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (arg == "--serve") {
       serve = true;
@@ -99,7 +109,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--snapshot <path>] [--serve] [--shards N] "
                    "[--remote-shards host:port[|host:port...],...] "
-                   "[--result-cache]\n",
+                   "[--result-cache] [--version]\n",
                    argv[0]);
       return 2;
     }
@@ -208,6 +218,11 @@ int main(int argc, char** argv) {
   // The demo is a local admin playground; a production deployment would
   // leave the override off and snapshot only to its configured path.
   service_options.allow_snapshot_path_override = true;
+  // Elastic-fleet admin plane: POST /admin/layout cuts the coordinator over
+  // to a resharded fleet with zero downtime; POST /admin/replicas adds or
+  // removes replicas of the current layout. Only meaningful (and only
+  // answered with anything but 501) in --remote-shards mode.
+  service_options.enable_fleet_admin = true;
   std::unique_ptr<YaskService> service;
   if (remote.has_value()) {
     service = std::make_unique<YaskService>(*remote, service_options);

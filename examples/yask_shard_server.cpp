@@ -27,7 +27,9 @@
 #include <thread>
 
 #include "src/common/timer.h"
+#include "src/common/version.h"
 #include "src/corpus/corpus.h"
+#include "src/server/shard_protocol.h"
 #include "src/server/shard_service.h"
 
 using namespace yask;
@@ -40,7 +42,15 @@ int main(int argc, char** argv) {
   bool topk_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--snapshot" && i + 1 < argc) {
+    if (arg == "--version") {
+      // Build identity + the shardrpc protocol range this binary speaks.
+      // The rolling-upgrade CI job compares this across the fleet; a
+      // coordinator accepts any replica whose version overlaps its range.
+      std::printf("yask_shard_server %s shardrpc=%u..%u\n", BuildGitSha(),
+                  shardrpc::kMinSupportedProtocolVersion,
+                  shardrpc::kProtocolVersion);
+      return 0;
+    } else if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -53,7 +63,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --snapshot <shard.snap> [--port P] "
-                   "[--workers N] [--rebuild-indexes] [--topk-only]\n",
+                   "[--workers N] [--rebuild-indexes] [--topk-only] "
+                   "[--version]\n",
                    argv[0]);
       return 2;
     }

@@ -25,7 +25,13 @@
 #                                 # asserts zero non-200 responses, payload
 #                                 # parity with the in-process sharded
 #                                 # server, and that the /metrics failover
-#                                 # counters moved across the kill window
+#                                 # counters moved across the kill window —
+#                                 # and scripts/fleet_rolling.sh: the
+#                                 # rolling-upgrade smoke (dataset_tool
+#                                 # reshard 2 -> 4 shards, POST /admin/layout
+#                                 # cutover, replica add/remove, and a
+#                                 # kill -9 rolling restart of every replica,
+#                                 # all under live traffic with byte parity)
 #   scripts/check.sh --sanitize   # ASan/UBSan build of the whole tree into
 #                                 # <repo>/build-sanitize + ctest under the
 #                                 # sanitizers (use for the concurrency and
@@ -117,8 +123,8 @@ if [[ "$run_bench" -eq 1 ]]; then
   run_phase bench-load env -C "$build_dir" ./bench_load --json=BENCH_load.json
 fi
 
-# The fleet smoke emits its satellite CHECK-RESULT line itself (pass/fail/
-# skipped) so the CI fleet job stays grep-able even when the phase is off.
+# The fleet smokes emit their satellite CHECK-RESULT lines (pass/fail/
+# skipped) so the CI fleet jobs stay grep-able even when the phase is off.
 if [[ "$run_fleet" -eq 1 ]]; then
   fleet_status=pass
   "${repo_root}/scripts/fleet_smoke.sh" "$build_dir" || fleet_status=fail
@@ -129,8 +135,18 @@ if [[ "$run_fleet" -eq 1 ]]; then
     echo "check.sh: phase 'fleet' FAILED" >&2
     exit 1
   fi
+  rolling_status=pass
+  "${repo_root}/scripts/fleet_rolling.sh" "$build_dir" || rolling_status=fail
+  if [[ "$ci_mode" -eq 1 ]]; then
+    echo "CHECK-RESULT fleet_rolling=${rolling_status}"
+  fi
+  if [[ "$rolling_status" == fail ]]; then
+    echo "check.sh: phase 'fleet-rolling' FAILED" >&2
+    exit 1
+  fi
 elif [[ "$ci_mode" -eq 1 ]]; then
   echo "CHECK-RESULT fleet=skipped"
+  echo "CHECK-RESULT fleet_rolling=skipped"
 fi
 
 echo "check.sh: OK"

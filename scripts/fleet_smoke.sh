@@ -20,6 +20,8 @@
 #      must serve its own shard-side registry.
 #   7. Fails on ANY non-200 response, ANY payload divergence, or a fleet
 #      that absorbed zero failovers (the kill must actually bite).
+#
+# shellcheck disable=SC2154  # pid_*/port_* are bound via start_replica's eval.
 set -euo pipefail
 
 build_dir="${1:?usage: $0 <build_dir>}"
@@ -96,14 +98,14 @@ done
 "${build_dir}/yask_server_demo" --serve --remote-shards \
   "127.0.0.1:${port_0_0}|127.0.0.1:${port_0_1},127.0.0.1:${port_1_0}|127.0.0.1:${port_1_1}" \
   > "${work}/coordinator.log" 2>&1 &
-fleet_pids+=($!)
-disown $!
+fleet_pids+=("$!")
+disown "$!"
 coordinator_port="$(wait_port "${work}/coordinator.log")"
 
 "${build_dir}/yask_server_demo" --serve --shards 2 \
   --snapshot "${work}/state" > "${work}/reference.log" 2>&1 &
-fleet_pids+=($!)
-disown $!
+fleet_pids+=("$!")
+disown "$!"
 reference_port="$(wait_port "${work}/reference.log")"
 echo "fleet_smoke: coordinator :${coordinator_port}, reference :${reference_port}"
 

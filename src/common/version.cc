@@ -1,0 +1,13 @@
+#include "src/common/version.h"
+
+// CMake stamps the configure-time sha onto this one file (see the
+// set_source_files_properties call in CMakeLists.txt).
+#ifndef YASK_BUILD_GIT_SHA
+#define YASK_BUILD_GIT_SHA "unknown"
+#endif
+
+namespace yask {
+
+const char* BuildGitSha() { return YASK_BUILD_GIT_SHA; }
+
+}  // namespace yask

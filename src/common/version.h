@@ -1,0 +1,20 @@
+// Copyright (c) 2026 The YASK reproduction authors.
+// Build identity: the short git sha stamped at configure time. The rolling-
+// upgrade harness (scripts/fleet_rolling.sh) asserts which build each fleet
+// member runs by comparing this sha across `--version` output and the
+// /health "build" objects of the coordinator and every shard server.
+
+#ifndef YASK_COMMON_VERSION_H_
+#define YASK_COMMON_VERSION_H_
+
+namespace yask {
+
+/// The short git sha of the checkout this build was configured from, or
+/// "unknown" when the tree was built outside git (a source tarball). Baked
+/// into exactly one translation unit (src/common/version.cc) via a CMake
+/// compile definition, so a new commit recompiles one file, not the library.
+const char* BuildGitSha();
+
+}  // namespace yask
+
+#endif  // YASK_COMMON_VERSION_H_

@@ -133,6 +133,36 @@ Result<std::string> RemoteShard::CallUnmetered(const std::string& method,
   return resp;
 }
 
+namespace {
+
+/// Replicas booted from the same shard snapshot must agree on the shard's
+/// whole identity; any disagreement means the operator pointed a group at
+/// mixed builds, and failover between them would corrupt results.
+bool SameShardIdentity(const shardrpc::ShardMeta& a,
+                       const shardrpc::ShardMeta& b) {
+  return a.shard_index == b.shard_index && a.shard_count == b.shard_count &&
+         a.object_count == b.object_count && a.dist_norm == b.dist_norm &&
+         a.global_bounds == b.global_bounds && a.has_kcr == b.has_kcr &&
+         a.setr_empty == b.setr_empty &&
+         a.setr_root_mbr == b.setr_root_mbr && a.global_ids == b.global_ids;
+}
+
+/// The Connect-time protocol handshake, shared with lazy validation.
+Status CheckProtocolRange(const std::string& endpoint,
+                          const shardrpc::ShardMeta& meta) {
+  if (meta.protocol_version < shardrpc::kMinSupportedProtocolVersion ||
+      meta.protocol_version > shardrpc::kProtocolVersion) {
+    return Status::FailedPrecondition(
+        endpoint + " speaks shard protocol version " +
+        std::to_string(meta.protocol_version) + ", coordinator supports " +
+        std::to_string(shardrpc::kMinSupportedProtocolVersion) + ".." +
+        std::to_string(shardrpc::kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 // --- ReplicaSet --------------------------------------------------------------
 
 ReplicaSet::ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
@@ -147,7 +177,22 @@ ReplicaSet::ReplicaSet(std::vector<std::unique_ptr<RemoteShard>> replicas,
   failovers_ = metrics->GetCounter("yask_failovers_total", labels);
   cooldown_entries_ =
       metrics->GetCounter("yask_cooldown_entries_total", labels);
+  lazy_validations_ =
+      metrics->GetCounter("yask_replica_lazy_validations_total", labels);
+  lazy_rejections_ =
+      metrics->GetCounter("yask_replica_rejections_total", labels);
   call_latency_ = metrics->GetHistogram("yask_shard_rpc_latency_ms", labels);
+  metrics->AddGaugeCallback("yask_replicas_pending_validation", labels,
+                            [this] {
+                              double pending = 0;
+                              for (size_t r = 0; r < replicas_.size(); ++r) {
+                                if (validation(r) ==
+                                    ReplicaValidation::kPending) {
+                                  ++pending;
+                                }
+                              }
+                              return pending;
+                            });
   // Computed at scrape time; `this` lives behind a unique_ptr in the corpus
   // that also owns the registry, so the callback cannot outlive the set.
   metrics->AddGaugeCallback("yask_replicas_cooling", labels, [this] {
@@ -217,6 +262,77 @@ void ReplicaSet::MarkSuccess(size_t r) const {
   h.cooldown_until_ms.store(0);
 }
 
+void ReplicaSet::SetExpectedIdentity(const shardrpc::ShardMeta& meta) {
+  expected_meta_ = std::make_unique<shardrpc::ShardMeta>(meta);
+}
+
+void ReplicaSet::MarkPendingValidation(size_t r) const {
+  health_[r]->validation.store(
+      static_cast<uint8_t>(ReplicaValidation::kPending),
+      std::memory_order_release);
+  // A cooldown so routing prefers the already-validated siblings; when it
+  // expires the replica is probed, which runs the deferred validation.
+  MarkFailure(r);
+}
+
+Status ReplicaSet::EnsureValidated(size_t r) const {
+  switch (validation(r)) {
+    case ReplicaValidation::kValidated:
+      return Status::OK();
+    case ReplicaValidation::kRejected:
+      return Status::FailedPrecondition(
+          "replica " + replicas_[r]->endpoint() +
+          " was rejected: it presented a different shard identity than its "
+          "group " + description());
+    case ReplicaValidation::kPending:
+      break;
+  }
+  // First contact with a replica that was down at Connect: run the deferred
+  // handshake. Concurrent validators are benign — the check is idempotent
+  // and both land on the same verdict.
+  RemoteShard& replica = *replicas_[r];
+  Result<std::string> raw = replica.Call("GET", shardrpc::kMetaPath, "");
+  if (!raw.ok()) {
+    // Still unreachable (or a semantic error from something that is not a
+    // shard server) — stays pending, the caller fails over.
+    return Status::Unavailable("replica " + replica.endpoint() +
+                               " still pending validation: " +
+                               raw.status().message());
+  }
+  BufReader in(raw->data(), raw->size());
+  Result<shardrpc::ShardMeta> meta = shardrpc::GetShardMeta(&in);
+  Status verdict = Status::OK();
+  if (!meta.ok()) {
+    verdict = Status::FailedPrecondition(replica.endpoint() +
+                                         " answered with undecodable shard "
+                                         "meta: " + meta.status().message());
+  } else if (Status range = CheckProtocolRange(replica.endpoint(), *meta);
+             !range.ok()) {
+    verdict = range;
+  } else if (expected_meta_ != nullptr &&
+             !SameShardIdentity(*expected_meta_, *meta)) {
+    verdict = Status::FailedPrecondition(
+        replica.endpoint() + " disagrees with its replica group " +
+        description() +
+        " on the shard identity — replicas of one shard must be booted from "
+        "the same shard snapshot");
+  }
+  if (!verdict.ok()) {
+    // Permanently out: failing over onto a wrong-snapshot replica would
+    // corrupt results, so routing must never pick it again.
+    health_[r]->validation.store(
+        static_cast<uint8_t>(ReplicaValidation::kRejected),
+        std::memory_order_release);
+    lazy_rejections_->Add();
+    return verdict;
+  }
+  health_[r]->validation.store(
+      static_cast<uint8_t>(ReplicaValidation::kValidated),
+      std::memory_order_release);
+  lazy_validations_->Add();
+  return Status::OK();
+}
+
 std::optional<size_t> ReplicaSet::PickReplica(
     const std::vector<bool>* exclude) const {
   const size_t n = replicas_.size();
@@ -228,6 +344,8 @@ std::optional<size_t> ReplicaSet::PickReplica(
     for (size_t i = 0; i < n; ++i) {
       const size_t r = (start + i) % n;
       if (exclude != nullptr && (*exclude)[r]) continue;
+      // A rejected replica serves the WRONG data — never routable.
+      if (validation(r) == ReplicaValidation::kRejected) continue;
       if (pass == 0 && InCooldown(r)) continue;
       return r;
     }
@@ -247,6 +365,14 @@ Result<std::string> ReplicaSet::Call(const std::string& method,
   // again until the set is exhausted.
   while (const std::optional<size_t> r = PickReplica(&tried)) {
     tried[*r] = true;
+    // Lazy connect: a replica that was down at Connect validates on first
+    // contact. Still-dead or rejected replicas fail over like wire errors.
+    if (Status v = EnsureValidated(*r); !v.ok()) {
+      last = v;
+      failed_over = true;
+      if (v.code() == StatusCode::kUnavailable) MarkFailure(*r);
+      continue;
+    }
     Result<std::string> resp = replicas_[*r]->Call(method, path, body);
     if (resp.ok() || resp.status().code() != StatusCode::kUnavailable) {
       // The wire worked; a semantic HTTP error is an answer, and retrying
@@ -269,6 +395,13 @@ Result<std::string> ReplicaSet::Call(const std::string& method,
 Result<std::string> ReplicaSet::CallOn(size_t r, const std::string& method,
                                        const std::string& path,
                                        std::string_view body) const {
+  // Session placement may land on a pending replica: validate before any
+  // session state is built on it. Surface failures as Unavailable so the
+  // session owner runs its normal failover + replay.
+  if (Status v = EnsureValidated(r); !v.ok()) {
+    if (v.code() == StatusCode::kUnavailable) MarkFailure(r);
+    return Status::Unavailable(v.message());
+  }
   Timer timer;
   Result<std::string> resp = replicas_[r]->Call(method, path, body);
   ObserveLatency(timer.ElapsedMillis());
@@ -288,22 +421,6 @@ uint64_t ReplicaSet::requests() const {
 
 // --- RemoteCorpus ------------------------------------------------------------
 
-namespace {
-
-/// Replicas booted from the same shard snapshot must agree on the shard's
-/// whole identity; any disagreement means the operator pointed a group at
-/// mixed builds, and failover between them would corrupt results.
-bool SameShardIdentity(const shardrpc::ShardMeta& a,
-                       const shardrpc::ShardMeta& b) {
-  return a.shard_index == b.shard_index && a.shard_count == b.shard_count &&
-         a.object_count == b.object_count && a.dist_norm == b.dist_norm &&
-         a.global_bounds == b.global_bounds && a.has_kcr == b.has_kcr &&
-         a.setr_empty == b.setr_empty &&
-         a.setr_root_mbr == b.setr_root_mbr && a.global_ids == b.global_ids;
-}
-
-}  // namespace
-
 Result<RemoteCorpus> RemoteCorpus::Connect(
     const std::vector<std::string>& endpoints,
     const RemoteShardOptions& options) {
@@ -315,16 +432,24 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
   // (unique_ptr keeps the instrument addresses stable across the move).
   auto metrics = std::make_unique<MetricsRegistry>();
 
-  // Dial every replica of every group and fetch its identity.
+  // Dial every replica of every group and fetch its identity. Lazy connect:
+  // a replica the dial cannot REACH joins its group as pending (validated on
+  // first contact), so one rebooting process never blocks coordinator boot.
+  // A replica that ANSWERS anything must pass the full handshake now — and a
+  // group with zero live replicas fails fast, because its identity (and the
+  // shard set's very shape) is unknowable without at least one answer.
   struct DialedGroup {
     std::vector<std::unique_ptr<RemoteShard>> replicas;
-    shardrpc::ShardMeta meta;  // The agreed group identity.
+    std::vector<size_t> pending;  // Indices the dial could not reach.
+    bool has_meta = false;
+    shardrpc::ShardMeta meta;  // The agreed group identity (live replicas).
     std::string label;         // The group as given (error messages).
   };
   std::vector<DialedGroup> groups;
   for (const std::string& group_spec : endpoints) {
     DialedGroup group;
     group.label = group_spec;
+    Status last_dial = Status::OK();
     for (const std::string& endpoint : Split(group_spec, '|')) {
       const size_t colon = endpoint.rfind(':');
       uint64_t port = 0;
@@ -339,24 +464,29 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
           endpoint.substr(0, colon), static_cast<uint16_t>(port), options,
           metrics.get());
       Result<std::string> raw = replica->Call("GET", shardrpc::kMetaPath, "");
-      if (!raw.ok()) return raw.status();
+      if (!raw.ok()) {
+        if (raw.status().code() != StatusCode::kUnavailable) {
+          // The endpoint ANSWERED with a semantic error — that is a live
+          // process that is not a compatible shard server, not an outage.
+          return raw.status();
+        }
+        last_dial = raw.status();
+        group.pending.push_back(group.replicas.size());
+        group.replicas.push_back(std::move(replica));
+        continue;
+      }
       BufReader in(raw->data(), raw->size());
       Result<shardrpc::ShardMeta> meta = shardrpc::GetShardMeta(&in);
       if (!meta.ok()) {
         return Status::InvalidArgument(endpoint + ": bad shard meta: " +
                                        meta.status().message());
       }
-      if (meta->protocol_version < shardrpc::kMinSupportedProtocolVersion ||
-          meta->protocol_version > shardrpc::kProtocolVersion) {
-        return Status::FailedPrecondition(
-            endpoint + " speaks shard protocol version " +
-            std::to_string(meta->protocol_version) +
-            ", coordinator supports " +
-            std::to_string(shardrpc::kMinSupportedProtocolVersion) + ".." +
-            std::to_string(shardrpc::kProtocolVersion));
+      if (Status range = CheckProtocolRange(endpoint, *meta); !range.ok()) {
+        return range;
       }
-      if (group.replicas.empty()) {
+      if (!group.has_meta) {
         group.meta = std::move(meta).value();
+        group.has_meta = true;
       } else if (!SameShardIdentity(group.meta, *meta)) {
         return Status::InvalidArgument(
             endpoint + " disagrees with its replica group '" + group_spec +
@@ -367,6 +497,12 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
     }
     // Split keeps empty fields, so even "" yields one (invalid) endpoint and
     // the loop above has already rejected it — every group here is non-empty.
+    if (!group.has_meta) {
+      return Status::Unavailable(
+          "every replica of shard group '" + group_spec +
+          "' is unreachable — a whole-group outage cannot be deferred (the "
+          "shard's identity is unknown): " + last_dial.message());
+    }
     groups.push_back(std::move(group));
   }
 
@@ -409,8 +545,13 @@ Result<RemoteCorpus> RemoteCorpus::Connect(
           std::to_string(groups[0].meta.dist_norm) +
           ") — shard snapshots from different builds?");
     }
-    corpus.shards_[meta.shard_index] = std::make_unique<ReplicaSet>(
+    const std::vector<size_t> pending = std::move(group.pending);
+    auto set = std::make_unique<ReplicaSet>(
         std::move(group.replicas), options, metrics.get(), meta.shard_index);
+    // Unreached replicas owe the identity handshake on first contact.
+    set->SetExpectedIdentity(meta);
+    for (const size_t r : pending) set->MarkPendingValidation(r);
+    corpus.shards_[meta.shard_index] = std::move(set);
     corpus.metas_[meta.shard_index] = meta;
   }
 

@@ -18,7 +18,9 @@
 // per shard, groups comma-joined by the caller), fetches each replica's meta
 // (identity, global bounds + SDist normaliser, local->global id map, index
 // availability, SetR root MBR) and the shared vocabulary, checks that the
-// replicas of a group agree exactly (same snapshot ⇒ same identity), and
+// replicas of a group agree exactly (same snapshot ⇒ same identity — a
+// replica Connect cannot reach joins as "pending" and is checked on first
+// contact instead, so a rebooting replica never blocks coordinator boot), and
 // cross-checks the shard set exactly like ShardedCorpus::Load checks shard
 // files: all shards present exactly once, bounds agreed, global ids tiling
 // 0..total-1. After that the coordinator can route by global id, tokenise
@@ -161,6 +163,14 @@ class RemoteShard {
   std::atomic<uint64_t> rr_{0};
 };
 
+/// Lazy-connect state of one replica. Connect() validates every replica it
+/// can reach; a transport-dead replica joins its set as kPending and is
+/// validated on FIRST CONTACT (the meta fetch + identity check deferred from
+/// Connect). A replica that answers but mismatches the group identity is
+/// kRejected permanently — routing never picks it again, because failing over
+/// onto a wrong-snapshot replica would corrupt results, not mask an outage.
+enum class ReplicaValidation : uint8_t { kValidated = 0, kPending, kRejected };
+
 /// One logical shard's replicas plus their health state and routing policy.
 /// Thread-safe: routing state is atomic, each replica locks its own pool.
 class ReplicaSet {
@@ -203,6 +213,26 @@ class ReplicaSet {
   void MarkFailure(size_t r) const;
   void MarkSuccess(size_t r) const;
   bool InCooldown(size_t r) const;
+
+  // --- Lazy connect (see ReplicaValidation). ---
+  /// The identity every replica of this set must present — the group meta
+  /// Connect() agreed with the live replicas. Must be set before any replica
+  /// is marked pending.
+  void SetExpectedIdentity(const shardrpc::ShardMeta& meta);
+  /// Flags a replica Connect() could not reach: identity validation is owed
+  /// on first contact. Also starts a cooldown so routing prefers the
+  /// already-validated siblings until the replica is probed.
+  void MarkPendingValidation(size_t r) const;
+  ReplicaValidation validation(size_t r) const {
+    return static_cast<ReplicaValidation>(
+        health_[r]->validation.load(std::memory_order_acquire));
+  }
+  /// Settles a pending replica: fetches its meta and checks the protocol
+  /// range + shard identity against the expected identity. Unavailable =
+  /// still unreachable (stays pending); FailedPrecondition = answered with
+  /// the WRONG identity or protocol (permanently rejected). Validated and
+  /// rejected replicas return their verdict without touching the wire.
+  Status EnsureValidated(size_t r) const;
   /// Counted by Call() itself; session channels report theirs here. Bumps
   /// the registry counter /health and /metrics both read.
   void NoteFailover() const { failovers_->Add(); }
@@ -235,15 +265,22 @@ class ReplicaSet {
   struct Health {
     std::atomic<uint32_t> consecutive_failures{0};
     std::atomic<int64_t> cooldown_until_ms{0};  // Steady-clock millis.
+    std::atomic<uint8_t> validation{
+        static_cast<uint8_t>(ReplicaValidation::kValidated)};
   };
 
   std::vector<std::unique_ptr<RemoteShard>> replicas_;
   RemoteShardOptions options_;
   std::vector<std::unique_ptr<Health>> health_;
+  /// The agreed group identity pending replicas must match. Heap-allocated
+  /// so the set stays movable; null until SetExpectedIdentity.
+  std::unique_ptr<shardrpc::ShardMeta> expected_meta_;
   mutable std::atomic<uint64_t> rr_{0};
   // Registry-owned instruments, labeled {shard="<index>"}.
   Counter* failovers_ = nullptr;
   Counter* cooldown_entries_ = nullptr;
+  Counter* lazy_validations_ = nullptr;
+  Counter* lazy_rejections_ = nullptr;
   Histogram* call_latency_ = nullptr;
   /// Heap-allocated like Health so the set stays movable. 0.0 = no sample.
   std::unique_ptr<std::atomic<double>> rpc_ewma_ms_ =
@@ -258,7 +295,12 @@ class RemoteCorpus {
   /// Dials `endpoints` (one entry per shard, any order — shards are indexed
   /// by their manifest identity). Each entry is "host:port" or a replica
   /// group "host:port|host:port|..." of servers booted from the same shard
-  /// snapshot; every replica must be up and agree on the shard's identity.
+  /// snapshot. LAZY CONNECT: a dead minority is tolerated — a replica that
+  /// cannot be reached joins its set as ReplicaValidation::kPending and has
+  /// its identity checked on first contact; a replica that ANSWERS must
+  /// agree with its group immediately. A group with zero reachable replicas
+  /// still fails fast (its identity is unknowable), as does any shard-set
+  /// inconsistency among the live replicas.
   static Result<RemoteCorpus> Connect(const std::vector<std::string>& endpoints,
                                       const RemoteShardOptions& options = {});
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/timer.h"
+#include "src/common/version.h"
 #include "src/query/ranking.h"
 #include "src/server/json.h"
 #include "src/server/shard_protocol.h"
@@ -291,6 +292,15 @@ HttpResponse ShardService::HandleHealth(const HttpRequest&) {
   out.Set("objects", JsonValue(corpus_->size()));
   out.Set("protocol_version",
           JsonValue(static_cast<size_t>(shardrpc::kProtocolVersion)));
+  // Build identity for rolling upgrades: which binary this replica runs and
+  // which shardrpc range it speaks (same shape as the coordinator's).
+  JsonValue build = JsonValue::MakeObject();
+  build.Set("git_sha", JsonValue(std::string(BuildGitSha())));
+  build.Set("shardrpc_min", JsonValue(static_cast<size_t>(
+                                shardrpc::kMinSupportedProtocolVersion)));
+  build.Set("shardrpc_max",
+            JsonValue(static_cast<size_t>(shardrpc::kProtocolVersion)));
+  out.Set("build", std::move(build));
   JsonValue indexes = JsonValue::MakeObject();
   indexes.Set("setr", JsonValue(true));
   indexes.Set("kcr", JsonValue(corpus_->has_kcr()));

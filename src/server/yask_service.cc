@@ -9,6 +9,7 @@
 #include "src/common/string_util.h"
 #include "src/common/text.h"
 #include "src/common/timer.h"
+#include "src/common/version.h"
 #include "src/corpus/remote_whynot_oracle.h"
 #include "src/server/http_client.h"
 #include "src/server/shard_protocol.h"
@@ -55,15 +56,18 @@ std::string HexBits(double v) {
 }
 
 /// Canonical /query key. Every answer-relevant input is folded in: the
-/// corpus error epoch (a replica failure may change which replica answers,
-/// so it retires all prior entries), k, the bit-exact location, and the
-/// resolved term-id set (already sorted/deduplicated, so "wifi coffee" and
-/// "coffee wifi coffee" share one key — they ARE the same query). The weight
-/// vector is a server-side constant (§3.2) and is deliberately absent.
-std::string QueryCacheKey(uint64_t epoch, const Query& q) {
-  std::string key = "q|e" + std::to_string(epoch) + "|k" +
-                    std::to_string(q.k) + '|' + HexBits(q.loc.x) + ',' +
-                    HexBits(q.loc.y) + '|';
+/// layout generation (a cutover swaps the whole fleet, so every response
+/// computed on the old layout is retired), the corpus error epoch (a replica
+/// failure may change which replica answers, so it retires all prior
+/// entries), k, the bit-exact location, and the resolved term-id set
+/// (already sorted/deduplicated, so "wifi coffee" and "coffee wifi coffee"
+/// share one key — they ARE the same query). The weight vector is a
+/// server-side constant (§3.2) and is deliberately absent.
+std::string QueryCacheKey(uint64_t generation, uint64_t epoch,
+                          const Query& q) {
+  std::string key = "q|g" + std::to_string(generation) + "|e" +
+                    std::to_string(epoch) + "|k" + std::to_string(q.k) + '|' +
+                    HexBits(q.loc.x) + ',' + HexBits(q.loc.y) + '|';
   for (const TermId t : q.doc) {
     key += std::to_string(t);
     key += ',';
@@ -74,17 +78,31 @@ std::string QueryCacheKey(uint64_t epoch, const Query& q) {
 /// Canonical /whynot key. query_id alone pins the initial query (ids are
 /// minted monotonically and never reused); `missing` stays in request order
 /// because explanations are rendered per missing object in that order.
-std::string WhyNotCacheKey(uint64_t epoch, uint64_t query_id,
+std::string WhyNotCacheKey(uint64_t generation, uint64_t epoch,
+                           uint64_t query_id,
                            const std::vector<ObjectId>& missing,
                            const std::string& model, double lambda) {
-  std::string key = "w|e" + std::to_string(epoch) + "|q" +
-                    std::to_string(query_id) + '|' + model + '|' +
-                    HexBits(lambda) + '|';
+  std::string key = "w|g" + std::to_string(generation) + "|e" +
+                    std::to_string(epoch) + "|q" + std::to_string(query_id) +
+                    '|' + model + '|' + HexBits(lambda) + '|';
   for (const ObjectId id : missing) {
     key += std::to_string(id);
     key += ',';
   }
   return key;
+}
+
+/// The "build" object /health exposes on coordinator and shard servers
+/// alike: which binary this process runs (git sha) and which shardrpc
+/// protocol range it speaks — what a rolling upgrade asserts per process.
+JsonValue BuildInfoJson() {
+  JsonValue build = JsonValue::MakeObject();
+  build.Set("git_sha", JsonValue(std::string(BuildGitSha())));
+  build.Set("shardrpc_min", JsonValue(static_cast<size_t>(
+                                shardrpc::kMinSupportedProtocolVersion)));
+  build.Set("shardrpc_max",
+            JsonValue(static_cast<size_t>(shardrpc::kProtocolVersion)));
+  return build;
 }
 
 }  // namespace
@@ -115,12 +133,29 @@ YaskService::YaskService(YaskServiceOptions options)
   server_.Route("POST", "/snapshot", Instrumented(
       "/snapshot", /*traced=*/false,
       [this](const HttpRequest& r) { return HandleSnapshot(r); }));
+  // Fleet admin (coordinator mode, enable_fleet_admin): runtime layout
+  // cutover and replica membership. Untraced — they are rare control-plane
+  // calls, and the /metrics meters suffice.
+  server_.Route("GET", "/admin/layout", Instrumented(
+      "/admin/layout", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleAdminLayout(r); }));
+  server_.Route("POST", "/admin/layout", Instrumented(
+      "/admin/layout", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleAdminLayout(r); }));
+  server_.Route("POST", "/admin/replicas", Instrumented(
+      "/admin/replicas", /*traced=*/false,
+      [this](const HttpRequest& r) { return HandleAdminReplicas(r); }));
   // Observability endpoints are not instrumented: a scrape must not move
-  // the series it reads.
-  server_.Route("GET", "/metrics",
-                [this](const HttpRequest& r) { return HandleMetrics(r); });
-  server_.RoutePrefix("GET", "/trace/",
-                      [this](const HttpRequest& r) { return HandleTrace(r); });
+  // the series it reads. They still pin the active deployment — both read
+  // remote state, which a concurrent cutover must not destroy under them.
+  server_.Route("GET", "/metrics", [this](const HttpRequest& r) {
+    DeploymentPin pin(*this);
+    return HandleMetrics(r);
+  });
+  server_.RoutePrefix("GET", "/trace/", [this](const HttpRequest& r) {
+    DeploymentPin pin(*this);
+    return HandleTrace(r);
+  });
   metrics_.AddGaugeCallback("yask_cached_queries", {}, [this] {
     return static_cast<double>(cached_queries());
   });
@@ -174,13 +209,241 @@ YaskService::YaskService(const ShardedCorpus& corpus,
 YaskService::YaskService(const RemoteCorpus& corpus,
                          YaskServiceOptions options)
     : YaskService(options) {
-  remote_ = &corpus;
-  engine_.emplace(std::make_unique<RemoteShardOracle>(corpus));
+  remote_mode_ = true;
+  // The boot deployment (generation 1) borrows the caller's corpus; fleets
+  // swapped in later via /admin/layout are owned by their deployment.
+  auto boot = std::make_shared<RemoteDeployment>();
+  boot->generation = 1;
+  boot->spec = SpecOf(corpus);
+  boot->corpus = &corpus;
+  boot->engine.emplace(std::make_unique<RemoteShardOracle>(corpus));
+  deployment_ = std::move(boot);
 }
 
 Status YaskService::Start() { return server_.Start(); }
 
 void YaskService::Stop() { server_.Stop(); }
+
+// --- Layout deployments ------------------------------------------------------
+
+thread_local const YaskService::RemoteDeployment*
+    YaskService::tls_deployment_ = nullptr;
+
+YaskService::DeploymentPin::DeploymentPin(const YaskService& service)
+    : previous_(tls_deployment_) {
+  if (service.remote_mode_) {
+    std::lock_guard<std::mutex> lock(service.layout_mu_);
+    pinned_ = service.deployment_;
+  }
+  tls_deployment_ = pinned_.get();
+}
+
+YaskService::DeploymentPin::~DeploymentPin() { tls_deployment_ = previous_; }
+
+const YaskService::RemoteDeployment* YaskService::CurrentDeployment() const {
+  if (!remote_mode_) return nullptr;
+  // Every handler runs under a DeploymentPin; the fallback covers direct
+  // calls from tests or constructors (no cutover can race those).
+  if (tls_deployment_ != nullptr) return tls_deployment_;
+  std::lock_guard<std::mutex> lock(layout_mu_);
+  return deployment_.get();
+}
+
+const RemoteCorpus* YaskService::ActiveRemote() const {
+  const RemoteDeployment* deployment = CurrentDeployment();
+  return deployment != nullptr ? deployment->corpus : nullptr;
+}
+
+const WhyNotEngine& YaskService::Engine() const {
+  if (!remote_mode_) return *engine_;
+  return *CurrentDeployment()->engine;
+}
+
+uint64_t YaskService::LayoutGeneration() const {
+  const RemoteDeployment* deployment = CurrentDeployment();
+  return deployment != nullptr ? deployment->generation : 0;
+}
+
+std::string YaskService::SpecOf(const RemoteCorpus& corpus) {
+  std::string spec;
+  for (size_t s = 0; s < corpus.num_shards(); ++s) {
+    if (!spec.empty()) spec += ',';
+    spec += corpus.replicas(s).description();
+  }
+  return spec;
+}
+
+std::optional<HttpResponse> YaskService::AdminGate() const {
+  if (!remote_mode_) {
+    return HttpResponse::Error(
+        501, "fleet admin applies to coordinator mode only (this server "
+             "holds its corpus in-process)");
+  }
+  if (!options_.enable_fleet_admin) {
+    return HttpResponse::Error(
+        403, "fleet admin is disabled on this server "
+             "(YaskServiceOptions::enable_fleet_admin)");
+  }
+  return std::nullopt;
+}
+
+HttpResponse YaskService::SwapLayout(const std::string& spec) {
+  // Connect OUTSIDE layout_mu_: dialing takes wall time and serving must not
+  // stall behind it. The swap itself is a pointer exchange.
+  auto connected =
+      RemoteCorpus::Connect(Split(spec, ','), options_.admin_connect_options);
+  if (!connected.ok()) {
+    return HttpResponse::Error(
+        502, "new layout rejected: " + connected.status().ToString());
+  }
+  auto next = std::make_shared<RemoteDeployment>();
+  next->owned.emplace(std::move(connected).value());
+  next->corpus = &*next->owned;
+  next->spec = SpecOf(*next->corpus);
+  next->engine.emplace(std::make_unique<RemoteShardOracle>(*next->corpus));
+
+  // The new fleet must serve the SAME dataset: a cutover changes where
+  // objects live, never what they are. Validated against the pinned active
+  // deployment (object count, bounds, SDist normaliser); a mismatch means
+  // the operator pointed the coordinator at a different corpus.
+  const RemoteCorpus& active = *ActiveRemote();
+  const RemoteCorpus& incoming = *next->corpus;
+  if (incoming.size() != active.size() ||
+      !(incoming.bounds() == active.bounds()) ||
+      incoming.dist_norm() != active.dist_norm()) {
+    return HttpResponse::Error(
+        409, "new layout serves a different dataset (" +
+                 std::to_string(incoming.size()) + " objects vs " +
+                 std::to_string(active.size()) +
+                 ", or bounds/dist_norm differ) — reshard the SAME snapshot "
+                 "set and retry");
+  }
+
+  uint64_t generation = 0;
+  size_t draining = 0;
+  {
+    std::lock_guard<std::mutex> lock(layout_mu_);
+    generation = deployment_->generation + 1;
+    next->generation = generation;
+    draining_.push_back(std::move(deployment_));
+    deployment_ = std::move(next);
+    // Reap drained deployments nobody pins anymore (use_count 1 = only the
+    // draining_ entry itself). The boot deployment's borrowed corpus is NOT
+    // destroyed by reaping — it only drops the deployment wrapper.
+    draining_.erase(
+        std::remove_if(draining_.begin(), draining_.end(),
+                       [](const std::shared_ptr<const RemoteDeployment>& d) {
+                         return d.use_count() == 1;
+                       }),
+        draining_.end());
+    draining = draining_.size();
+  }
+  log_.Append("layout", "generation " + std::to_string(generation) + " -> " +
+                            spec,
+              0.0);
+
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("generation", JsonValue(static_cast<size_t>(generation)));
+  out.Set("spec", JsonValue(spec));
+  out.Set("draining", JsonValue(draining));
+  return HttpResponse::Json(out.Dump());
+}
+
+HttpResponse YaskService::HandleAdminLayout(const HttpRequest& req) {
+  if (auto blocked = AdminGate(); blocked.has_value()) return *blocked;
+  if (req.method == "GET") {
+    const RemoteDeployment* deployment = CurrentDeployment();
+    size_t draining = 0;
+    {
+      std::lock_guard<std::mutex> lock(layout_mu_);
+      draining = draining_.size();
+    }
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("generation",
+            JsonValue(static_cast<size_t>(deployment->generation)));
+    out.Set("spec", JsonValue(deployment->spec));
+    out.Set("shards", JsonValue(deployment->corpus->num_shards()));
+    out.Set("draining", JsonValue(draining));
+    return HttpResponse::Json(out.Dump());
+  }
+  auto parsed = JsonValue::Parse(req.body);
+  if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
+  if (!parsed.value().Get("remote_shards").is_string()) {
+    return HttpResponse::Error(
+        400, "expected {\"remote_shards\": \"host:port|...,host:port|...\"}");
+  }
+  return SwapLayout(parsed.value().Get("remote_shards").as_string());
+}
+
+HttpResponse YaskService::HandleAdminReplicas(const HttpRequest& req) {
+  if (auto blocked = AdminGate(); blocked.has_value()) return *blocked;
+  auto parsed = JsonValue::Parse(req.body);
+  if (!parsed.ok()) return HttpResponse::Error(400, parsed.status().message());
+  const JsonValue& in = parsed.value();
+  const bool adding = in.Get("add").is_string();
+  const bool removing = in.Get("remove").is_string();
+  if (!in.Get("shard").is_number() || adding == removing) {
+    return HttpResponse::Error(
+        400, "expected {\"shard\": N, \"add\"|\"remove\": \"host:port\"}");
+  }
+  uint32_t shard = 0;
+  if (!ToUint32(in.Get("shard").as_number(), &shard)) {
+    return HttpResponse::Error(400, "shard out of range");
+  }
+  const std::string endpoint =
+      adding ? in.Get("add").as_string() : in.Get("remove").as_string();
+
+  const RemoteCorpus& active = *ActiveRemote();
+  if (shard >= active.num_shards()) {
+    return HttpResponse::Error(
+        404, "shard " + std::to_string(shard) + " does not exist (layout has " +
+                 std::to_string(active.num_shards()) + " shards)");
+  }
+
+  // Rewrite the active spec with the membership change, then run it through
+  // the same connect-validate-swap path as a full cutover — which is exactly
+  // PR 5's replica-identity validation: a LIVE new replica must present its
+  // group's identity now; one that is still booting joins pending and is
+  // checked on first contact (lazy connect).
+  std::string spec;
+  for (size_t s = 0; s < active.num_shards(); ++s) {
+    std::vector<std::string> members =
+        Split(active.replicas(s).description(), '|');
+    if (s == shard) {
+      const auto found =
+          std::find(members.begin(), members.end(), endpoint);
+      if (adding) {
+        if (found != members.end()) {
+          return HttpResponse::Error(
+              409, endpoint + " is already a replica of shard " +
+                       std::to_string(shard));
+        }
+        members.push_back(endpoint);
+      } else {
+        if (found == members.end()) {
+          return HttpResponse::Error(
+              404, endpoint + " is not a replica of shard " +
+                       std::to_string(shard));
+        }
+        if (members.size() == 1) {
+          return HttpResponse::Error(
+              400, "cannot remove the last replica of shard " +
+                       std::to_string(shard) +
+                       " — a shard with no replicas cannot serve");
+        }
+        members.erase(found);
+      }
+    }
+    std::string group;
+    for (const std::string& member : members) {
+      if (!group.empty()) group += '|';
+      group += member;
+    }
+    if (!spec.empty()) spec += ',';
+    spec += group;
+  }
+  return SwapLayout(spec);
+}
 
 size_t YaskService::cached_queries() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -201,6 +464,9 @@ HttpServer::Handler YaskService::Instrumented(const char* endpoint,
   const std::string endpoint_str = endpoint;
   return [this, latency, endpoint_str, traced,
           inner = std::move(inner)](const HttpRequest& req) {
+    // One layout for the whole request: the pin holds the deployment alive
+    // across a concurrent cutover, and every accessor below reads it.
+    DeploymentPin pin(*this);
     Timer timer;
     HttpResponse resp;
     if (traced) {
@@ -235,12 +501,13 @@ HttpServer::Handler YaskService::Instrumented(const char* endpoint,
 HttpResponse YaskService::HandleMetrics(const HttpRequest&) {
   std::string body;
   metrics_.RenderPrometheus(&body);
-  if (remote_ != nullptr) {
+  if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
     // The remote corpus keeps its own registry (per-replica RPC latency,
     // retries, failovers, cooldowns, session replays). The family names are
     // disjoint from the service's, so plain concatenation is a valid
-    // exposition.
-    remote_->metrics().RenderPrometheus(&body);
+    // exposition. A cutover starts a fresh registry with the new fleet —
+    // the active deployment's meters are the ones that describe serving.
+    remote->metrics().RenderPrometheus(&body);
   }
   return HttpResponse{200, "text/plain; version=0.0.4", std::move(body)};
 }
@@ -254,7 +521,7 @@ HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
                                         " (evicted or never recorded)");
   }
   JsonValue out = StoredTraceToJson(*stored, "coordinator");
-  if (remote_ != nullptr) {
+  if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
     // Stitch in the shard-side spans: every replica that served one of this
     // trace's RPCs holds them keyed by the propagated trace id. Fetched via
     // CallUnmetered over a dedicated warm keep-alive channel per replica —
@@ -263,8 +530,8 @@ HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
     // move RPC metrics or error epochs (neither by being counted nor by
     // failing a shared pipe), and a dead replica here is simply skipped.
     JsonValue spans = out.Get("spans");
-    for (size_t s = 0; s < remote_->num_shards(); ++s) {
-      const ReplicaSet& set = remote_->replicas(s);
+    for (size_t s = 0; s < remote->num_shards(); ++s) {
+      const ReplicaSet& set = remote->replicas(s);
       for (size_t r = 0; r < set.num_replicas(); ++r) {
         auto body = set.replica(r).CallUnmetered(
             "GET", std::string(shardrpc::kTracePath) + "?id=" + id, "",
@@ -287,35 +554,35 @@ HttpResponse YaskService::HandleTrace(const HttpRequest& req) {
 size_t YaskService::ObjectCount() const {
   if (corpus_ != nullptr) return corpus_->size();
   if (sharded_ != nullptr) return sharded_->size();
-  return remote_->size();
+  return ActiveRemote()->size();
 }
 
 const Vocabulary& YaskService::vocab() const {
   if (corpus_ != nullptr) return corpus_->vocab();
   if (sharded_ != nullptr) return sharded_->vocab();
-  return remote_->vocab();
+  return ActiveRemote()->vocab();
 }
 
 const SpatialObject& YaskService::ObjectAt(ObjectId global_id) const {
   if (corpus_ != nullptr) return corpus_->store().Get(global_id);
   if (sharded_ != nullptr) return sharded_->Object(global_id);
-  return remote_->Object(global_id);
+  return ActiveRemote()->Object(global_id);
 }
 
 ObjectId YaskService::FindByName(const std::string& name) const {
   if (corpus_ != nullptr) return corpus_->store().FindByName(name);
   if (sharded_ != nullptr) return sharded_->FindByName(name);
-  return remote_->FindByName(name);
+  return ActiveRemote()->FindByName(name);
 }
 
 TopKResult YaskService::RunTopK(const Query& query) const {
   // The engine's oracle fans out over the shards in sharded/remote mode.
-  return engine_->TopK(query);
+  return Engine().TopK(query);
 }
 
 bool YaskService::HasKcr() const {
   if (corpus_ != nullptr) return corpus_->has_kcr();
-  if (remote_ != nullptr) return remote_->has_kcr();
+  if (sharded_ == nullptr) return ActiveRemote()->has_kcr();
   for (size_t s = 0; s < sharded_->num_shards(); ++s) {
     if (!sharded_->shard(s).has_kcr()) return false;
   }
@@ -323,11 +590,13 @@ bool YaskService::HasKcr() const {
 }
 
 uint64_t YaskService::RemoteEpoch() const {
-  return remote_ != nullptr ? remote_->error_epoch() : 0;
+  const RemoteCorpus* remote = ActiveRemote();
+  return remote != nullptr ? remote->error_epoch() : 0;
 }
 
 std::optional<HttpResponse> YaskService::RemoteFailure(uint64_t before) const {
-  if (remote_ == nullptr || remote_->error_epoch() == before) {
+  const RemoteCorpus* remote = ActiveRemote();
+  if (remote == nullptr || remote->error_epoch() == before) {
     return std::nullopt;
   }
   // The epoch is corpus-global, so a concurrent request's failure can fail
@@ -337,7 +606,7 @@ std::optional<HttpResponse> YaskService::RemoteFailure(uint64_t before) const {
   // threading a per-request error slot through every oracle callback — buys
   // little for the plumbing it costs.
   return HttpResponse::Error(
-      503, "remote shard failure: " + remote_->last_error().message());
+      503, "remote shard failure: " + remote->last_error().message());
 }
 
 // --- Query cache (LRU) -------------------------------------------------------
@@ -378,12 +647,12 @@ std::optional<Query> YaskService::LookupCachedQuery(uint64_t id) {
 // --- Handlers ----------------------------------------------------------------
 
 JsonValue YaskService::ResultToJson(const TopKResult& result) const {
-  if (remote_ != nullptr) {
+  if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
     // One batched fetch per owning shard instead of a round-trip per row.
     std::vector<ObjectId> ids;
     ids.reserve(result.size());
     for (const ScoredObject& so : result) ids.push_back(so.id);
-    remote_->Prefetch(ids);
+    remote->Prefetch(ids);
   }
   JsonValue arr = JsonValue::MakeArray();
   for (const ScoredObject& so : result) {
@@ -427,7 +696,7 @@ HttpResponse YaskService::HandleQuery(const HttpRequest& req) {
     return ComputeQuery(q, epoch, &ignored);
   }
   return CachedCompute(
-      QueryCacheKey(epoch, q), epoch,
+      QueryCacheKey(LayoutGeneration(), epoch, q), epoch,
       [&](uint64_t* id) { return ComputeQuery(q, epoch, id); });
 }
 
@@ -528,12 +797,12 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     std::string detail =
         "why-not answering requires the corpus to be built with its "
         "KcR-tree(s)";
-    if (remote_ != nullptr) {
+    if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
       detail = "why-not answering requires every remote shard to carry its "
                "KcR-tree; shards without one:";
-      for (const uint32_t s : remote_->shards_without_kcr()) {
+      for (const uint32_t s : remote->shards_without_kcr()) {
         detail += " " + std::to_string(s) + " (" +
-                  remote_->replicas(s).description() + ")";
+                  remote->replicas(s).description() + ")";
       }
       detail += " — rebuild those shard snapshots with their KcR section or "
                 "restart yask_shard_server with --rebuild-indexes";
@@ -587,7 +856,9 @@ HttpResponse YaskService::HandleWhyNot(const HttpRequest& req) {
     return ComputeWhyNot(q, missing, model, lambda, epoch);
   }
   return CachedCompute(
-      WhyNotCacheKey(epoch, query_id, missing, model, lambda), epoch,
+      WhyNotCacheKey(LayoutGeneration(), epoch, query_id, missing, model,
+                     lambda),
+      epoch,
       [&](uint64_t* id) {
         *id = query_id;
         return ComputeWhyNot(q, missing, model, lambda, epoch);
@@ -604,7 +875,7 @@ HttpResponse YaskService::ComputeWhyNot(const Query& q,
   if (model == "combined") {
     // §3.2: apply the two refinement functions simultaneously.
     Timer timer;
-    auto combined = engine_->CombineRefinements(q, missing, options);
+    auto combined = Engine().CombineRefinements(q, missing, options);
     const double millis = timer.ElapsedMillis();
     if (!combined.ok()) {
       return HttpResponse::Error(400, combined.status().ToString());
@@ -621,7 +892,7 @@ HttpResponse YaskService::ComputeWhyNot(const Query& q,
     out.Set("original_rank", JsonValue(combined->original_rank));
     out.Set("refined_rank", JsonValue(combined->refined_rank));
     out.Set("refined_results",
-            ResultToJson(engine_->TopK(combined->refined)));
+            ResultToJson(Engine().TopK(combined->refined)));
     out.Set("response_millis", JsonValue(millis));
     if (auto failure = RemoteFailure(epoch); failure.has_value()) {
       return *failure;
@@ -639,7 +910,7 @@ HttpResponse YaskService::ComputeWhyNot(const Query& q,
   }
 
   Timer timer;
-  auto answer = engine_->Answer(q, missing, options);
+  auto answer = Engine().Answer(q, missing, options);
   const double millis = timer.ElapsedMillis();
   if (!answer.ok()) {
     return HttpResponse::Error(400, answer.status().ToString());
@@ -727,10 +998,10 @@ HttpResponse YaskService::HandleObjects(const HttpRequest& req) {
   }
   JsonValue arr = JsonValue::MakeArray();
   const size_t n = std::min(limit, ObjectCount());
-  if (remote_ != nullptr) {
+  if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
     std::vector<ObjectId> ids(n);
     for (size_t i = 0; i < n; ++i) ids[i] = static_cast<ObjectId>(i);
-    remote_->Prefetch(ids);
+    remote->Prefetch(ids);
   }
   for (size_t i = 0; i < n; ++i) {
     const SpatialObject& o = ObjectAt(static_cast<ObjectId>(i));
@@ -807,16 +1078,16 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
   if (sharded_ != nullptr) {
     out.Set("shards", JsonValue(sharded_->num_shards()));
   }
-  if (remote_ != nullptr) {
-    out.Set("shards", JsonValue(remote_->num_shards()));
+  if (const RemoteCorpus* remote = ActiveRemote(); remote != nullptr) {
+    out.Set("shards", JsonValue(remote->num_shards()));
     JsonValue shards = JsonValue::MakeArray();
-    for (size_t s = 0; s < remote_->num_shards(); ++s) {
-      const ReplicaSet& set = remote_->replicas(s);
+    for (size_t s = 0; s < remote->num_shards(); ++s) {
+      const ReplicaSet& set = remote->replicas(s);
       JsonValue row = JsonValue::MakeObject();
       row.Set("endpoint", JsonValue(set.description()));
       row.Set("objects", JsonValue(static_cast<size_t>(
-                             remote_->meta(s).object_count)));
-      row.Set("kcr", JsonValue(remote_->meta(s).has_kcr));
+                             remote->meta(s).object_count)));
+      row.Set("kcr", JsonValue(remote->meta(s).has_kcr));
       // Per-replica health: where the traffic goes, which replicas are being
       // routed around, and how many kills the set has absorbed.
       JsonValue reps = JsonValue::MakeArray();
@@ -828,6 +1099,16 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
         rep.Set("error_epoch", JsonValue(static_cast<size_t>(
                                    set.replica(r).error_epoch())));
         rep.Set("cooling", JsonValue(set.InCooldown(r)));
+        // Lazy-connect state: "pending" = unreached at Connect, identity
+        // owed on first contact; "rejected" = answered with the wrong
+        // identity, permanently unroutable.
+        const char* validation = "validated";
+        switch (set.validation(r)) {
+          case ReplicaValidation::kValidated: break;
+          case ReplicaValidation::kPending: validation = "pending"; break;
+          case ReplicaValidation::kRejected: validation = "rejected"; break;
+        }
+        rep.Set("validation", JsonValue(std::string(validation)));
         reps.Append(std::move(rep));
       }
       row.Set("replicas", std::move(reps));
@@ -835,7 +1116,22 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
       shards.Append(std::move(row));
     }
     out.Set("remote_shards", std::move(shards));
+    // The cutover window at a glance: which layout serves new requests and
+    // how many old layouts still drain in-flight ones.
+    const RemoteDeployment* deployment = CurrentDeployment();
+    size_t draining = 0;
+    {
+      std::lock_guard<std::mutex> lock(layout_mu_);
+      draining = draining_.size();
+    }
+    JsonValue layout = JsonValue::MakeObject();
+    layout.Set("generation",
+               JsonValue(static_cast<size_t>(deployment->generation)));
+    layout.Set("spec", JsonValue(deployment->spec));
+    layout.Set("draining", JsonValue(draining));
+    out.Set("layout", std::move(layout));
   }
+  out.Set("build", BuildInfoJson());
   // Index availability — what this deployment can actually answer. /whynot
   // needs the KcR-tree on every shard; a false here explains the 501 before
   // anyone hits it.
@@ -848,7 +1144,7 @@ HttpResponse YaskService::HandleHealth(const HttpRequest&) {
 }
 
 HttpResponse YaskService::HandleSnapshot(const HttpRequest& req) {
-  if (remote_ != nullptr) {
+  if (remote_mode_) {
     return HttpResponse::Error(
         501, "a coordinator holds no serving state to snapshot; snapshot "
              "the shard servers' files instead");

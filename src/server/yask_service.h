@@ -44,6 +44,17 @@
 //                  snapshot_path; the body's "path" override is honoured
 //                  only when allow_snapshot_path_override is set (403
 //                  otherwise).
+//   GET  /admin/layout         -> the live remote layout: generation, spec,
+//                                 shard count, draining deployments
+//   POST /admin/layout {"remote_shards":"a|b,c|d"} -> zero-downtime cutover
+//                  to a different fleet of the SAME dataset (409 on a
+//                  dataset mismatch, 502 when the fleet is unreachable);
+//                  in-flight requests drain on the old layout
+//   POST /admin/replicas {"shard":N,"add"|"remove":"host:port"} -> widen or
+//                  shrink one shard's replica set at runtime via the same
+//                  validated cutover path
+//                  (the admin plane answers 501 outside coordinator mode
+//                  and 403 unless enable_fleet_admin — docs/operations.md)
 
 #ifndef YASK_SERVER_YASK_SERVICE_H_
 #define YASK_SERVER_YASK_SERVICE_H_
@@ -106,6 +117,17 @@ struct YaskServiceOptions {
   bool enable_result_cache = false;
   size_t result_cache_max_entries = 1024;
   size_t result_cache_max_bytes = 64u << 20;
+  /// Fleet admin endpoints (coordinator mode only): POST /admin/layout swaps
+  /// the whole shard layout at runtime (zero-downtime cutover — in-flight
+  /// requests drain on the old layout, new requests route on the new one)
+  /// and POST /admin/replicas adds/removes one replica of one shard. Off by
+  /// default for the same reason as allow_snapshot_path_override: the server
+  /// has no authentication, and these endpoints redirect all traffic.
+  bool enable_fleet_admin = false;
+  /// Dial/retry policy for fleets connected via the admin endpoints (the
+  /// boot fleet's policy is whatever the caller passed to
+  /// RemoteCorpus::Connect).
+  RemoteShardOptions admin_connect_options;
 };
 
 /// The YASK service: owns the HTTP server and the query cache; borrows the
@@ -184,6 +206,8 @@ class YaskService {
   HttpResponse HandleSnapshot(const HttpRequest& req);
   HttpResponse HandleMetrics(const HttpRequest& req);
   HttpResponse HandleTrace(const HttpRequest& req);
+  HttpResponse HandleAdminLayout(const HttpRequest& req);
+  HttpResponse HandleAdminReplicas(const HttpRequest& req);
 
   // --- Corpus-layout-independent serving state accessors. ---
   size_t ObjectCount() const;
@@ -205,17 +229,81 @@ class YaskService {
   /// shard failed mid-request, so the computed payload cannot be trusted.
   std::optional<HttpResponse> RemoteFailure(uint64_t before) const;
 
+  // --- Layout deployments (zero-downtime cutover, remote mode only). ---
+
+  /// One connected remote fleet plus the engine over it. The coordinator
+  /// serves from exactly one ACTIVE deployment; POST /admin/layout connects
+  /// a new one and swaps it in, while requests already in flight keep the
+  /// deployment they started on (pinned via shared_ptr) until they finish —
+  /// the cutover window. The boot deployment borrows the constructor's
+  /// corpus; admin-connected deployments own theirs.
+  struct RemoteDeployment {
+    uint64_t generation = 1;
+    std::string spec;  // "host:port|...,host:port|..." — one group per shard.
+    // `owned` is declared before `engine`: the engine's oracle borrows the
+    // corpus, so reverse destruction order must tear the engine down first.
+    std::optional<RemoteCorpus> owned;
+    const RemoteCorpus* corpus = nullptr;  // &*owned, or the borrowed boot corpus.
+    std::optional<WhyNotEngine> engine;
+  };
+
+  /// Pins the active deployment to the request thread for the request's
+  /// whole lifetime (every handler runs under one): the shared_ptr keeps a
+  /// mid-request cutover from destroying the deployment under the handler,
+  /// and the thread-local lets every accessor on the call path read the SAME
+  /// layout without threading a parameter through the oracle seam.
+  class DeploymentPin {
+   public:
+    explicit DeploymentPin(const YaskService& service);
+    ~DeploymentPin();
+    DeploymentPin(const DeploymentPin&) = delete;
+    DeploymentPin& operator=(const DeploymentPin&) = delete;
+
+   private:
+    std::shared_ptr<const RemoteDeployment> pinned_;
+    const RemoteDeployment* previous_;
+  };
+
+  /// The deployment this request runs on (null in local modes).
+  const RemoteDeployment* CurrentDeployment() const;
+  /// The pinned remote corpus (null in local modes).
+  const RemoteCorpus* ActiveRemote() const;
+  /// The engine answering this request: the pinned deployment's in remote
+  /// mode, the service-owned one otherwise.
+  const WhyNotEngine& Engine() const;
+  /// Active layout generation (folds into result-cache keys: a cutover must
+  /// retire every response computed on the old layout). 0 in local modes.
+  uint64_t LayoutGeneration() const;
+  /// Connects `spec` and swaps it in as the active deployment. Shared by
+  /// /admin/layout and /admin/replicas.
+  HttpResponse SwapLayout(const std::string& spec);
+  /// Canonical spec of a connected corpus (per-shard replica groups
+  /// '|'-joined, shards ','-joined in shard order).
+  static std::string SpecOf(const RemoteCorpus& corpus);
+  /// Admin endpoints answer 403 unless enable_fleet_admin, 501 outside
+  /// remote mode; returns the blocking response or nullopt.
+  std::optional<HttpResponse> AdminGate() const;
+
   /// Caches `query`, evicting the LRU entry beyond max_cached_queries.
   uint64_t CacheQuery(const Query& query);
   /// Looks a cached query up and marks it most-recently used.
   std::optional<Query> LookupCachedQuery(uint64_t id);
 
-  const Corpus* corpus_ = nullptr;            // Exactly one of these three
-  const ShardedCorpus* sharded_ = nullptr;    // is non-null.
-  const RemoteCorpus* remote_ = nullptr;
-  /// Serves both modes: its oracle is local or sharded to match the corpus
-  /// (the sharded oracle runs /query and /whynot over the corpus pool).
+  const Corpus* corpus_ = nullptr;          // Exactly one of corpus_/sharded_/
+  const ShardedCorpus* sharded_ = nullptr;  // remote mode is active.
+  bool remote_mode_ = false;
+  /// Local modes only: the engine whose oracle matches the corpus. Remote
+  /// mode keeps its engine inside the deployment (it must drain with it).
   std::optional<WhyNotEngine> engine_;
+  /// Remote mode: the active deployment plus the ones still draining (kept
+  /// alive until their last in-flight request drops its pin; reaped on the
+  /// next admin call). Guarded by layout_mu_.
+  mutable std::mutex layout_mu_;
+  std::shared_ptr<const RemoteDeployment> deployment_;
+  std::vector<std::shared_ptr<const RemoteDeployment>> draining_;
+  /// The request thread's pinned deployment (set by DeploymentPin). Static:
+  /// a nested private type cannot appear in a namespace-scope thread_local.
+  static thread_local const RemoteDeployment* tls_deployment_;
   YaskServiceOptions options_;
   // Declared before server_: handlers running on server threads touch both,
   // and ~YaskService must stop those threads (server_ destroyed first)

@@ -1,0 +1,322 @@
+// Zero-downtime cutover acceptance — the coordinator's elastic-fleet admin
+// plane. A YaskService over a 2-shard remote fleet is cut over to a 4-shard
+// fleet of the SAME dataset via POST /admin/layout, and every payload before,
+// during and after the cutover must stay byte-identical to an in-process
+// reference over the same objects — including why-not questions against a
+// query CACHED BEFORE the cutover (the query-id cache is service-level and
+// survives layout swaps). Plus the admin failure modes: dataset mismatch is
+// 409, an unreachable fleet is 502, non-remote mode is 501, disabled admin
+// is 403, and POST /admin/replicas validates add/remove against the live
+// layout (409 duplicate, 404 unknown, 400 removing the last replica).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/corpus/remote_corpus.h"
+#include "src/corpus/sharded_corpus.h"
+#include "src/server/json.h"
+#include "src/server/shard_service.h"
+#include "src/server/yask_service.h"
+#include "src/storage/dataset_generator.h"
+#include "src/storage/hotel_generator.h"
+
+namespace yask {
+namespace {
+
+struct ShardFleet {
+  std::vector<std::unique_ptr<ShardService>> services;
+  std::vector<std::string> endpoints;
+
+  explicit ShardFleet(const ShardedCorpus& corpus) {
+    for (size_t s = 0; s < corpus.num_shards(); ++s) {
+      ShardService::Info info;
+      info.shard_index = static_cast<uint32_t>(s);
+      info.shard_count = static_cast<uint32_t>(corpus.num_shards());
+      info.global_bounds = corpus.bounds();
+      info.dist_norm = corpus.dist_norm();
+      info.to_global = corpus.shard_global_ids(s);
+      info.router = corpus.router_description();
+      services.push_back(
+          std::make_unique<ShardService>(corpus.shard(s), std::move(info)));
+      EXPECT_TRUE(services.back()->Start().ok());
+      endpoints.push_back("127.0.0.1:" +
+                          std::to_string(services.back()->port()));
+    }
+  }
+
+  std::string Spec() const {
+    std::string spec;
+    for (const std::string& e : endpoints) {
+      if (!spec.empty()) spec += ',';
+      spec += e;
+    }
+    return spec;
+  }
+
+  ~ShardFleet() { Stop(); }
+  void Stop() {
+    for (auto& service : services) service->Stop();
+  }
+};
+
+JsonValue StripTiming(const JsonValue& v) {
+  if (v.is_object()) {
+    JsonValue out = JsonValue::MakeObject();
+    for (const auto& [key, value] : v.object_items()) {
+      if (key == "response_millis") continue;
+      out.Set(key, StripTiming(value));
+    }
+    return out;
+  }
+  if (v.is_array()) {
+    JsonValue out = JsonValue::MakeArray();
+    for (const JsonValue& item : v.array_items()) {
+      out.Append(StripTiming(item));
+    }
+    return out;
+  }
+  return v;
+}
+
+std::string Normalized(const std::string& payload) {
+  auto parsed = JsonValue::Parse(payload);
+  EXPECT_TRUE(parsed.ok()) << payload;
+  if (!parsed.ok()) return payload;
+  return StripTiming(parsed.value()).Dump();
+}
+
+void ExpectSamePayload(const YaskService& remote, const YaskService& local,
+                       const std::string& method, const std::string& path,
+                       const std::string& body, const std::string& label) {
+  int remote_status = 0;
+  int local_status = 0;
+  auto remote_body =
+      HttpFetch(remote.port(), method, path, body, &remote_status);
+  auto local_body = HttpFetch(local.port(), method, path, body, &local_status);
+  ASSERT_TRUE(remote_body.ok()) << label;
+  ASSERT_TRUE(local_body.ok()) << label;
+  EXPECT_EQ(remote_status, local_status) << label;
+  EXPECT_EQ(Normalized(*remote_body), Normalized(*local_body)) << label;
+}
+
+JsonValue MustJson(const Result<std::string>& body) {
+  EXPECT_TRUE(body.ok());
+  auto parsed = JsonValue::Parse(*body);
+  EXPECT_TRUE(parsed.ok()) << *body;
+  return std::move(parsed).value();
+}
+
+TEST(AdminCutoverTest, ReshardCutoverKeepsPayloadsByteIdentical) {
+  const ObjectStore store = GenerateHotelDataset();
+  const ShardedCorpus old_layout =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 2));
+  const ShardedCorpus new_layout =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 4));
+
+  auto old_fleet = std::make_unique<ShardFleet>(old_layout);
+  ShardFleet new_fleet(new_layout);
+  auto connected = RemoteCorpus::Connect(old_fleet->endpoints);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+
+  YaskServiceOptions options;
+  options.enable_fleet_admin = true;
+  YaskService remote(*connected, options);
+  YaskService local(old_layout);
+  ASSERT_TRUE(remote.Start().ok());
+  ASSERT_TRUE(local.Start().ok());
+
+  // A query cached BEFORE the cutover (query_id 1 on both services).
+  const std::string query =
+      "{\"x\":114.158,\"y\":22.281,\"keywords\":\"clean comfortable\","
+      "\"k\":3}";
+  ExpectSamePayload(remote, local, "POST", "/query", query, "pre-cutover");
+
+  int status = 0;
+  auto layout = MustJson(
+      HttpFetch(remote.port(), "GET", "/admin/layout", "", &status));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(layout.Get("generation").as_number(), 1);
+
+  // --- The cutover: swap the coordinator to the 4-shard fleet. ---
+  auto swapped = MustJson(HttpFetch(
+      remote.port(), "POST", "/admin/layout",
+      "{\"remote_shards\":\"" + new_fleet.Spec() + "\"}", &status));
+  ASSERT_EQ(status, 200) << swapped.Dump();
+  EXPECT_EQ(swapped.Get("generation").as_number(), 2);
+
+  // The old fleet is now drainable: kill it. Everything that follows must
+  // flow through the new layout — and stay byte-identical.
+  old_fleet->Stop();
+  old_fleet.reset();
+
+  ExpectSamePayload(remote, local, "POST", "/query", query, "post-cutover");
+  // The why-not question targets the PRE-cutover cached query: the cache
+  // survives the swap and the answer runs on the new fleet.
+  const std::string whynot = "{\"query_id\":1,\"missing\":[\"" +
+                             store.Get(81).name + "\"],\"model\":\"both\"}";
+  ExpectSamePayload(remote, local, "POST", "/whynot", whynot,
+                    "post-cutover whynot of pre-cutover query");
+  ExpectSamePayload(remote, local, "GET", "/objects?limit=25", "",
+                    "post-cutover objects");
+
+  layout = MustJson(
+      HttpFetch(remote.port(), "GET", "/admin/layout", "", &status));
+  EXPECT_EQ(layout.Get("generation").as_number(), 2);
+  EXPECT_EQ(layout.Get("spec").as_string(), new_fleet.Spec());
+  EXPECT_EQ(layout.Get("shards").as_number(), 4);
+
+  // /health reports the live generation too.
+  auto health =
+      MustJson(HttpFetch(remote.port(), "GET", "/health", "", &status));
+  EXPECT_EQ(health.Get("layout").Get("generation").as_number(), 2);
+  EXPECT_TRUE(health.Has("build"));
+
+  remote.Stop();
+  local.Stop();
+}
+
+TEST(AdminCutoverTest, RejectsWrongDatasetAndDeadFleets) {
+  const ObjectStore store = GenerateHotelDataset();
+  const ShardedCorpus layout =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 2));
+  ShardFleet fleet(layout);
+  auto connected = RemoteCorpus::Connect(fleet.endpoints);
+  ASSERT_TRUE(connected.ok());
+
+  YaskServiceOptions options;
+  options.enable_fleet_admin = true;
+  options.admin_connect_options.connect_timeout_ms = 300;
+  options.admin_connect_options.retries = 0;
+  YaskService service(*connected, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // A fleet serving a DIFFERENT dataset: connectable, but cutting over
+  // would change answers — 409, and the active layout stays.
+  DatasetSpec other_spec;
+  other_spec.num_objects = 300;
+  other_spec.seed = 1234;
+  const ObjectStore other = GenerateDataset(other_spec);
+  const ShardedCorpus other_layout =
+      ShardedCorpus::Partition(other, GridShardRouter::Fit(other, 2));
+  ShardFleet other_fleet(other_layout);
+  int status = 0;
+  auto body = HttpFetch(
+      service.port(), "POST", "/admin/layout",
+      "{\"remote_shards\":\"" + other_fleet.Spec() + "\"}", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 409) << *body;
+
+  // A dead fleet: 502, and the active layout stays.
+  body = HttpFetch(service.port(), "POST", "/admin/layout",
+                   "{\"remote_shards\":\"127.0.0.1:1|127.0.0.1:2,"
+                   "127.0.0.1:3|127.0.0.1:4\"}",
+                   &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 502) << *body;
+
+  auto layout_body = MustJson(
+      HttpFetch(service.port(), "GET", "/admin/layout", "", &status));
+  EXPECT_EQ(layout_body.Get("generation").as_number(), 1);
+
+  // With the admin plane disabled (the default), the endpoint is 403.
+  YaskService locked(*connected);
+  ASSERT_TRUE(locked.Start().ok());
+  body = HttpFetch(locked.port(), "GET", "/admin/layout", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 403);
+  locked.Stop();
+
+  // In non-remote mode the admin plane is meaningless: 501.
+  YaskServiceOptions local_options;
+  local_options.enable_fleet_admin = true;
+  YaskService local(layout, local_options);
+  ASSERT_TRUE(local.Start().ok());
+  body = HttpFetch(local.port(), "GET", "/admin/layout", "", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 501);
+  local.Stop();
+
+  service.Stop();
+}
+
+TEST(AdminCutoverTest, ReplicaAddRemoveRevalidatesTheFleet) {
+  const ObjectStore store = GenerateHotelDataset();
+  const ShardedCorpus layout =
+      ShardedCorpus::Partition(store, GridShardRouter::Fit(store, 2));
+  ShardFleet fleet(layout);
+  auto connected = RemoteCorpus::Connect(fleet.endpoints);
+  ASSERT_TRUE(connected.ok());
+
+  YaskServiceOptions options;
+  options.enable_fleet_admin = true;
+  YaskService service(*connected, options);
+  YaskService local(layout);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(local.Start().ok());
+
+  // Boot a second replica of shard 0 and add it at runtime.
+  ShardService::Info info;
+  info.shard_index = 0;
+  info.shard_count = 2;
+  info.global_bounds = layout.bounds();
+  info.dist_norm = layout.dist_norm();
+  info.to_global = layout.shard_global_ids(0);
+  info.router = layout.router_description();
+  ShardService replica(layout.shard(0), std::move(info));
+  ASSERT_TRUE(replica.Start().ok());
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(replica.port());
+
+  int status = 0;
+  auto body = MustJson(HttpFetch(
+      service.port(), "POST", "/admin/replicas",
+      "{\"shard\":0,\"add\":\"" + endpoint + "\"}", &status));
+  ASSERT_EQ(status, 200) << body.Dump();
+  EXPECT_EQ(body.Get("generation").as_number(), 2);
+  EXPECT_NE(body.Get("spec").as_string().find(endpoint), std::string::npos);
+
+  // Queries keep answering exactly through the widened replica set.
+  const std::string query =
+      "{\"x\":114.158,\"y\":22.281,\"keywords\":\"clean comfortable\","
+      "\"k\":3}";
+  ExpectSamePayload(service, local, "POST", "/query", query, "post-add");
+
+  // Adding it again is a conflict, not a widening.
+  auto raw = HttpFetch(service.port(), "POST", "/admin/replicas",
+                       "{\"shard\":0,\"add\":\"" + endpoint + "\"}", &status);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(status, 409) << *raw;
+
+  // Remove it again; removing twice is 404; removing the last is 400.
+  body = MustJson(HttpFetch(
+      service.port(), "POST", "/admin/replicas",
+      "{\"shard\":0,\"remove\":\"" + endpoint + "\"}", &status));
+  ASSERT_EQ(status, 200) << body.Dump();
+  raw = HttpFetch(service.port(), "POST", "/admin/replicas",
+                  "{\"shard\":0,\"remove\":\"" + endpoint + "\"}", &status);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(status, 404) << *raw;
+  raw = HttpFetch(service.port(), "POST", "/admin/replicas",
+                  "{\"shard\":0,\"remove\":\"" + fleet.endpoints[0] + "\"}",
+                  &status);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(status, 400) << *raw;
+
+  // An out-of-range shard index is 404.
+  raw = HttpFetch(service.port(), "POST", "/admin/replicas",
+                  "{\"shard\":9,\"add\":\"" + endpoint + "\"}", &status);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(status, 404) << *raw;
+
+  ExpectSamePayload(service, local, "POST", "/query", query, "post-remove");
+
+  replica.Stop();
+  service.Stop();
+  local.Stop();
+}
+
+}  // namespace
+}  // namespace yask
